@@ -1,0 +1,27 @@
+//! E9 — arrival-order robustness: same algorithm, three stream orders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_dist::planted_cover;
+use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_arrival_order");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(9);
+    let w = planted_cover(&mut rng, 1024, 48, 6);
+    let algo = HarPeledAssadi::scaled(3, 0.5);
+    for (name, arrival) in [
+        ("adversarial", Arrival::Adversarial),
+        ("random", Arrival::Random { seed: 1 }),
+        ("reshuffled", Arrival::ReshuffledEachPass { seed: 1 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| algo.run(&w.system, arrival, &mut rng).peak_bits)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

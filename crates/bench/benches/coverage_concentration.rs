@@ -1,0 +1,22 @@
+//! E4 — Lemma 2.2 residual trials.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_core::BitSet;
+use streamcover_info::lemma22_trial;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_coverage_concentration");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(4);
+    let u = BitSet::full(4096);
+    for k in [2usize, 6] {
+        g.bench_function(format!("lemma22_trial_n4096_k{k}"), |b| {
+            b.iter(|| lemma22_trial(&mut rng, 4096, 1024, k, &u))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

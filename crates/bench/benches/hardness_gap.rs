@@ -1,0 +1,24 @@
+//! E2 — Lemma 3.2: D_SC sampling and the opt ≤ 2α decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_core::decide_opt_at_most;
+use streamcover_dist::{sample_dsc_with_theta, ScParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_hardness_gap");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let p = ScParams::explicit(4096, 6, 32);
+    let mut rng = StdRng::seed_from_u64(2);
+    g.bench_function("sample_dsc_n4096_m6", |b| {
+        b.iter(|| sample_dsc_with_theta(&mut rng, p, false).combined().len())
+    });
+    let inst = sample_dsc_with_theta(&mut rng, p, true).combined();
+    g.bench_function("decide_opt_le_4_planted", |b| {
+        b.iter(|| decide_opt_at_most(&inst, 4, 10_000_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

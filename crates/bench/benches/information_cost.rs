@@ -1,0 +1,31 @@
+//! E10 — plug-in information-cost estimation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_comm::TrivialDisj;
+use streamcover_dist::disj::sample_no;
+use streamcover_info::estimate_disj_icost;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_information_cost");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(10);
+    g.bench_function("icost_trivial_t6_5k_samples", |b| {
+        b.iter(|| {
+            estimate_disj_icost(
+                &TrivialDisj,
+                |r| {
+                    let i = sample_no(r, 6);
+                    (i.a, i.b)
+                },
+                5_000,
+                &mut rng,
+            )
+            .total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

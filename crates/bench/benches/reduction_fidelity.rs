@@ -1,0 +1,27 @@
+//! E5 — Lemma 3.4: embedding a Disj instance into D_SC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_comm::{DisjFromSetCover, ThresholdSetCover};
+use streamcover_dist::disj::sample_no;
+use streamcover_dist::ScParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_reduction_fidelity");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let p = ScParams::explicit(4096, 6, 32);
+    let red = DisjFromSetCover {
+        sc: ThresholdSetCover { bound: 4, node_budget: 10_000_000 },
+        params: p,
+        alpha: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let inst = sample_no(&mut rng, 32);
+    g.bench_function("embed_disj_into_dsc_n4096_m6", |b| {
+        b.iter(|| red.embed(&inst.a, &inst.b, &mut rng).0.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E1 — Theorem 2: Algorithm 1 end-to-end runtime across α.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_dist::planted_cover;
+use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_theorem2_tradeoff");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = planted_cover(&mut rng, 2048, 48, 4);
+    for alpha in [2usize, 4] {
+        g.bench_function(format!("alg1_alpha{alpha}_n2048_m48"), |b| {
+            b.iter(|| {
+                let run = HarPeledAssadi::scaled(alpha, 0.5).run(
+                    &w.system,
+                    Arrival::Adversarial,
+                    &mut rng,
+                );
+                assert!(run.feasible);
+                run.peak_bits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # streamcover-comm
+//!
+//! The two-party communication model of Yao, as used by the lower-bound
+//! proofs of Assadi (PODS 2017), with executable protocols and reductions.
+//!
+//! * [`transcript`] — messages, transcripts, bit-exact `‖π‖` accounting
+//!   (Definition 1), and canonical encodings.
+//! * [`problems`] — the four communication problems (`Disj`, `GHD`,
+//!   `SetCover`, `MaxCover`) as protocol traits plus ground-truth
+//!   predicates.
+//! * [`protocols`] — concrete instantiations: trivial send-all upper
+//!   bounds, cheap erring sketches, threshold deciders, and a δ-corrupting
+//!   wrapper for error-propagation experiments.
+//! * [`reductions`] — the constructive lemmas, runnable end to end:
+//!   `π_Disj` from `π_SC` (Lemma 3.4), `π_GHD` from `π_MC` (Lemma 4.5), and
+//!   the `p`-pass/`s`-space streaming → `O(p·s)`-bit protocol adapter from
+//!   Theorem 1's proof.
+
+pub mod problems;
+pub mod protocols;
+pub mod reductions;
+pub mod transcript;
+
+pub use problems::{
+    alpha_estimate_ok, disj_answer, ghd_answer, ghd_output_ok, DisjProtocol, GhdProtocol,
+    MaxCoverProtocol, SetCoverProtocol,
+};
+pub use protocols::{
+    merge, ErringSetCover, SampledDisj, SendAllMaxCover, SendAllSetCover, SketchedMaxCover,
+    SketchedSetCover, ThresholdSetCover, TrivialDisj,
+};
+pub use reductions::{adapter_bound, DisjFromSetCover, GhdFromMaxCover, StreamingAsProtocol};
+pub use transcript::{decode_bitset, encode_bitset, Message, Player, Transcript};

@@ -1,0 +1,117 @@
+//! The communication problems of the paper and the protocol traits for each.
+//!
+//! * `Disj_t` — output **Yes** iff `A ∩ B = ∅` (§2.2).
+//! * `GHD_t` — the promise gap-hamming-distance problem (§4.1).
+//! * `SetCover` — α-approximate the optimal *value* of the set cover
+//!   instance whose `2m` sets are split between the players (§3, Notation).
+//! * `MaxCover` — `(1−ε)`-approximate the optimal 2-coverage (§4.2).
+//!
+//! Protocols are randomized; each run returns its answer plus the
+//! [`Transcript`] so harnesses can measure
+//! `‖π‖` and estimate information costs.
+
+use crate::transcript::Transcript;
+use rand::rngs::StdRng;
+use streamcover_core::{BitSet, SetSystem};
+use streamcover_dist::GhdAnswer;
+
+/// A randomized two-party protocol for `Disj_t`.
+pub trait DisjProtocol {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs on inputs `A` (Alice) and `B` (Bob); returns `true` for **Yes**
+    /// (disjoint) plus the transcript.
+    fn run(&self, a: &BitSet, b: &BitSet, rng: &mut StdRng) -> (bool, Transcript);
+}
+
+/// A randomized two-party protocol for `GHD_t`.
+pub trait GhdProtocol {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Returns `true` for **Yes** (`Δ ≥ t/2 + √t`). On `⋆` instances any
+    /// answer is correct.
+    fn run(&self, a: &BitSet, b: &BitSet, rng: &mut StdRng) -> (bool, Transcript);
+}
+
+/// A randomized two-party protocol estimating the set cover optimum.
+pub trait SetCoverProtocol {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs on the split instance; returns an estimate of `opt(S, T)` plus
+    /// the transcript. An `α`-approximation must satisfy
+    /// `opt ≤ estimate ≤ α·opt` (with the protocol's error probability).
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript);
+}
+
+/// A randomized two-party protocol estimating the maximum 2-coverage.
+pub trait MaxCoverProtocol {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Returns an estimate of the optimal 2-coverage plus the transcript.
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript);
+}
+
+/// Ground-truth Disj answer.
+pub fn disj_answer(a: &BitSet, b: &BitSet) -> bool {
+    a.is_disjoint(b)
+}
+
+/// Ground-truth GHD promise classification.
+pub fn ghd_answer(a: &BitSet, b: &BitSet) -> GhdAnswer {
+    streamcover_dist::ghd::classify(a.capacity(), a.hamming_distance(b))
+}
+
+/// Whether a GHD output is acceptable for the (possibly `⋆`) instance.
+pub fn ghd_output_ok(a: &BitSet, b: &BitSet, output_yes: bool) -> bool {
+    match ghd_answer(a, b) {
+        GhdAnswer::Yes => output_yes,
+        GhdAnswer::No => !output_yes,
+        GhdAnswer::Star => true,
+    }
+}
+
+/// Whether `estimate` is a valid `α`-approximation of `opt` (for value
+/// estimation: `opt ≤ estimate ≤ α·opt`).
+pub fn alpha_estimate_ok(opt: usize, estimate: usize, alpha: f64) -> bool {
+    estimate >= opt && (estimate as f64) <= alpha * opt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disj_ground_truth() {
+        let a = BitSet::from_iter(6, [0, 1]);
+        let b = BitSet::from_iter(6, [2, 3]);
+        assert!(disj_answer(&a, &b));
+        assert!(!disj_answer(&a, &BitSet::from_iter(6, [1, 4])));
+    }
+
+    #[test]
+    fn ghd_output_acceptance() {
+        // t = 100: Δ=100 is Yes; Δ=0 is No; Δ=50 is ⋆ (both accepted).
+        let t = 100;
+        let empty = BitSet::new(t);
+        let full = BitSet::full(t);
+        assert!(ghd_output_ok(&empty, &full, true));
+        assert!(!ghd_output_ok(&empty, &full, false));
+        assert!(ghd_output_ok(&empty, &empty, false));
+        assert!(!ghd_output_ok(&empty, &empty, true));
+        let half = BitSet::from_iter(t, 0..50);
+        assert!(ghd_output_ok(&empty, &half, true));
+        assert!(ghd_output_ok(&empty, &half, false));
+    }
+
+    #[test]
+    fn alpha_estimate_window() {
+        assert!(alpha_estimate_ok(2, 2, 3.0));
+        assert!(alpha_estimate_ok(2, 6, 3.0));
+        assert!(!alpha_estimate_ok(2, 7, 3.0));
+        assert!(!alpha_estimate_ok(2, 1, 3.0), "estimates below opt are invalid");
+    }
+}

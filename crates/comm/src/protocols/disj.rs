@@ -1,0 +1,132 @@
+//! Concrete `Disj_t` protocols.
+//!
+//! * [`TrivialDisj`] — Alice ships `A` verbatim (`t` bits); zero error. The
+//!   upper bound against which Proposition 2.5's `Ω(t)` is tight.
+//! * [`SampledDisj`] — the players probe `s` shared random coordinates
+//!   (`O(s·log t)` bits); errs on intersecting pairs whose intersection the
+//!   probes miss. The canonical *cheap but erring* protocol: on `D^N_Disj`
+//!   (intersection size 1) it errs w.p. `≈ 1 − s/t`, illustrating why `o(t)`
+//!   communication forces constant error on this distribution.
+
+use crate::problems::DisjProtocol;
+use crate::transcript::{encode_bitset, Player, Transcript};
+use rand::rngs::StdRng;
+use rand::Rng;
+use streamcover_core::BitSet;
+
+/// Alice sends her whole set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrivialDisj;
+
+impl DisjProtocol for TrivialDisj {
+    fn name(&self) -> &'static str {
+        "disj-trivial"
+    }
+
+    fn run(&self, a: &BitSet, b: &BitSet, _rng: &mut StdRng) -> (bool, Transcript) {
+        let mut tr = Transcript::new();
+        let (payload, bits) = encode_bitset(a);
+        tr.send(Player::Alice, payload, Some(bits));
+        let yes = a.is_disjoint(b);
+        tr.send(Player::Bob, vec![u8::from(yes)], Some(1));
+        (yes, tr)
+    }
+}
+
+/// Probe `s` public-coin random coordinates; answer No iff some probed
+/// coordinate is in both sets.
+#[derive(Clone, Copy, Debug)]
+pub struct SampledDisj {
+    /// Number of probed coordinates.
+    pub samples: usize,
+}
+
+impl DisjProtocol for SampledDisj {
+    fn name(&self) -> &'static str {
+        "disj-sampled"
+    }
+
+    fn run(&self, a: &BitSet, b: &BitSet, rng: &mut StdRng) -> (bool, Transcript) {
+        assert!(self.samples >= 1, "need at least one probe");
+        let t = a.capacity();
+        let mut tr = Transcript::new();
+        // Public randomness picks the probe coordinates (free — public
+        // coins); Alice sends her membership bit at each probe.
+        let mut hit = false;
+        let mut probe_bits = BitSet::new(self.samples);
+        for i in 0..self.samples {
+            let e = rng.gen_range(0..t);
+            if a.contains(e) {
+                probe_bits.insert(i);
+                if b.contains(e) {
+                    hit = true;
+                }
+            }
+        }
+        let (payload, _) = encode_bitset(&probe_bits);
+        tr.send(Player::Alice, payload, Some(self.samples as u64));
+        let yes = !hit;
+        tr.send(Player::Bob, vec![u8::from(yes)], Some(1));
+        (yes, tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::disj_answer;
+    use rand::SeedableRng;
+    use streamcover_dist::disj::{sample_no, sample_yes};
+
+    #[test]
+    fn trivial_is_always_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = if rng.gen_bool(0.5) { sample_yes(&mut rng, 24) } else { sample_no(&mut rng, 24) };
+            let (ans, tr) = TrivialDisj.run(&i.a, &i.b, &mut rng);
+            assert_eq!(ans, disj_answer(&i.a, &i.b));
+            assert_eq!(tr.total_bits(), 24 + 1, "t + 1 bits");
+        }
+    }
+
+    #[test]
+    fn sampled_never_errs_on_yes_instances() {
+        // No probe can find an intersection that doesn't exist.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let i = sample_yes(&mut rng, 32);
+            let (ans, _) = SampledDisj { samples: 4 }.run(&i.a, &i.b, &mut rng);
+            assert!(ans, "false No on a disjoint pair");
+        }
+    }
+
+    #[test]
+    fn sampled_errs_often_on_planted_no_instances() {
+        // Intersection size 1: s probes find it w.p. ≈ 1-(1-1/t)^s ≈ s/t.
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = 64;
+        let s = 4;
+        let mut errs = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let i = sample_no(&mut rng, t);
+            let (ans, _) = SampledDisj { samples: s }.run(&i.a, &i.b, &mut rng);
+            if ans {
+                errs += 1; // said Yes on an intersecting pair
+            }
+        }
+        let rate = errs as f64 / trials as f64;
+        let expected = (1.0 - 1.0 / t as f64).powi(s as i32);
+        assert!((rate - expected).abs() < 0.12, "error rate {rate} vs expected {expected}");
+    }
+
+    #[test]
+    fn sampled_communication_is_sublinear() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let i = sample_no(&mut rng, 1024);
+        let (_, tr) = SampledDisj { samples: 16 }.run(&i.a, &i.b, &mut rng);
+        assert!(tr.total_bits() <= 17, "{} bits", tr.total_bits());
+        let (_, tr2) = TrivialDisj.run(&i.a, &i.b, &mut rng);
+        assert_eq!(tr2.total_bits(), 1025);
+    }
+}

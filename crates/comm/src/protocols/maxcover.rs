@@ -1,0 +1,137 @@
+//! Concrete `MaxCover` communication protocols (`k = 2`, the hard case of
+//! §4).
+//!
+//! * [`SendAllMaxCover`] — Alice ships everything; Bob computes the exact
+//!   optimal 2-coverage. `Θ(mn)` bits, zero error: the upper bound Theorem 5
+//!   shows cannot be beaten below `Ω̃(m/ε²)` even with `(1−ε)` slack.
+//! * [`SketchedMaxCover`] — both players subsample `U₂`-style coordinates
+//!   and exchange projected sets: `O(m·s·log n)` bits, `(1±ε)`-estimates
+//!   with `ε ≈ 1/√s` — the matching-regime protocol for the E6/E7 sweeps.
+
+use crate::problems::MaxCoverProtocol;
+use crate::protocols::setcover::merge;
+use crate::transcript::{encode_bitset, Player, Transcript};
+use rand::rngs::StdRng;
+use streamcover_core::{ceil_log2, exact_max_coverage, random_subset, SetSystem};
+
+/// Alice sends all sets; Bob answers exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SendAllMaxCover;
+
+impl MaxCoverProtocol for SendAllMaxCover {
+    fn name(&self) -> &'static str {
+        "mc-send-all"
+    }
+
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, _rng: &mut StdRng) -> (usize, Transcript) {
+        let mut tr = Transcript::new();
+        for (_, s) in alice.iter() {
+            let (payload, bits) = encode_bitset(s);
+            tr.send(Player::Alice, payload, Some(bits));
+        }
+        let all = merge(alice, bob);
+        let (_, est) = exact_max_coverage(&all, 2);
+        tr.send(Player::Bob, est.to_le_bytes().to_vec(), None);
+        (est, tr)
+    }
+}
+
+/// Both players project onto `s` shared random coordinates and Alice ships
+/// the projections; Bob computes the exact 2-coverage on the sample and
+/// rescales.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchedMaxCover {
+    /// Number of sampled coordinates.
+    pub samples: usize,
+}
+
+impl MaxCoverProtocol for SketchedMaxCover {
+    fn name(&self) -> &'static str {
+        "mc-sketched"
+    }
+
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript) {
+        let n = alice.universe();
+        let s = self.samples.min(n).max(1);
+        let mut tr = Transcript::new();
+        // Public coins pick the sample; Alice sends each projected set as s
+        // membership bits.
+        let coords = random_subset(rng, n, s);
+        let dom = coords.clone();
+        let a_proj = alice.project(&dom);
+        let b_proj = bob.project(&dom);
+        for (_, set) in a_proj.iter() {
+            // Re-encode on the compact [s] universe for honest bit counts.
+            let mut compact = streamcover_core::BitSet::new(s);
+            for (idx, e) in coords.iter().enumerate() {
+                if set.contains(e) {
+                    compact.insert(idx);
+                }
+            }
+            let (payload, bits) = encode_bitset(&compact);
+            tr.send(Player::Alice, payload, Some(bits));
+        }
+        let all = merge(&a_proj, &b_proj);
+        let (_, sampled) = exact_max_coverage(&all, 2);
+        let est = (sampled as f64 * n as f64 / s as f64).round() as usize;
+        let logn = u64::from(ceil_log2(n.max(2)));
+        tr.send(Player::Bob, est.to_le_bytes().to_vec(), Some(logn.min(64)));
+        (est.min(n), tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::{sample_dmc_with_theta, McParams};
+
+    fn instance(theta: bool, seed: u64) -> (SetSystem, SetSystem, McParams) {
+        let p = McParams::for_epsilon(5, 0.125);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = sample_dmc_with_theta(&mut rng, p, theta);
+        (inst.alice, inst.bob, p)
+    }
+
+    #[test]
+    fn send_all_is_exact_and_separates_theta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a1, b1, p) = instance(true, 2);
+        let (est1, _) = SendAllMaxCover.run(&a1, &b1, &mut rng);
+        assert!(est1 as f64 > p.tau(), "θ=1 estimate {est1} ≤ τ {}", p.tau());
+        let (a0, b0, _) = instance(false, 3);
+        let (est0, _) = SendAllMaxCover.run(&a0, &b0, &mut rng);
+        assert!((est0 as f64) < p.tau(), "θ=0 estimate {est0} ≥ τ {}", p.tau());
+    }
+
+    #[test]
+    fn send_all_communication_is_mn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b, p) = instance(false, 5);
+        let (_, tr) = SendAllMaxCover.run(&a, &b, &mut rng);
+        assert!(tr.total_bits() >= (5 * p.n()) as u64);
+    }
+
+    #[test]
+    fn sketched_estimates_within_sampling_error() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (a, b, p) = instance(true, 7);
+        let all = merge(&a, &b);
+        let (_, opt) = exact_max_coverage(&all, 2);
+        let proto = SketchedMaxCover { samples: 256 };
+        let (est, tr) = proto.run(&a, &b, &mut rng);
+        let rel = (est as f64 - opt as f64).abs() / opt as f64;
+        assert!(rel < 0.2, "relative error {rel} (est {est}, opt {opt})");
+        // Communication ≈ m·s bits ≪ m·n.
+        assert!(tr.total_bits() < (5 * p.n()) as u64 / 2);
+    }
+
+    #[test]
+    fn sketched_more_samples_cost_more() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (a, b, _) = instance(false, 9);
+        let (_, tr_small) = SketchedMaxCover { samples: 64 }.run(&a, &b, &mut rng);
+        let (_, tr_big) = SketchedMaxCover { samples: 512 }.run(&a, &b, &mut rng);
+        assert!(tr_big.total_bits() > tr_small.total_bits());
+    }
+}

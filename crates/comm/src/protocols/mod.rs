@@ -1,0 +1,11 @@
+//! Concrete protocol implementations.
+
+pub mod disj;
+pub mod maxcover;
+pub mod setcover;
+pub mod sketched;
+
+pub use disj::{SampledDisj, TrivialDisj};
+pub use maxcover::{SendAllMaxCover, SketchedMaxCover};
+pub use setcover::{merge, ErringSetCover, SendAllSetCover, ThresholdSetCover};
+pub use sketched::SketchedSetCover;

@@ -1,0 +1,129 @@
+//! One-way *sketched* SetCover protocols: Alice ships projections of her
+//! sets onto a public random sub-universe `Q ⊆ [n]` (`m·|Q|` bits instead
+//! of `m·n`), Bob solves on the projections.
+//!
+//! This is the natural "cheat" family the lower bound must kill: by
+//! Theorem 3, once `|Q| = o(n^{1/α})` (so the message is `o(m·n^{1/α})`
+//! bits) the protocol must start erring on `D_SC` — and it visibly does
+//! (E3): the planted pair's distinguishing block survives in `Q` only with
+//! probability `≈ 1 − (1−|Q|/n)^{n/t}`.
+
+use crate::problems::SetCoverProtocol;
+use crate::protocols::setcover::merge;
+use crate::transcript::{encode_bitset, Player, Transcript};
+use rand::rngs::StdRng;
+use streamcover_core::{decide_opt_at_most, random_subset, BitSet, Decision, SetSystem};
+
+/// One-way protocol: project onto `q` public random coordinates, decide the
+/// `opt ≤ bound` threshold on the projection.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchedSetCover {
+    /// Number of sampled coordinates `|Q|`.
+    pub q: usize,
+    /// Decision threshold (the reduction's `2α`).
+    pub bound: usize,
+    /// Node budget for Bob's decision procedure.
+    pub node_budget: u64,
+}
+
+impl SetCoverProtocol for SketchedSetCover {
+    fn name(&self) -> &'static str {
+        "sc-sketched"
+    }
+
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript) {
+        let n = alice.universe();
+        let q = self.q.min(n).max(1);
+        let mut tr = Transcript::new();
+        // Public coins choose Q (free); Alice sends each set as |Q|
+        // membership bits over Q's coordinates.
+        let coords: Vec<usize> = random_subset(rng, n, q).to_vec();
+        for (_, s) in alice.iter() {
+            let mut compact = BitSet::new(q);
+            for (idx, &e) in coords.iter().enumerate() {
+                if s.contains(e) {
+                    compact.insert(idx);
+                }
+            }
+            let (payload, bits) = encode_bitset(&compact);
+            tr.send(Player::Alice, payload, Some(bits));
+        }
+        // Bob projects his own sets onto Q and decides whether the
+        // projected universe Q admits a cover of size ≤ bound.
+        let all = merge(alice, bob); // Bob reconstructs Alice's projections from the message
+        let dom = BitSet::from_iter(n, coords.iter().copied());
+        let projected = all.project(&dom);
+        // Decide cover of the projected universe restricted to Q.
+        let mut compact_sets = Vec::with_capacity(projected.len());
+        for (_, s) in projected.iter() {
+            let mut c = BitSet::new(q);
+            for (idx, &e) in coords.iter().enumerate() {
+                if s.contains(e) {
+                    c.insert(idx);
+                }
+            }
+            compact_sets.push(c);
+        }
+        let compact_sys = SetSystem::from_sets(q, compact_sets);
+        let est = match decide_opt_at_most(&compact_sys, self.bound, self.node_budget) {
+            Decision::Yes => 2,               // looks like the planted branch
+            Decision::No | Decision::Unknown => self.bound + 1,
+        };
+        tr.send(Player::Bob, est.to_le_bytes().to_vec(), None);
+        (est, tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::{sample_dsc_with_theta, ScParams};
+
+    const P: ScParams = ScParams { n: 8192, m: 6, t: 32 };
+
+    fn error_rate(q: usize, trials: usize, seed: u64) -> f64 {
+        let proto = SketchedSetCover { q, bound: 4, node_budget: 20_000_000 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut errs = 0;
+        for k in 0..trials {
+            let theta = k % 2 == 0;
+            let inst = sample_dsc_with_theta(&mut rng, P, theta);
+            let (est, _) = proto.run(&inst.alice, &inst.bob, &mut rng);
+            if (est <= 4) != theta {
+                errs += 1;
+            }
+        }
+        errs as f64 / trials as f64
+    }
+
+    #[test]
+    fn full_sketch_is_exact() {
+        // q = n recovers the send-all protocol's power.
+        assert_eq!(error_rate(8192, 6, 1), 0.0);
+    }
+
+    #[test]
+    fn large_sketch_is_accurate_small_sketch_errs() {
+        // Projection keeps t fixed while shrinking the universe, so the
+        // hardness condition becomes q/t² ≫ ln m: q = 6144 gives q/t² = 6
+        // (θ=0 residuals survive), while q = 2048 gives 2 (pair-collections
+        // cover the projection and θ=0 flips) and q = 16 collapses
+        // entirely. This is the lower bound's prediction materializing: a
+        // o(n)-bit one-way message loses the θ signal.
+        let big = error_rate(6144, 8, 2);
+        assert!(big <= 0.25, "q=6144 error {big}");
+        let small = error_rate(16, 8, 3);
+        assert!(small >= 0.4, "q=16 error only {small} — should be ≈ 1/2 (all θ=0 wrong)");
+    }
+
+    #[test]
+    fn communication_is_m_q_bits() {
+        let proto = SketchedSetCover { q: 512, bound: 4, node_budget: 1_000_000 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = sample_dsc_with_theta(&mut rng, P, true);
+        let (_, tr) = proto.run(&inst.alice, &inst.bob, &mut rng);
+        let expected = (6 * 512) as u64;
+        assert!(tr.total_bits() >= expected && tr.total_bits() <= expected + 128);
+    }
+}

@@ -1,0 +1,134 @@
+//! The protocol `π_GHD` of **Lemma 4.5** — solving `GHD_{t₁}` with one call
+//! to a MaxCover protocol.
+//!
+//! Mirror image of the Lemma 3.4 reduction: public `i*`, public marginals on
+//! one side per coordinate, private conditional completions on the other,
+//! public `(C_i, D_i)` splits of `U₂`; the input pair embeds at `i*`. The
+//! resulting `(S, T)` is distributed as `D_MC` with `θ = 1[Δ(A,B) large]`,
+//! and by Lemma 4.3 a `(1−ε)`-approximate MaxCover protocol's estimate falls
+//! on the corresponding side of `τ`.
+
+use crate::problems::{GhdProtocol, MaxCoverProtocol};
+use crate::transcript::Transcript;
+use rand::rngs::StdRng;
+use rand::Rng;
+use streamcover_core::{BitSet, SetSystem};
+use streamcover_dist::ghd::{sample_a_given_b_no, sample_a_marginal_no, sample_b_given_a_no};
+use streamcover_dist::McParams;
+
+/// The Lemma 4.5 reduction wrapping a MaxCover protocol.
+pub struct GhdFromMaxCover<P> {
+    /// The MaxCover protocol `π_MC` being invoked.
+    pub mc: P,
+    /// Instance shape; `params.t1` must equal the GHD ground set size.
+    pub params: McParams,
+}
+
+impl<P> GhdFromMaxCover<P> {
+    /// Builds the embedded `(S, T)` MaxCover instance for GHD input
+    /// `(A, B)`.
+    pub fn embed(&self, a: &BitSet, b: &BitSet, rng: &mut StdRng) -> (SetSystem, SetSystem) {
+        let p = self.params;
+        let n = p.n();
+        assert_eq!(a.capacity(), p.t1, "GHD input must live on [t₁]");
+        assert_eq!(b.capacity(), p.t1);
+        let i_star = rng.gen_range(0..p.m);
+        let lift = |x: &BitSet| BitSet::from_iter(n, x.iter());
+        let mut s_sets = Vec::with_capacity(p.m);
+        let mut t_sets = Vec::with_capacity(p.m);
+        for j in 0..p.m {
+            let (aj, bj) = if j == i_star {
+                (a.clone(), b.clone())
+            } else if j < i_star {
+                let aj = sample_a_marginal_no(rng, p.ghd);
+                let bj = sample_b_given_a_no(rng, p.ghd, &aj);
+                (aj, bj)
+            } else {
+                let bj = sample_a_marginal_no(rng, p.ghd);
+                let aj = sample_a_given_b_no(rng, p.ghd, &bj);
+                (aj, bj)
+            };
+            // Public split of U₂ into (C_j, D_j).
+            let mut c = BitSet::new(n);
+            let mut d = BitSet::new(n);
+            for e in p.t1..n {
+                if rng.gen_bool(0.5) {
+                    c.insert(e);
+                } else {
+                    d.insert(e);
+                }
+            }
+            s_sets.push(lift(&aj).union(&c));
+            t_sets.push(lift(&bj).union(&d));
+        }
+        (SetSystem::from_sets(n, s_sets), SetSystem::from_sets(n, t_sets))
+    }
+}
+
+impl<P: MaxCoverProtocol> GhdProtocol for GhdFromMaxCover<P> {
+    fn name(&self) -> &'static str {
+        "ghd-from-maxcover"
+    }
+
+    fn run(&self, a: &BitSet, b: &BitSet, rng: &mut StdRng) -> (bool, Transcript) {
+        let (s, t) = self.embed(a, b, rng);
+        let (est, tr) = self.mc.run(&s, &t, rng);
+        // Yes (large distance) ⇔ planted pair covers ≥ (1+Θ(ε))τ.
+        (est as f64 > self.params.tau(), tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::maxcover::SendAllMaxCover;
+    use rand::SeedableRng;
+    use streamcover_dist::ghd::{sample_no, sample_yes};
+
+    fn reduction() -> GhdFromMaxCover<SendAllMaxCover> {
+        GhdFromMaxCover {
+            mc: SendAllMaxCover,
+            params: McParams::for_epsilon(5, 0.125), // t₁ = 64
+        }
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let red = reduction();
+        let i = sample_no(&mut rng, red.params.ghd);
+        let (s, t) = red.embed(&i.a, &i.b, &mut rng);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.universe(), red.params.n());
+        // Matched pairs always contain all of U₂.
+        for j in 0..5 {
+            let u = s.set(j).union(t.set(j));
+            assert!(u.len() >= red.params.t2);
+        }
+    }
+
+    #[test]
+    fn reduction_classifies_promise_instances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let red = reduction();
+        for trial in 0..8 {
+            let yes = sample_yes(&mut rng, red.params.ghd);
+            let (ans, _) = red.run(&yes.a, &yes.b, &mut rng);
+            assert!(ans, "trial {trial}: Yes misclassified");
+            let no = sample_no(&mut rng, red.params.ghd);
+            let (ans, _) = red.run(&no.a, &no.b, &mut rng);
+            assert!(!ans, "trial {trial}: No misclassified");
+        }
+    }
+
+    #[test]
+    fn communication_equals_inner() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let red = reduction();
+        let i = sample_no(&mut rng, red.params.ghd);
+        let (_, tr) = red.run(&i.a, &i.b, &mut rng);
+        let expected_min = (5 * red.params.n()) as u64;
+        assert!(tr.total_bits() >= expected_min);
+        assert!(tr.total_bits() <= expected_min + 128);
+    }
+}

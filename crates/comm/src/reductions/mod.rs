@@ -1,0 +1,10 @@
+//! Executable reductions: the constructive content of Lemmas 3.4, 3.7, 4.5
+//! and the Theorem 1 streaming→communication adapter.
+
+pub mod disj_from_setcover;
+pub mod ghd_from_maxcover;
+pub mod stream_to_comm;
+
+pub use disj_from_setcover::DisjFromSetCover;
+pub use ghd_from_maxcover::GhdFromMaxCover;
+pub use stream_to_comm::{adapter_bound, StreamingAsProtocol};

@@ -1,0 +1,98 @@
+//! The streaming→communication adapter from the proof of **Theorem 1**: a
+//! `p`-pass, `s`-bit streaming algorithm yields an `O(p·s)`-bit two-party
+//! protocol. The players treat their combined sets as one stream; each time
+//! the stream boundary crosses between them, the current memory image
+//! (≤ `s` bits) is forwarded. Per pass that is two abstract messages of `s`
+//! bits each — so `‖π‖ ≤ 2·p·s + O(log n)`.
+//!
+//! Combined with Lemma 3.7's random partitioning (the players' sets *are* a
+//! random split and a random permutation of each player's part makes the
+//! whole stream a uniform permutation), any α-approximating streaming
+//! algorithm on random-arrival streams must satisfy
+//! `p·s = Ω̃(m·n^{1/α})` — which is what E3 measures against the
+//! implemented algorithms.
+
+use crate::problems::SetCoverProtocol;
+use crate::protocols::setcover::merge;
+use crate::transcript::{Player, Transcript};
+use rand::rngs::StdRng;
+use rand::Rng;
+use streamcover_core::SetSystem;
+use streamcover_stream::{Arrival, SetCoverStreamer};
+
+/// Wraps a streaming set cover algorithm as a two-party protocol.
+pub struct StreamingAsProtocol<S> {
+    /// The streaming algorithm being simulated.
+    pub algo: S,
+}
+
+impl<S: SetCoverStreamer> SetCoverProtocol for StreamingAsProtocol<S> {
+    fn name(&self) -> &'static str {
+        "sc-streaming-adapter"
+    }
+
+    fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript) {
+        let all = merge(alice, bob);
+        // The players' random permutations compose into a uniform arrival
+        // order over the combined stream (Theorem 1's construction).
+        let arrival = Arrival::Random { seed: rng.gen() };
+        let run = self.algo.run(&all, arrival, rng);
+        let mut tr = Transcript::new();
+        // Per pass: Alice→Bob and Bob→Alice memory forwarding of ≤ s bits.
+        let s = run.peak_bits;
+        for _ in 0..run.passes {
+            tr.send_abstract(Player::Alice, s);
+            tr.send_abstract(Player::Bob, s);
+        }
+        let est = if run.feasible { run.solution.len() } else { all.len() + 1 };
+        tr.send(Player::Bob, est.to_le_bytes().to_vec(), None);
+        (est, tr)
+    }
+}
+
+/// The `O(p·s)` bound the adapter's transcript must satisfy (for tests and
+/// the E3 table).
+pub fn adapter_bound(passes: usize, peak_bits: u64) -> u64 {
+    2 * passes as u64 * peak_bits + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::planted_cover;
+    use streamcover_stream::{HarPeledAssadi, ThresholdGreedy};
+
+    #[test]
+    fn adapter_cost_is_two_ps_plus_answer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = planted_cover(&mut rng, 256, 24, 4);
+        // Split the instance arbitrarily in half between the players.
+        let half = 12;
+        let a = SetSystem::from_sets(256, w.system.sets()[..half].to_vec());
+        let b = SetSystem::from_sets(256, w.system.sets()[half..].to_vec());
+        let proto = StreamingAsProtocol { algo: ThresholdGreedy };
+        let (est, tr) = proto.run(&a, &b, &mut rng);
+        assert!(est >= 4, "estimate must be a cover size ≥ opt");
+        assert!(tr.total_bits() <= adapter_bound(10, tr.total_bits() / 2));
+        // Structure: 2 abstract messages per pass + 1 concrete answer.
+        let abstracts = tr.messages().iter().filter(|m| matches!(m, crate::transcript::Message::Abstract { .. })).count();
+        assert!(abstracts % 2 == 0 && abstracts >= 2);
+    }
+
+    #[test]
+    fn algorithm_one_backed_protocol_is_cheap_and_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = planted_cover(&mut rng, 512, 32, 4);
+        let a = SetSystem::from_sets(512, w.system.sets()[..16].to_vec());
+        let b = SetSystem::from_sets(512, w.system.sets()[16..].to_vec());
+        let proto = StreamingAsProtocol { algo: HarPeledAssadi::paper(3, 0.5) };
+        let (est, tr) = proto.run(&a, &b, &mut rng);
+        assert!(est <= 32, "feasible estimate expected");
+        // Communication far below the trivial m·n = 16384 only when the
+        // algorithm's space is sublinear; Algorithm 1's is ~m·n^{1/3}·polylog,
+        // which at this tiny scale needn't beat mn — just check consistency.
+        let passes = tr.messages().iter().filter(|m| matches!(m, crate::transcript::Message::Abstract { .. })).count() / 2;
+        assert!(passes <= 7, "2α+1 = 7 passes max, got {passes}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Protocol transcripts with bit-exact communication accounting.
+//!
+//! A transcript is the ordered sequence of messages exchanged by Alice and
+//! Bob (Definition 1 measures its worst-case bit-length). Messages either
+//! carry a concrete payload (needed by the information-cost estimators,
+//! which hash transcripts) or are *abstract* — a declared bit count without
+//! materialized content, used by the streaming→communication adapter where
+//! the "message" is the algorithm's memory image.
+
+use std::hash::{Hash, Hasher};
+
+/// Which player sent a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Player {
+    /// The first player (holds `S` / `A`).
+    Alice,
+    /// The second player (holds `T` / `B`).
+    Bob,
+}
+
+impl Player {
+    /// The other player.
+    pub fn other(self) -> Player {
+        match self {
+            Player::Alice => Player::Bob,
+            Player::Bob => Player::Alice,
+        }
+    }
+}
+
+/// One message in a transcript.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// A materialized payload; costs `bits` (which may exceed `8·payload.len()`
+    /// is never allowed — enforced at push time).
+    Concrete {
+        /// Sender.
+        from: Player,
+        /// Payload bytes (canonical encoding chosen by the protocol).
+        payload: Vec<u8>,
+        /// Declared bit length (≤ 8·payload bytes).
+        bits: u64,
+    },
+    /// An abstract cost-only message (e.g. a streaming algorithm's memory
+    /// snapshot of `s` bits).
+    Abstract {
+        /// Sender.
+        from: Player,
+        /// Declared bit length.
+        bits: u64,
+    },
+}
+
+impl Message {
+    /// Bit cost of this message.
+    pub fn bits(&self) -> u64 {
+        match self {
+            Message::Concrete { bits, .. } | Message::Abstract { bits, .. } => *bits,
+        }
+    }
+
+    /// Sender of this message.
+    pub fn from(&self) -> Player {
+        match self {
+            Message::Concrete { from, .. } | Message::Abstract { from, .. } => *from,
+        }
+    }
+}
+
+/// An ordered message sequence with running cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    messages: Vec<Message>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a concrete message; `bits` defaults to `8·payload.len()` when
+    /// `None`.
+    ///
+    /// # Panics
+    /// Panics if a declared bit count exceeds the payload's capacity —
+    /// under-declaring communication is how cost accounting lies.
+    pub fn send(&mut self, from: Player, payload: Vec<u8>, bits: Option<u64>) {
+        let cap = payload.len() as u64 * 8;
+        let bits = bits.unwrap_or(cap);
+        assert!(bits <= cap, "declared {bits} bits exceed payload capacity {cap}");
+        self.messages.push(Message::Concrete { from, payload, bits });
+    }
+
+    /// Appends an abstract (cost-only) message.
+    pub fn send_abstract(&mut self, from: Player, bits: u64) {
+        self.messages.push(Message::Abstract { from, bits });
+    }
+
+    /// Total communication in bits (`‖π‖` for this run).
+    pub fn total_bits(&self) -> u64 {
+        self.messages.iter().map(Message::bits).sum()
+    }
+
+    /// Number of messages (≈ rounds; consecutive same-sender messages are
+    /// not merged).
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no message was sent.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The messages in order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Number of sender alternations + 1 — the round count in the usual
+    /// blackboard sense (0 for an empty transcript).
+    pub fn rounds(&self) -> usize {
+        if self.messages.is_empty() {
+            return 0;
+        }
+        1 + self
+            .messages
+            .windows(2)
+            .filter(|w| w[0].from() != w[1].from())
+            .count()
+    }
+
+    /// A stable 64-bit fingerprint of the transcript content, used as the
+    /// discrete "Π" value by the plug-in information-cost estimators.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.messages.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Encodes a bitset as `⌈t/8⌉` payload bytes (the canonical dense encoding
+/// used by the concrete protocols), with its exact bit cost `t`.
+pub fn encode_bitset(s: &streamcover_core::BitSet) -> (Vec<u8>, u64) {
+    let t = s.capacity();
+    let mut bytes = vec![0u8; t.div_ceil(8)];
+    for e in s.iter() {
+        bytes[e / 8] |= 1 << (e % 8);
+    }
+    (bytes, t as u64)
+}
+
+/// Decodes [`encode_bitset`]'s payload back into a bitset over `[t]`.
+pub fn decode_bitset(bytes: &[u8], t: usize) -> streamcover_core::BitSet {
+    let mut s = streamcover_core::BitSet::new(t);
+    for e in 0..t {
+        if bytes.get(e / 8).is_some_and(|b| b >> (e % 8) & 1 == 1) {
+            s.insert(e);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamcover_core::BitSet;
+
+    #[test]
+    fn cost_accumulates() {
+        let mut tr = Transcript::new();
+        tr.send(Player::Alice, vec![0xff, 0x01], None);
+        tr.send_abstract(Player::Bob, 1000);
+        tr.send(Player::Alice, vec![0b101], Some(3));
+        assert_eq!(tr.total_bits(), 16 + 1000 + 3);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.rounds(), 3);
+    }
+
+    #[test]
+    fn rounds_merge_same_sender_runs() {
+        let mut tr = Transcript::new();
+        tr.send_abstract(Player::Alice, 1);
+        tr.send_abstract(Player::Alice, 1);
+        tr.send_abstract(Player::Bob, 1);
+        assert_eq!(tr.rounds(), 2);
+        assert_eq!(Transcript::new().rounds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed payload capacity")]
+    fn overdeclared_bits_panic() {
+        let mut tr = Transcript::new();
+        tr.send(Player::Alice, vec![0u8], Some(9));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_contents() {
+        let mut t1 = Transcript::new();
+        t1.send(Player::Alice, vec![1, 2, 3], None);
+        let mut t2 = Transcript::new();
+        t2.send(Player::Alice, vec![1, 2, 4], None);
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+        assert_eq!(t1.fingerprint(), t1.clone().fingerprint());
+    }
+
+    #[test]
+    fn bitset_roundtrip() {
+        let s = BitSet::from_iter(19, [0, 7, 8, 15, 18]);
+        let (bytes, bits) = encode_bitset(&s);
+        assert_eq!(bits, 19);
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(decode_bitset(&bytes, 19), s);
+        // Empty set
+        let e = BitSet::new(5);
+        let (b2, _) = encode_bitset(&e);
+        assert_eq!(decode_bitset(&b2, 5), e);
+    }
+
+    #[test]
+    fn player_other() {
+        assert_eq!(Player::Alice.other(), Player::Bob);
+        assert_eq!(Player::Bob.other(), Player::Alice);
+    }
+}

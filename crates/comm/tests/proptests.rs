@@ -1,0 +1,98 @@
+//! Property tests for the communication substrate.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover_comm::{
+    decode_bitset, disj_answer, encode_bitset, DisjProtocol, Player, SampledDisj, Transcript,
+    TrivialDisj,
+};
+use streamcover_core::BitSet;
+
+fn arb_bitset(t: usize) -> impl Strategy<Value = BitSet> {
+    proptest::collection::vec(proptest::bool::ANY, t)
+        .prop_map(move |bits| BitSet::from_iter(t, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_encoding_roundtrips(t in 1usize..100, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let size = (seed as usize) % (t + 1);
+        let s = streamcover_core::random_subset(&mut rng, t, size);
+        let (bytes, bits) = encode_bitset(&s);
+        prop_assert_eq!(bits, t as u64);
+        prop_assert_eq!(decode_bitset(&bytes, t), s);
+    }
+
+    #[test]
+    fn trivial_disj_is_always_correct_and_costs_t_plus_1(
+        ab in (4usize..40).prop_flat_map(|t| (arb_bitset(t), arb_bitset(t)))
+    ) {
+        let (a, b) = ab;
+        let mut rng = StdRng::seed_from_u64(0);
+        let (ans, tr) = TrivialDisj.run(&a, &b, &mut rng);
+        prop_assert_eq!(ans, disj_answer(&a, &b));
+        prop_assert_eq!(tr.total_bits(), a.capacity() as u64 + 1);
+        prop_assert_eq!(tr.rounds(), 2);
+    }
+
+    #[test]
+    fn sampled_disj_has_one_sided_error(
+        ab in (4usize..40).prop_flat_map(|t| (arb_bitset(t), arb_bitset(t))),
+        samples in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let (a, b) = ab;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ans, tr) = SampledDisj { samples }.run(&a, &b, &mut rng);
+        // Never a false "No": a reported intersection was actually probed.
+        if !ans {
+            prop_assert!(!disj_answer(&a, &b), "false No");
+        }
+        prop_assert_eq!(tr.total_bits(), samples as u64 + 1);
+    }
+
+    #[test]
+    fn transcript_cost_is_message_sum(
+        lens in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        let mut tr = Transcript::new();
+        let mut expect = 0u64;
+        for (i, &l) in lens.iter().enumerate() {
+            let from = if i % 2 == 0 { Player::Alice } else { Player::Bob };
+            if l % 3 == 0 {
+                tr.send_abstract(from, l as u64 * 7);
+                expect += l as u64 * 7;
+            } else {
+                tr.send(from, vec![0u8; l], None);
+                expect += l as u64 * 8;
+            }
+        }
+        prop_assert_eq!(tr.total_bits(), expect);
+        prop_assert_eq!(tr.len(), lens.len());
+        prop_assert!(tr.rounds() <= tr.len());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive(
+        payload in proptest::collection::vec(proptest::num::u8::ANY, 1..20),
+    ) {
+        let mut t1 = Transcript::new();
+        t1.send(Player::Alice, payload.clone(), None);
+        let mut t2 = Transcript::new();
+        t2.send(Player::Alice, payload.clone(), None);
+        prop_assert_eq!(t1.fingerprint(), t2.fingerprint());
+        // Flip one byte → different fingerprint.
+        let mut changed = payload.clone();
+        changed[0] ^= 0xFF;
+        let mut t3 = Transcript::new();
+        t3.send(Player::Alice, changed, None);
+        prop_assert_ne!(t1.fingerprint(), t3.fingerprint());
+        // Same payload from the other player also differs.
+        let mut t4 = Transcript::new();
+        t4.send(Player::Bob, payload, None);
+        prop_assert_ne!(t1.fingerprint(), t4.fingerprint());
+    }
+}

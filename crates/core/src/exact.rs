@@ -1,0 +1,467 @@
+//! Exact solvers, used to evaluate `opt(S, T)` on the paper's hard
+//! distributions (Lemma 3.2, Lemma 4.3) and as ground truth in tests.
+//!
+//! * [`exact_set_cover`] — branch-and-bound over the least-covered-element
+//!   rule with greedy upper bounds and a density lower bound.
+//! * [`decide_opt_at_most`] — the decision variant `opt ≤ B` (cheaper: the
+//!   bound prunes the search immediately), which is exactly what Lemma 3.2's
+//!   experiment needs (`opt ≤ 2α`?).
+//! * [`exact_max_coverage`] — exact max-k-cover by pruned enumeration, for
+//!   the small `k` (the paper's hard instances use `k = 2`).
+//!
+//! These run in exponential time in the worst case; all experiment configs
+//! keep the exact calls at sizes where they terminate in milliseconds.
+
+use crate::bitset::BitSet;
+use crate::greedy::greedy_cover_until;
+use crate::system::{SetId, SetSystem};
+
+/// Outcome of an exact set cover computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactCover {
+    /// A minimum cover was found.
+    Optimal {
+        /// Ids of one minimum cover.
+        ids: Vec<SetId>,
+    },
+    /// The union of all sets does not cover the universe.
+    Infeasible,
+}
+
+impl ExactCover {
+    /// Minimum cover size, or `None` if infeasible.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            ExactCover::Optimal { ids } => Some(ids.len()),
+            ExactCover::Infeasible => None,
+        }
+    }
+}
+
+struct Searcher<'a> {
+    sys: &'a SetSystem,
+    /// Best (smallest) feasible solution found so far.
+    best: Vec<SetId>,
+    /// Upper bound on useful solution size: we prune branches ≥ this.
+    best_len: usize,
+    /// Hard cap: never search deeper than this many picks (decision mode).
+    cap: usize,
+    /// Sets sorted by decreasing size — used to lower-bound remaining picks.
+    sizes_desc: Vec<usize>,
+    /// `sets_containing[e]` = ids of the sets containing element `e`
+    /// (static: picking sets never changes which sets exist).
+    sets_containing: Vec<Vec<SetId>>,
+    nodes: u64,
+    node_budget: u64,
+    budget_hit: bool,
+}
+
+impl<'a> Searcher<'a> {
+    fn lower_bound(&self, uncovered: usize) -> usize {
+        // At best each further pick covers max set size elements.
+        let max_sz = *self.sizes_desc.first().unwrap_or(&0);
+        if max_sz == 0 {
+            return usize::MAX;
+        }
+        uncovered.div_ceil(max_sz)
+    }
+
+    fn search(&mut self, uncovered: &BitSet, chosen: &mut Vec<SetId>) {
+        self.nodes += 1;
+        if self.nodes > self.node_budget {
+            self.budget_hit = true;
+            return;
+        }
+        if uncovered.is_empty() {
+            if chosen.len() < self.best_len {
+                self.best_len = chosen.len();
+                self.best = chosen.clone();
+            }
+            return;
+        }
+        let depth_limit = self.best_len.min(self.cap.saturating_add(1)).saturating_sub(1);
+        if chosen.len() >= depth_limit {
+            return;
+        }
+        if chosen.len().saturating_add(self.lower_bound(uncovered.len())) > depth_limit {
+            return;
+        }
+        // Branch on an uncovered element contained in few sets: every cover
+        // must include one of those sets, keeping the branching factor at
+        // the element's (static) frequency. Scanning all uncovered elements
+        // is O(n) per node; the first few hundred give an almost-minimal
+        // pivot at a fraction of the cost on large universes.
+        const PIVOT_SCAN: usize = 256;
+        let mut pivot: Option<(usize, usize)> = None; // (element, frequency)
+        for e in uncovered.iter().take(PIVOT_SCAN) {
+            let freq = self.sets_containing[e].len();
+            if freq == 0 {
+                return; // element uncoverable ⇒ dead end
+            }
+            match pivot {
+                Some((_, f)) if f <= freq => {}
+                _ => pivot = Some((e, freq)),
+            }
+            if freq == 1 {
+                break; // cannot do better than a forced pick
+            }
+        }
+        let (elem, _) = pivot.expect("uncovered nonempty");
+        // Candidate sets containing the pivot, largest marginal gain first
+        // (finds good solutions early ⇒ tighter pruning).
+        let mut cands: Vec<(SetId, usize)> = self.sets_containing[elem]
+            .iter()
+            .map(|&i| (i, self.sys.set(i).intersection_len(uncovered)))
+            .collect();
+        cands.sort_by_key(|&(_, gain)| std::cmp::Reverse(gain));
+        for (i, _) in cands {
+            let mut next = uncovered.clone();
+            next.difference_with(self.sys.set(i));
+            chosen.push(i);
+            self.search(&next, chosen);
+            chosen.pop();
+            if self.budget_hit {
+                return;
+            }
+        }
+    }
+}
+
+fn run_search(
+    sys: &SetSystem,
+    target: &BitSet,
+    cap: usize,
+    node_budget: u64,
+) -> (Option<Vec<SetId>>, bool) {
+    if target.is_empty() {
+        return (Some(Vec::new()), false);
+    }
+    let all: Vec<SetId> = (0..sys.len()).collect();
+    if !target.is_subset_of(&sys.coverage(&all)) {
+        return (None, false);
+    }
+    // Seed the incumbent with greedy (feasible by coverability).
+    let greedy = greedy_cover_until(sys, usize::MAX, target);
+    let mut sizes_desc: Vec<usize> = sys.sets().iter().map(|s| s.len()).collect();
+    sizes_desc.sort_unstable_by(|a, b| b.cmp(a));
+    let mut sets_containing: Vec<Vec<SetId>> = vec![Vec::new(); sys.universe()];
+    for (i, s) in sys.iter() {
+        for e in s.iter() {
+            sets_containing[e].push(i);
+        }
+    }
+    let mut s = Searcher {
+        sys,
+        best_len: greedy.ids.len(),
+        best: greedy.ids,
+        cap,
+        sizes_desc,
+        sets_containing,
+        nodes: 0,
+        node_budget,
+        budget_hit: false,
+    };
+    s.search(target, &mut Vec::new());
+    (Some(s.best), s.budget_hit)
+}
+
+/// Computes a minimum set cover exactly by branch and bound.
+///
+/// Worst-case exponential; intended for the small instances used to ground
+/// the hard-distribution experiments and tests.
+pub fn exact_set_cover(sys: &SetSystem) -> ExactCover {
+    exact_cover_of(sys, &BitSet::full(sys.universe()))
+}
+
+/// Computes a minimum collection of sets covering `target ⊆ [n]` exactly —
+/// the oracle Algorithm 1 invokes on the sampled sub-universe `U_smpl`
+/// (step 3c; computation time is unrestricted in the streaming model).
+pub fn exact_cover_of(sys: &SetSystem, target: &BitSet) -> ExactCover {
+    match run_search(sys, target, usize::MAX, u64::MAX).0 {
+        Some(ids) => ExactCover::Optimal { ids },
+        None => ExactCover::Infeasible,
+    }
+}
+
+/// Budgeted variant of [`exact_cover_of`]: returns the best cover of
+/// `target` found within `node_budget` search nodes plus whether the search
+/// completed (`true` ⇒ the result is exactly optimal).
+pub fn budgeted_cover_of(
+    sys: &SetSystem,
+    target: &BitSet,
+    node_budget: u64,
+) -> (Option<Vec<SetId>>, bool) {
+    let (best, budget_hit) = run_search(sys, target, usize::MAX, node_budget);
+    (best, !budget_hit)
+}
+
+/// Answer of the bounded decision procedure [`decide_opt_at_most`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// A cover of size ≤ B exists (witnessed).
+    Yes,
+    /// Search exhausted: no cover of size ≤ B exists.
+    No,
+    /// Node budget exhausted before the search completed.
+    Unknown,
+}
+
+/// Decides whether `opt(sys) ≤ bound`, with a node budget to keep hard
+/// instances (which is the point: Lemma 3.2's instances are hard) bounded.
+///
+/// `Decision::No` is exact (full search completed); `Unknown` means the
+/// budget ran out with no witness found.
+pub fn decide_opt_at_most(sys: &SetSystem, bound: usize, node_budget: u64) -> Decision {
+    // Fast path: greedy against the bound.
+    let g = greedy_cover_until(sys, bound, &BitSet::full(sys.universe()));
+    if g.is_feasible() {
+        return Decision::Yes;
+    }
+    let (best, budget_hit) = run_search(sys, &BitSet::full(sys.universe()), bound, node_budget);
+    match best {
+        Some(ids) if ids.len() <= bound && sys.is_cover(&ids) => Decision::Yes,
+        _ if budget_hit => Decision::Unknown,
+        _ => Decision::No,
+    }
+}
+
+/// Exact maximum `k`-coverage by depth-first enumeration with a
+/// sorted-marginals pruning bound. Returns the best ids and their coverage.
+///
+/// Complexity is `O(m choose k)` in the worst case — the paper's hard
+/// maximum coverage instances use `k = 2`, where this is trivially fast.
+pub fn exact_max_coverage(sys: &SetSystem, k: usize) -> (Vec<SetId>, usize) {
+    let m = sys.len();
+    if k == 0 || m == 0 {
+        return (Vec::new(), 0);
+    }
+    // Order sets by decreasing size; the prefix sums of sizes upper-bound any
+    // extension's additional coverage.
+    let mut order: Vec<SetId> = (0..m).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(sys.set(i).len()));
+    let sizes: Vec<usize> = order.iter().map(|&i| sys.set(i).len()).collect();
+    // suffix_best[j][r] = max additional coverage achievable picking r sets
+    // from order[j..] — bounded by sum of the r largest sizes there.
+    let mut best_ids: Vec<SetId> = Vec::new();
+    let mut best_cov = 0usize;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        sys: &SetSystem,
+        order: &[SetId],
+        sizes: &[usize],
+        j: usize,
+        remaining: usize,
+        covered: &BitSet,
+        chosen: &mut Vec<SetId>,
+        best_ids: &mut Vec<SetId>,
+        best_cov: &mut usize,
+    ) {
+        let cov = covered.len();
+        if cov > *best_cov {
+            *best_cov = cov;
+            *best_ids = chosen.clone();
+        }
+        if remaining == 0 || j >= order.len() {
+            return;
+        }
+        // Optimistic bound: current coverage + sizes of next `remaining`.
+        let bound: usize = cov + sizes[j..].iter().take(remaining).sum::<usize>();
+        if bound <= *best_cov {
+            return;
+        }
+        // Branch: include order[j] or skip it.
+        let mut with = covered.clone();
+        with.union_with(sys.set(order[j]));
+        chosen.push(order[j]);
+        dfs(sys, order, sizes, j + 1, remaining - 1, &with, chosen, best_ids, best_cov);
+        chosen.pop();
+        dfs(sys, order, sizes, j + 1, remaining, covered, chosen, best_ids, best_cov);
+    }
+
+    dfs(
+        sys,
+        &order,
+        &sizes,
+        0,
+        k.min(m),
+        &BitSet::new(sys.universe()),
+        &mut Vec::new(),
+        &mut best_ids,
+        &mut best_cov,
+    );
+    (best_ids, best_cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_max_coverage, greedy_set_cover};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn demo() -> SetSystem {
+        SetSystem::from_elements(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]])
+    }
+
+    #[test]
+    fn exact_matches_known_opt() {
+        let r = exact_set_cover(&demo());
+        assert_eq!(r.size(), Some(2));
+        if let ExactCover::Optimal { ids } = r {
+            assert!(demo().is_cover(&ids));
+        }
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_trap() {
+        // Classic instance family where greedy uses Θ(log n) · opt sets.
+        // Universe 0..14; opt = 2 (two rows of 7). Columns of sizes 8,4,2
+        // bait greedy.
+        let sys = SetSystem::from_elements(
+            14,
+            &[
+                (0..7).collect(),
+                (7..14).collect(),
+                vec![0, 1, 2, 3, 7, 8, 9, 10],
+                vec![4, 5, 11, 12],
+                vec![6, 13],
+            ],
+        );
+        let g = greedy_set_cover(&sys);
+        let e = exact_set_cover(&sys);
+        assert_eq!(e.size(), Some(2));
+        assert!(g.size() >= 3, "greedy should take the bait: {:?}", g.ids);
+    }
+
+    #[test]
+    fn exact_infeasible() {
+        let sys = SetSystem::from_elements(3, &[vec![0]]);
+        assert_eq!(exact_set_cover(&sys), ExactCover::Infeasible);
+        assert_eq!(exact_set_cover(&sys).size(), None);
+    }
+
+    #[test]
+    fn exact_trivial_cases() {
+        // Single full set.
+        let sys = SetSystem::from_elements(4, &[vec![0, 1, 2, 3]]);
+        assert_eq!(exact_set_cover(&sys).size(), Some(1));
+        // Zero universe: empty cover is optimal.
+        let sys0 = SetSystem::new(0);
+        assert_eq!(exact_set_cover(&sys0).size(), Some(0));
+    }
+
+    #[test]
+    fn decision_variants() {
+        let sys = demo();
+        assert_eq!(decide_opt_at_most(&sys, 2, 1 << 20), Decision::Yes);
+        assert_eq!(decide_opt_at_most(&sys, 1, 1 << 20), Decision::No);
+        let inf = SetSystem::from_elements(3, &[vec![0]]);
+        assert_eq!(decide_opt_at_most(&inf, 3, 1 << 20), Decision::No);
+    }
+
+    #[test]
+    fn decision_budget_exhaustion_reports_unknown() {
+        // A moderately large random instance with a tiny node budget.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 64;
+        let sets: Vec<Vec<usize>> = (0..40)
+            .map(|_| (0..n).filter(|_| rng.gen_bool(0.08)).collect())
+            .collect();
+        let mut sys = SetSystem::from_elements(n, &sets);
+        sys.push(crate::bitset::BitSet::full(n)); // make it coverable
+        // bound 0 with coverable instance: never Yes, search trivially No.
+        assert_ne!(decide_opt_at_most(&sys, 0, 10), Decision::Yes);
+        // With budget 1 on a nontrivial bound the search may be Unknown or
+        // resolve; it must never claim No incorrectly when a cover exists.
+        let d = decide_opt_at_most(&sys, 1, u64::MAX);
+        assert_eq!(d, Decision::Yes, "full set exists ⇒ opt = 1");
+    }
+
+    #[test]
+    fn cover_of_target_subset() {
+        let sys = demo();
+        // Target {4,5}: one set suffices.
+        let t = crate::bitset::BitSet::from_iter(6, [4, 5]);
+        let r = exact_cover_of(&sys, &t);
+        assert_eq!(r.size(), Some(1));
+        // Empty target: empty cover.
+        let r0 = exact_cover_of(&sys, &crate::bitset::BitSet::new(6));
+        assert_eq!(r0.size(), Some(0));
+        // Target containing an uncoverable element.
+        let sys2 = SetSystem::from_elements(3, &[vec![0]]);
+        let t2 = crate::bitset::BitSet::from_iter(3, [0, 2]);
+        assert_eq!(exact_cover_of(&sys2, &t2), ExactCover::Infeasible);
+    }
+
+    #[test]
+    fn budgeted_cover_reports_completion() {
+        let sys = demo();
+        let full = crate::bitset::BitSet::full(6);
+        let (ids, complete) = budgeted_cover_of(&sys, &full, u64::MAX);
+        assert!(complete);
+        assert_eq!(ids.unwrap().len(), 2);
+        // Tiny budget: may be incomplete but still returns greedy incumbent.
+        let (ids2, _) = budgeted_cover_of(&sys, &full, 1);
+        assert!(sys.is_cover(&ids2.unwrap()));
+    }
+
+    #[test]
+    fn exact_max_coverage_small() {
+        let sys = demo();
+        let (ids, cov) = exact_max_coverage(&sys, 1);
+        assert_eq!(cov, 3);
+        assert_eq!(ids.len(), 1);
+        let (ids2, cov2) = exact_max_coverage(&sys, 2);
+        assert_eq!(cov2, 6);
+        assert!(sys.coverage_len(&ids2) == 6);
+        let (_, cov_all) = exact_max_coverage(&sys, 10);
+        assert_eq!(cov_all, 6);
+        let (ids0, cov0) = exact_max_coverage(&sys, 0);
+        assert!(ids0.is_empty() && cov0 == 0);
+    }
+
+    #[test]
+    fn exact_max_coverage_dominates_greedy_randomized() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let n = 24;
+            let m = 10;
+            let sets: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.25)).collect())
+                .collect();
+            let sys = SetSystem::from_elements(n, &sets);
+            for k in 1..=3 {
+                let (_, ex) = exact_max_coverage(&sys, k);
+                let gr = greedy_max_coverage(&sys, k).coverage();
+                assert!(ex >= gr, "trial {trial} k={k}: exact {ex} < greedy {gr}");
+                // (1 - 1/e) guarantee with slack for integrality.
+                assert!(
+                    gr as f64 >= 0.63 * ex as f64 - 1e-9,
+                    "trial {trial} k={k}: greedy {gr} below guarantee vs {ex}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_cover_randomized_agrees_with_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..25 {
+            let n = 10;
+            let m = 7;
+            let sets: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.4)).collect())
+                .collect();
+            let sys = SetSystem::from_elements(n, &sets);
+            // Brute force over all 2^m subsets.
+            let mut brute: Option<usize> = None;
+            for mask in 0u32..(1 << m) {
+                let ids: Vec<usize> = (0..m).filter(|i| mask >> i & 1 == 1).collect();
+                if sys.is_cover(&ids) {
+                    brute = Some(brute.map_or(ids.len(), |b: usize| b.min(ids.len())));
+                }
+            }
+            assert_eq!(exact_set_cover(&sys).size(), brute, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Fractional relaxation tools: certified lower bounds on `opt` and an
+//! approximate LP solver.
+//!
+//! The exact branch-and-bound is exponential; on instances where it stalls
+//! these provide cheap *certified* lower bounds (any feasible dual solution
+//! bounds the primal from below) used by the experiment harness to bracket
+//! `opt` when decisions come back `Unknown`.
+//!
+//! * [`dual_fitting_bound`] — the classical greedy dual fitting:
+//!   `greedy/H(max|S|) ≤ opt`, with the dual's feasibility *checked*, not
+//!   assumed.
+//! * [`mwu_fractional_cover`] — multiplicative-weights approximation of the
+//!   fractional set cover LP (primal value; `opt_f ≤ opt` so any certified
+//!   lower bound on `opt_f` transfers).
+
+use crate::bitset::BitSet;
+use crate::greedy::harmonic;
+use crate::system::SetSystem;
+
+/// A certified lower bound on the integral optimum: a feasible dual vector
+/// `y` (per element) with `Σ_{e∈S} y_e ≤ 1` for every set `S`; then
+/// `opt ≥ Σ_e y_e`.
+#[derive(Clone, Debug)]
+pub struct DualBound {
+    /// Element weights.
+    pub y: Vec<f64>,
+    /// `Σ y_e` — the certified bound.
+    pub value: f64,
+}
+
+impl DualBound {
+    /// Verifies feasibility against a system (the certificate check).
+    pub fn is_feasible_for(&self, sys: &SetSystem, tol: f64) -> bool {
+        if self.y.len() != sys.universe() || self.y.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        sys.sets().iter().all(|s| {
+            let load: f64 = s.iter().map(|e| self.y[e]).sum();
+            load <= 1.0 + tol
+        })
+    }
+}
+
+/// Greedy dual fitting: run greedy set cover, price each element at
+/// `1/(gain of the pick that covered it)`, and scale by `1/H(max|S|)` to
+/// restore dual feasibility (the textbook analysis). Returns `None` on
+/// uncoverable instances (opt undefined).
+pub fn dual_fitting_bound(sys: &SetSystem) -> Option<DualBound> {
+    if !sys.is_coverable() || sys.universe() == 0 {
+        return (sys.universe() == 0).then(|| DualBound { y: Vec::new(), value: 0.0 });
+    }
+    let n = sys.universe();
+    let mut price = vec![0.0f64; n];
+    let mut uncovered = BitSet::full(n);
+    // Re-run greedy, recording per-element prices.
+    while !uncovered.is_empty() {
+        let (best, gain) = sys
+            .iter()
+            .map(|(i, s)| (i, s.intersection_len(&uncovered)))
+            .max_by_key(|&(_, g)| g)
+            .expect("coverable ⇒ progress");
+        debug_assert!(gain > 0);
+        for e in sys.set(best).intersection(&uncovered).iter() {
+            price[e] = 1.0 / gain as f64;
+        }
+        uncovered.difference_with(sys.set(best));
+    }
+    let h = harmonic(sys.sets().iter().map(|s| s.len()).max().unwrap_or(1).max(1));
+    let y: Vec<f64> = price.iter().map(|p| p / h).collect();
+    let value = y.iter().sum();
+    let bound = DualBound { y, value };
+    debug_assert!(bound.is_feasible_for(sys, 1e-9), "dual fitting must be feasible");
+    Some(bound)
+}
+
+/// Result of the multiplicative-weights fractional solver.
+#[derive(Clone, Debug)]
+pub struct FractionalCover {
+    /// Per-set fractional weights `x_i ≥ 0` (scaled so every element has
+    /// coverage ≥ 1).
+    pub x: Vec<f64>,
+    /// `Σ x_i` — an upper bound on the fractional optimum (and within
+    /// `(1+ε)` of it for enough iterations).
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Approximates the fractional set cover LP by multiplicative weights:
+/// maintain element weights, repeatedly pick the set with maximum weight,
+/// decay covered weights by `1/e` per unit. Returns `None` if uncoverable.
+///
+/// Guarantee: `value` is a *feasible* fractional cover (checked), hence
+/// `opt_f ≤ value`; for `iterations ≳ opt_f·ln n/ε²` it is within `(1+O(ε))`
+/// of `opt_f`.
+pub fn mwu_fractional_cover(sys: &SetSystem, iterations: usize) -> Option<FractionalCover> {
+    if sys.universe() == 0 {
+        return Some(FractionalCover { x: vec![0.0; sys.len()], value: 0.0, iterations: 0 });
+    }
+    if !sys.is_coverable() {
+        return None;
+    }
+    let n = sys.universe();
+    let mut w = vec![1.0f64; n];
+    let mut counts = vec![0u32; sys.len()];
+    for _ in 0..iterations {
+        // Pick the set with maximum total weight.
+        let (best, _) = sys
+            .iter()
+            .map(|(i, s)| (i, s.iter().map(|e| w[e]).sum::<f64>()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights finite"))
+            .expect("nonempty");
+        counts[best] += 1;
+        for e in sys.set(best).iter() {
+            w[e] /= std::f64::consts::E;
+        }
+        // Renormalize to dodge underflow.
+        let maxw = w.iter().cloned().fold(f64::MIN, f64::max);
+        if maxw < 1e-100 {
+            for v in &mut w {
+                *v /= maxw;
+            }
+        }
+    }
+    // Scale counts into a feasible fractional cover: coverage(e) =
+    // Σ_{S∋e} counts_S; divide by the minimum coverage.
+    let mut cover = vec![0.0f64; n];
+    for (i, s) in sys.iter() {
+        if counts[i] > 0 {
+            for e in s.iter() {
+                cover[e] += counts[i] as f64;
+            }
+        }
+    }
+    let min_cov = cover.iter().cloned().fold(f64::MAX, f64::min);
+    if min_cov <= 0.0 {
+        return None; // not enough iterations to touch every element
+    }
+    let x: Vec<f64> = counts.iter().map(|&c| c as f64 / min_cov).collect();
+    let value = x.iter().sum();
+    Some(FractionalCover { x, value, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_set_cover;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn demo() -> SetSystem {
+        SetSystem::from_elements(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]])
+    }
+
+    #[test]
+    fn dual_bound_is_feasible_and_below_opt() {
+        let sys = demo();
+        let b = dual_fitting_bound(&sys).unwrap();
+        assert!(b.is_feasible_for(&sys, 1e-9));
+        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        assert!(b.value <= opt + 1e-9, "bound {} > opt {opt}", b.value);
+        assert!(b.value > 0.5, "bound {} uselessly small", b.value);
+    }
+
+    #[test]
+    fn dual_bound_edge_cases() {
+        assert_eq!(dual_fitting_bound(&SetSystem::new(0)).unwrap().value, 0.0);
+        assert!(dual_fitting_bound(&SetSystem::from_elements(3, &[vec![0]])).is_none());
+    }
+
+    #[test]
+    fn dual_bound_randomized_sandwich() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let n = 40;
+            let sets: Vec<Vec<usize>> = (0..12)
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.25)).collect())
+                .collect();
+            let mut sys = SetSystem::from_elements(n, &sets);
+            if !sys.is_coverable() {
+                sys.push(crate::bitset::BitSet::full(n));
+            }
+            let b = dual_fitting_bound(&sys).unwrap();
+            assert!(b.is_feasible_for(&sys, 1e-9), "trial {trial}");
+            let opt = exact_set_cover(&sys).size().unwrap() as f64;
+            assert!(b.value <= opt + 1e-9, "trial {trial}: {} > {opt}", b.value);
+            // Dual fitting is greedy/H(d): never catastrophically loose.
+            let h = harmonic(n);
+            assert!(b.value * h * 1.5 >= opt, "trial {trial}: {} way below {opt}", b.value);
+        }
+    }
+
+    #[test]
+    fn mwu_produces_feasible_fractional_cover() {
+        let sys = demo();
+        let f = mwu_fractional_cover(&sys, 400).unwrap();
+        // Check feasibility: every element covered with total weight ≥ 1.
+        for e in 0..6 {
+            let cov: f64 = sys
+                .iter()
+                .filter(|(_, s)| s.contains(e))
+                .map(|(i, _)| f.x[i])
+                .sum();
+            assert!(cov >= 1.0 - 1e-9, "element {e} covered {cov}");
+        }
+        // Fractional value ≤ integral opt·(1+slack) and ≥ trivial bound.
+        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        assert!(f.value <= opt * 1.6, "value {} too loose vs opt {opt}", f.value);
+        assert!(f.value >= 1.0);
+    }
+
+    #[test]
+    fn mwu_handles_uncoverable_and_underbudget() {
+        assert!(mwu_fractional_cover(&SetSystem::from_elements(3, &[vec![0]]), 50).is_none());
+        // 0 iterations on a coverable instance: no element touched.
+        assert!(mwu_fractional_cover(&demo(), 0).is_none());
+    }
+
+    #[test]
+    fn bounds_sandwich_on_planted_hard_instance() {
+        // On a D_SC-like dense instance, dual + fractional bracket opt.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 128;
+        let sets: Vec<Vec<usize>> = (0..10)
+            .map(|_| (0..n).filter(|_| rng.gen_bool(0.6)).collect())
+            .collect();
+        let mut sys = SetSystem::from_elements(n, &sets);
+        if !sys.is_coverable() {
+            sys.push(crate::bitset::BitSet::full(n));
+        }
+        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        let lo = dual_fitting_bound(&sys).unwrap().value;
+        let hi = mwu_fractional_cover(&sys, 600).unwrap().value;
+        assert!(lo <= opt + 1e-9);
+        assert!(hi + 1e-9 >= lo, "upper {hi} below lower {lo}");
+    }
+}

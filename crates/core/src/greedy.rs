@@ -1,0 +1,184 @@
+//! The classical offline greedy algorithms.
+//!
+//! * [`greedy_set_cover`] — iteratively pick the set covering the most
+//!   uncovered elements; `(ln n + 1)`-approximation (Johnson '74, Slavík '97).
+//! * [`greedy_max_coverage`] — the same rule stopped after `k` picks;
+//!   `(1 − 1/e)`-approximation for maximum coverage.
+//!
+//! These are the baselines the paper measures every streaming algorithm
+//! against, and the workhorse inside our exact solver's bounds.
+
+use crate::bitset::BitSet;
+use crate::system::{SetId, SetSystem};
+
+/// Result of a greedy (or any) cover computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverResult {
+    /// Chosen set ids, in pick order.
+    pub ids: Vec<SetId>,
+    /// Elements covered by the chosen sets.
+    pub covered: BitSet,
+}
+
+impl CoverResult {
+    /// Number of sets chosen.
+    pub fn size(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of elements covered.
+    pub fn coverage(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether the whole universe is covered.
+    pub fn is_feasible(&self) -> bool {
+        self.covered.is_full()
+    }
+}
+
+/// Greedy set cover: repeatedly selects the set with the largest number of
+/// still-uncovered elements until the universe is covered or no set makes
+/// progress.
+///
+/// Returns the picked ids and the covered elements. If the instance is not
+/// coverable the result covers `⋃_i S_i` and `is_feasible()` is `false`.
+pub fn greedy_set_cover(sys: &SetSystem) -> CoverResult {
+    greedy_cover_until(sys, usize::MAX, &BitSet::full(sys.universe()))
+}
+
+/// Greedy maximum coverage: greedily picks at most `k` sets maximizing
+/// marginal coverage. Classic `(1 − 1/e)`-approximation.
+pub fn greedy_max_coverage(sys: &SetSystem, k: usize) -> CoverResult {
+    greedy_cover_until(sys, k, &BitSet::full(sys.universe()))
+}
+
+/// Greedy cover of a *target* subset of the universe with at most
+/// `max_picks` sets. Used by Algorithm 1's analysis experiments (covering
+/// the residual `U`) and by the exact solver's upper bound.
+pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) -> CoverResult {
+    assert_eq!(target.capacity(), sys.universe(), "target universe mismatch");
+    let mut uncovered = target.clone();
+    let mut covered = BitSet::new(sys.universe());
+    let mut ids = Vec::new();
+
+    while !uncovered.is_empty() && ids.len() < max_picks {
+        let mut best: Option<(SetId, usize)> = None;
+        for (i, s) in sys.iter() {
+            let gain = s.intersection_len(&uncovered);
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ if gain > 0 => best = Some((i, gain)),
+                _ => {}
+            }
+        }
+        let Some((pick, _)) = best else { break }; // no set makes progress
+        uncovered.difference_with(sys.set(pick));
+        covered.union_with(sys.set(pick));
+        ids.push(pick);
+    }
+    covered.intersect_with(target);
+    CoverResult { ids, covered }
+}
+
+/// The harmonic bound `H(n) = 1 + 1/2 + … + 1/n` — greedy's approximation
+/// guarantee for set cover (`greedy ≤ H(max |S_i|) · opt`).
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SetSystem {
+        // opt = 2 ({0,1,2,3} isn't a set; {0,1,2} ∪ {3,4,5}); greedy also 2.
+        SetSystem::from_elements(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]])
+    }
+
+    #[test]
+    fn greedy_finds_cover() {
+        let r = greedy_set_cover(&demo());
+        assert!(r.is_feasible());
+        assert_eq!(r.size(), 2);
+        assert_eq!(r.ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn greedy_classic_log_trap() {
+        // The textbook instance where greedy pays a log factor:
+        // universe {0..5}; two "row" sets of size 3 (opt = 2) and
+        // column sets of sizes 4, 2 that greedy prefers.
+        let sys = SetSystem::from_elements(
+            6,
+            &[
+                vec![0, 1, 2],       // row A
+                vec![3, 4, 5],       // row B
+                vec![0, 1, 3, 4],    // greedy bait (size 4)
+                vec![2, 5],          // finisher
+            ],
+        );
+        let r = greedy_set_cover(&sys);
+        assert!(r.is_feasible());
+        assert_eq!(r.ids[0], 2, "greedy takes the bait");
+        assert_eq!(r.size(), 2); // bait + {2,5} still covers here
+    }
+
+    #[test]
+    fn greedy_on_uncoverable_instance() {
+        let sys = SetSystem::from_elements(4, &[vec![0], vec![1]]);
+        let r = greedy_set_cover(&sys);
+        assert!(!r.is_feasible());
+        assert_eq!(r.coverage(), 2);
+        assert_eq!(r.size(), 2);
+    }
+
+    #[test]
+    fn greedy_ignores_empty_sets() {
+        let sys = SetSystem::from_elements(3, &[vec![], vec![0, 1, 2], vec![]]);
+        let r = greedy_set_cover(&sys);
+        assert_eq!(r.ids, vec![1]);
+    }
+
+    #[test]
+    fn max_coverage_respects_k() {
+        let sys = demo();
+        let r = greedy_max_coverage(&sys, 1);
+        assert_eq!(r.size(), 1);
+        assert_eq!(r.coverage(), 3);
+        let r2 = greedy_max_coverage(&sys, 0);
+        assert_eq!(r2.size(), 0);
+        assert_eq!(r2.coverage(), 0);
+    }
+
+    #[test]
+    fn max_coverage_is_monotone_in_k() {
+        let sys = demo();
+        let mut prev = 0;
+        for k in 0..=4 {
+            let c = greedy_max_coverage(&sys, k).coverage();
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(prev, 6);
+    }
+
+    #[test]
+    fn cover_until_targets_subset() {
+        let sys = demo();
+        let target = BitSet::from_iter(6, [4, 5]);
+        let r = greedy_cover_until(&sys, usize::MAX, &target);
+        assert_eq!(r.ids, vec![2]);
+        assert_eq!(r.covered.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        // H(n) ≈ ln n + γ
+        let h = harmonic(100_000);
+        let approx = (100_000f64).ln() + 0.577_215_664_9;
+        assert!((h - approx).abs() < 1e-4);
+    }
+}

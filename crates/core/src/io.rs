@@ -1,0 +1,188 @@
+//! Plain-text instance format, so instances can be saved, diffed and shared
+//! (a DIMACS-flavoured format):
+//!
+//! ```text
+//! c optional comment lines
+//! p setcover <n> <m>
+//! s <e1> <e2> …        # one line per set, m lines, elements in [0, n)
+//! ```
+//!
+//! Empty sets are written as a bare `s`.
+
+use crate::bitset::BitSet;
+use crate::system::SetSystem;
+use std::fmt::Write as _;
+
+/// Parse errors for the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or malformed `p setcover n m` header.
+    BadHeader(String),
+    /// A set line failed to parse.
+    BadSetLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+    /// Number of set lines didn't match the header's `m`.
+    WrongSetCount {
+        /// Header's promise.
+        expected: usize,
+        /// Lines found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(s) => write!(f, "bad header: {s}"),
+            ParseError::BadSetLine { line, reason } => {
+                write!(f, "bad set line {line}: {reason}")
+            }
+            ParseError::WrongSetCount { expected, found } => {
+                write!(f, "expected {expected} sets, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a system to the text format.
+pub fn write_instance(sys: &SetSystem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p setcover {} {}", sys.universe(), sys.len());
+    for (_, s) in sys.iter() {
+        out.push('s');
+        for e in s.iter() {
+            let _ = write!(out, " {e}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back into a system.
+pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('c'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("p") || parts.next() != Some("setcover") {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let n: usize = parts
+        .next()
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadHeader(format!("trailing tokens in: {header}")));
+    }
+
+    let mut sys = SetSystem::new(n);
+    let mut count = 0usize;
+    for (lineno, line) in lines {
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("s") {
+            return Err(ParseError::BadSetLine {
+                line: lineno,
+                reason: format!("expected 's', got: {line}"),
+            });
+        }
+        let mut set = BitSet::new(n);
+        for tok in toks {
+            let e: usize = tok.parse().map_err(|_| ParseError::BadSetLine {
+                line: lineno,
+                reason: format!("non-integer element: {tok}"),
+            })?;
+            if e >= n {
+                return Err(ParseError::BadSetLine {
+                    line: lineno,
+                    reason: format!("element {e} out of universe [{n}]"),
+                });
+            }
+            set.insert(e);
+        }
+        sys.push(set);
+        count += 1;
+    }
+    if count != m {
+        return Err(ParseError::WrongSetCount { expected: m, found: count });
+    }
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SetSystem {
+        SetSystem::from_elements(6, &[vec![0, 1, 2], vec![], vec![3, 4, 5]])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sys = demo();
+        let text = write_instance(&sys);
+        assert!(text.starts_with("p setcover 6 3\n"));
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back, sys);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "c hello\n\np setcover 4 2\nc mid\ns 0 1\n\ns 2 3\n";
+        let sys = read_instance(text).unwrap();
+        assert_eq!(sys.len(), 2);
+        assert_eq!(sys.set(1).to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(read_instance(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(read_instance("p wrong 3 1\ns 0\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            read_instance("p setcover 3 1\nx 0\n"),
+            Err(ParseError::BadSetLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_instance("p setcover 3 1\ns 5\n"),
+            Err(ParseError::BadSetLine { .. })
+        ));
+        assert!(matches!(
+            read_instance("p setcover 3 2\ns 0\n"),
+            Err(ParseError::WrongSetCount { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            read_instance("p setcover 3 1 junk\ns 0\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = read_instance("p setcover 3 1\ns 9\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2") && msg.contains("out of universe"), "{msg}");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sys = SetSystem::new(0);
+        let back = read_instance(&write_instance(&sys)).unwrap();
+        assert_eq!(back.universe(), 0);
+        assert_eq!(back.len(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # streamcover-core
+//!
+//! Set-system substrate and offline solvers for the `streamcover` project —
+//! a Rust reproduction of *"Tight Space-Approximation Tradeoff for the
+//! Multi-Pass Streaming Set Cover Problem"* (Sepehr Assadi, PODS 2017).
+//!
+//! This crate holds everything the rest of the workspace builds on:
+//!
+//! * [`bitset::BitSet`] — packed subsets of a fixed universe `[n]`, with the
+//!   full set algebra the paper's constructions use (union, difference,
+//!   hamming distance for GHD, disjointness for Disj, …) and the random
+//!   sampling primitives (`random_subset`, `bernoulli_subset`).
+//! * [`system::SetSystem`] — an indexed collection `S_1, …, S_m ⊆ [n]`.
+//! * [`greedy`] — offline greedy set cover (`ln n`-approximation) and greedy
+//!   maximum coverage (`1-1/e`), the classical baselines of §1.
+//! * [`exact`] — branch-and-bound exact set cover, the bounded decision
+//!   procedure `opt ≤ B` needed by the Lemma 3.2 experiments, and exact
+//!   max-`k`-coverage for the `k = 2` hard instances of §4.
+//! * [`stats`] — instance statistics and the regression helpers used to fit
+//!   the measured `space ∝ n^{1/α}` exponents.
+//! * [`fractional`] — certified dual-fitting lower bounds on `opt` and a
+//!   multiplicative-weights fractional LP solver (opt brackets for when the
+//!   exact search hits its node budget).
+//! * [`io`] — a plain-text instance format (writer + parser).
+
+pub mod bitset;
+pub mod exact;
+pub mod fractional;
+pub mod io;
+pub mod greedy;
+pub mod stats;
+pub mod system;
+
+pub use bitset::{bernoulli_subset, random_subset, BitSet};
+pub use exact::{
+    budgeted_cover_of, decide_opt_at_most, exact_cover_of, exact_max_coverage, exact_set_cover,
+    Decision, ExactCover,
+};
+pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
+pub use greedy::{greedy_cover_until, greedy_max_coverage, greedy_set_cover, CoverResult};
+pub use io::{read_instance, write_instance, ParseError};
+pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
+pub use system::{SetId, SetSystem};
+
+/// `⌈log₂ x⌉` for `x ≥ 1`, the bit width used across the space accounting.
+pub fn ceil_log2(x: usize) -> u32 {
+    assert!(x >= 1, "ceil_log2(0) undefined");
+    usize::BITS - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Descriptive statistics of set systems and simple numeric summaries used
+//! by the experiment harness (means, quantiles, regression fits for the
+//! `space ∝ n^{1/α}` exponent checks).
+
+use crate::system::SetSystem;
+
+/// Summary statistics of a set system's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemStats {
+    /// Universe size `n`.
+    pub universe: usize,
+    /// Number of sets `m`.
+    pub num_sets: usize,
+    /// Smallest set size.
+    pub min_set_size: usize,
+    /// Largest set size.
+    pub max_set_size: usize,
+    /// Mean set size.
+    pub mean_set_size: f64,
+    /// Total incidences `Σ|S_i|` (input size).
+    pub total_incidences: usize,
+    /// Number of elements covered by at least one set.
+    pub coverable_elements: usize,
+}
+
+/// Computes [`SystemStats`] for a system.
+pub fn system_stats(sys: &SetSystem) -> SystemStats {
+    let sizes: Vec<usize> = sys.sets().iter().map(|s| s.len()).collect();
+    let total: usize = sizes.iter().sum();
+    let coverable = sys.universe() - sys.uncoverable_elements().len();
+    SystemStats {
+        universe: sys.universe(),
+        num_sets: sys.len(),
+        min_set_size: sizes.iter().copied().min().unwrap_or(0),
+        max_set_size: sizes.iter().copied().max().unwrap_or(0),
+        mean_set_size: if sizes.is_empty() { 0.0 } else { total as f64 / sizes.len() as f64 },
+        total_incidences: total,
+        coverable_elements: coverable,
+    }
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+/// Ordinary least squares fit `y = a + b·x`; returns `(a, b)`.
+///
+/// Used by the tradeoff experiments to fit `log(space) = a + b·log(n)` per
+/// `α` and compare the measured exponent `b` against the predicted `1/α`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "fit input length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "degenerate fit: all x identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Fits the exponent `β` of a power law `y ≈ c·x^β` via log-log OLS.
+pub fn power_law_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_demo_system() {
+        let sys = SetSystem::from_elements(6, &[vec![0, 1, 2], vec![2, 3], vec![]]);
+        let st = system_stats(&sys);
+        assert_eq!(st.universe, 6);
+        assert_eq!(st.num_sets, 3);
+        assert_eq!(st.min_set_size, 0);
+        assert_eq!(st.max_set_size, 3);
+        assert!((st.mean_set_size - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.total_incidences, 5);
+        assert_eq!(st.coverable_elements, 4);
+    }
+
+    #[test]
+    fn stats_of_empty_system() {
+        let st = system_stats(&SetSystem::new(5));
+        assert_eq!(st.num_sets, 0);
+        assert_eq!(st.mean_set_size, 0.0);
+        assert_eq!(st.coverable_elements, 0);
+    }
+
+    #[test]
+    fn mean_std_quantile() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((std_dev(&xs) - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0); // nearest rank of 1.5 → idx 2
+        assert!(quantile(&[], 0.5).is_nan());
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs: Vec<f64> = (1..=8).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.5)).collect();
+        let beta = power_law_exponent(&xs, &ys);
+        assert!((beta - 0.5).abs() < 1e-9, "got {beta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fit_length_mismatch_panics() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Set systems: an indexed collection of subsets of a shared universe `[n]`.
+
+use crate::bitset::BitSet;
+use std::fmt;
+
+/// Identifier of a set within a [`SetSystem`] (its stream position).
+pub type SetId = usize;
+
+/// A collection `S_1, …, S_m` of subsets of the universe `[n]`.
+///
+/// This is the static, offline representation of an instance; streaming
+/// algorithms consume it through the `streamcover-stream` substrate which
+/// controls arrival order and pass counting.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SetSystem {
+    universe: usize,
+    sets: Vec<BitSet>,
+}
+
+impl SetSystem {
+    /// Creates an empty system over `[universe]`.
+    pub fn new(universe: usize) -> Self {
+        SetSystem { universe, sets: Vec::new() }
+    }
+
+    /// Creates a system from pre-built sets.
+    ///
+    /// # Panics
+    /// Panics if any set's capacity differs from `universe`.
+    pub fn from_sets(universe: usize, sets: Vec<BitSet>) -> Self {
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(
+                s.capacity(),
+                universe,
+                "set {i} has capacity {} but universe is {universe}",
+                s.capacity()
+            );
+        }
+        SetSystem { universe, sets }
+    }
+
+    /// Creates a system from element lists.
+    pub fn from_elements(universe: usize, lists: &[Vec<usize>]) -> Self {
+        let sets = lists
+            .iter()
+            .map(|l| BitSet::from_iter(universe, l.iter().copied()))
+            .collect();
+        SetSystem { universe, sets }
+    }
+
+    /// Appends a set, returning its id.
+    pub fn push(&mut self, set: BitSet) -> SetId {
+        assert_eq!(set.capacity(), self.universe, "set universe mismatch");
+        self.sets.push(set);
+        self.sets.len() - 1
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of sets `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the system holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The set with id `i`.
+    #[inline]
+    pub fn set(&self, i: SetId) -> &BitSet {
+        &self.sets[i]
+    }
+
+    /// All sets, in id order.
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// Iterates `(id, set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &BitSet)> {
+        self.sets.iter().enumerate()
+    }
+
+    /// Union of the sets with the given ids.
+    pub fn coverage(&self, ids: &[SetId]) -> BitSet {
+        let mut c = BitSet::new(self.universe);
+        for &i in ids {
+            c.union_with(&self.sets[i]);
+        }
+        c
+    }
+
+    /// `|⋃_{i∈ids} S_i|`, the objective of maximum coverage.
+    pub fn coverage_len(&self, ids: &[SetId]) -> usize {
+        self.coverage(ids).len()
+    }
+
+    /// Whether the given ids form a feasible set cover of `[n]`.
+    pub fn is_cover(&self, ids: &[SetId]) -> bool {
+        self.coverage(ids).is_full()
+    }
+
+    /// Whether the instance admits *any* cover (i.e. `⋃_i S_i = [n]`).
+    pub fn is_coverable(&self) -> bool {
+        let all: Vec<SetId> = (0..self.len()).collect();
+        self.is_cover(&all)
+    }
+
+    /// Elements of `[n]` not covered by any set.
+    pub fn uncoverable_elements(&self) -> BitSet {
+        let all: Vec<SetId> = (0..self.len()).collect();
+        self.coverage(&all).complement()
+    }
+
+    /// Restricts every set to `domain`, producing the projected system used
+    /// by element sampling (`S'_i = S_i ∩ U_smpl`, Algorithm 1 step 3b).
+    ///
+    /// The projected sets keep the original universe capacity so ids and
+    /// element labels stay stable; only membership outside `domain` is
+    /// dropped.
+    pub fn project(&self, domain: &BitSet) -> SetSystem {
+        let sets = self.sets.iter().map(|s| s.intersection(domain)).collect();
+        SetSystem { universe: self.universe, sets }
+    }
+
+    /// Total number of (set, element) incidences, `Σ|S_i|` — the input size
+    /// `O(mn)` that streaming algorithms must be sublinear in.
+    pub fn total_incidences(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+impl fmt::Debug for SetSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SetSystem{{n={}, m={}}}", self.universe, self.sets.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SetSystem {
+        SetSystem::from_elements(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![]],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = demo();
+        assert_eq!(s.universe(), 6);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.set(1).to_vec(), vec![2, 3]);
+        assert_eq!(s.total_incidences(), 3 + 2 + 3 + 2);
+    }
+
+    #[test]
+    fn coverage_and_feasibility() {
+        let s = demo();
+        assert_eq!(s.coverage_len(&[0, 1]), 4);
+        assert!(s.is_cover(&[0, 2]));
+        assert!(!s.is_cover(&[0, 1]));
+        assert!(s.is_cover(&[0, 1, 2, 3, 4]));
+        assert!(s.is_coverable());
+    }
+
+    #[test]
+    fn duplicate_ids_in_cover_are_harmless() {
+        let s = demo();
+        assert!(s.is_cover(&[0, 2, 2, 0]));
+        assert_eq!(s.coverage_len(&[1, 1, 1]), 2);
+    }
+
+    #[test]
+    fn uncoverable_detection() {
+        let s = SetSystem::from_elements(4, &[vec![0], vec![1]]);
+        assert!(!s.is_coverable());
+        assert_eq!(s.uncoverable_elements().to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = SetSystem::new(3);
+        assert!(s.is_empty());
+        assert!(!s.is_coverable());
+        assert!(!s.is_cover(&[]));
+        let s0 = SetSystem::new(0);
+        // Zero universe: the empty collection vacuously covers.
+        assert!(s0.is_cover(&[]));
+    }
+
+    #[test]
+    fn projection_keeps_universe() {
+        let s = demo();
+        let dom = BitSet::from_iter(6, [2, 3]);
+        let p = s.project(&dom);
+        assert_eq!(p.universe(), 6);
+        assert_eq!(p.set(0).to_vec(), vec![2]);
+        assert_eq!(p.set(1).to_vec(), vec![2, 3]);
+        assert_eq!(p.set(3).to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe is")]
+    fn mismatched_set_panics() {
+        SetSystem::from_sets(5, vec![BitSet::new(6)]);
+    }
+}

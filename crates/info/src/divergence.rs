@@ -1,0 +1,156 @@
+//! Statistical divergences between discrete distributions — the standard
+//! companions of information-complexity arguments (KL divergence drives the
+//! mutual-information identities; Pinsker's inequality converts information
+//! bounds into statistical-distance bounds, which is how `o(t)`-information
+//! protocols are shown unable to distinguish `D^Y` from `D^N`).
+
+use std::collections::HashMap;
+
+/// A normalized discrete distribution over `u64` symbols.
+#[derive(Clone, Debug, Default)]
+pub struct Pmf {
+    probs: HashMap<u64, f64>,
+}
+
+impl Pmf {
+    /// Builds from (symbol, weight) pairs; normalizes.
+    ///
+    /// # Panics
+    /// Panics on negative weights or zero total mass.
+    pub fn from_weights(pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut probs: HashMap<u64, f64> = HashMap::new();
+        for (s, w) in pairs {
+            assert!(w >= 0.0, "negative weight for symbol {s}");
+            *probs.entry(s).or_insert(0.0) += w;
+        }
+        let total: f64 = probs.values().sum();
+        assert!(total > 0.0, "zero total mass");
+        for v in probs.values_mut() {
+            *v /= total;
+        }
+        Pmf { probs }
+    }
+
+    /// Builds the empirical distribution of a sample.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        Self::from_weights(samples.iter().map(|&s| (s, 1.0)))
+    }
+
+    /// Probability of a symbol (0 if unseen).
+    pub fn p(&self, s: u64) -> f64 {
+        self.probs.get(&s).copied().unwrap_or(0.0)
+    }
+
+    /// Support iterator.
+    pub fn support(&self) -> impl Iterator<Item = u64> + '_ {
+        self.probs.keys().copied()
+    }
+
+    fn union_support<'a>(&'a self, other: &'a Pmf) -> impl Iterator<Item = u64> + 'a {
+        let mut seen: std::collections::HashSet<u64> = self.probs.keys().copied().collect();
+        seen.extend(other.probs.keys().copied());
+        seen.into_iter()
+    }
+}
+
+/// Total variation distance `½·Σ|p − q|` ∈ [0, 1].
+pub fn total_variation(p: &Pmf, q: &Pmf) -> f64 {
+    0.5 * p.union_support(q).map(|s| (p.p(s) - q.p(s)).abs()).sum::<f64>()
+}
+
+/// KL divergence `D(p‖q)` in bits; `+∞` when `p` has mass outside `q`'s
+/// support.
+pub fn kl_divergence(p: &Pmf, q: &Pmf) -> f64 {
+    let mut d = 0.0;
+    for s in p.support() {
+        let ps = p.p(s);
+        if ps == 0.0 {
+            continue;
+        }
+        let qs = q.p(s);
+        if qs == 0.0 {
+            return f64::INFINITY;
+        }
+        d += ps * (ps / qs).log2();
+    }
+    d.max(0.0)
+}
+
+/// Squared Hellinger distance `h²(p,q) = 1 − Σ√(p·q)` ∈ [0, 1].
+pub fn hellinger_sq(p: &Pmf, q: &Pmf) -> f64 {
+    let bc: f64 = p.union_support(q).map(|s| (p.p(s) * q.p(s)).sqrt()).sum();
+    (1.0 - bc).clamp(0.0, 1.0)
+}
+
+/// Pinsker's inequality `TV(p,q) ≤ √(ln2 · D(p‖q) / 2)` — returns the
+/// right-hand side (a TV upper bound from an information bound).
+pub fn pinsker_bound(kl_bits: f64) -> f64 {
+    (std::f64::consts::LN_2 * kl_bits / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uniform(k: u64) -> Pmf {
+        Pmf::from_weights((0..k).map(|s| (s, 1.0)))
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = uniform(8);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        assert!(hellinger_sq(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_supports_are_maximally_far() {
+        let p = Pmf::from_weights([(0, 1.0)]);
+        let q = Pmf::from_weights([(1, 1.0)]);
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+        assert!((hellinger_sq(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_of_biased_coin() {
+        // D(Ber(3/4) ‖ Ber(1/2)) = 1 − h(1/4) ≈ 0.18872 bits.
+        let p = Pmf::from_weights([(0, 0.25), (1, 0.75)]);
+        let q = Pmf::from_weights([(0, 0.5), (1, 0.5)]);
+        let d = kl_divergence(&p, &q);
+        assert!((d - (1.0 - crate::entropy::binary_entropy(0.25))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinsker_holds_on_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = Pmf::from_weights((0..6u64).map(|s| (s, rng.gen::<f64>() + 0.01)));
+            let q = Pmf::from_weights((0..6u64).map(|s| (s, rng.gen::<f64>() + 0.01)));
+            let tv = total_variation(&p, &q);
+            let bound = pinsker_bound(kl_divergence(&p, &q));
+            assert!(tv <= bound + 1e-9, "TV {tv} > Pinsker {bound}");
+            // Hellinger–TV sandwich: h² ≤ TV ≤ √(2)·h (via h·√(2−h²)).
+            let h2 = hellinger_sq(&p, &q);
+            assert!(h2 <= tv + 1e-9, "h² {h2} > TV {tv}");
+            assert!(tv <= (2.0 * h2).sqrt() + 1e-9, "TV {tv} > √(2h²)");
+        }
+    }
+
+    #[test]
+    fn empirical_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..4)).collect();
+        let emp = Pmf::from_samples(&samples);
+        let tv = total_variation(&emp, &uniform(4));
+        assert!(tv < 0.01, "TV to truth = {tv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total mass")]
+    fn zero_mass_rejected() {
+        Pmf::from_weights(std::iter::empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! Appendix A's information-theoretic facts as numeric validators over
+//! explicit joint distributions.
+//!
+//! A [`Joint3`] is a full pmf over `(A, B, C) ∈ [na]×[nb]×[nc]`. All the
+//! entropy/mutual-information identities the paper's proofs lean on
+//! (Fact A.1's chain rule, Fact A.2/A.3's conditioning directions,
+//! Fact A.4's `I(A:B|C) ≤ I(A:B) + H(C)`) are checkable exactly on it;
+//! property tests sample random joints and verify every inequality.
+
+/// An explicit joint pmf over three finite variables.
+#[derive(Clone, Debug)]
+pub struct Joint3 {
+    p: Vec<f64>, // indexed a·(nb·nc) + b·nc + c
+    na: usize,
+    nb: usize,
+    nc: usize,
+}
+
+impl Joint3 {
+    /// Builds from a dense table `p[a][b][c]`; normalizes internally.
+    pub fn new(table: Vec<f64>, na: usize, nb: usize, nc: usize) -> Self {
+        assert_eq!(table.len(), na * nb * nc, "table shape mismatch");
+        assert!(table.iter().all(|&x| x >= 0.0), "negative mass");
+        let total: f64 = table.iter().sum();
+        assert!(total > 0.0, "zero mass");
+        let p = table.into_iter().map(|x| x / total).collect();
+        Joint3 { p, na, nb, nc }
+    }
+
+    /// Uniformly random joint pmf (for property tests).
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R, na: usize, nb: usize, nc: usize) -> Self {
+        let table: Vec<f64> = (0..na * nb * nc).map(|_| rng.gen::<f64>()).collect();
+        Self::new(table, na, nb, nc)
+    }
+
+    /// A joint where `C` is independent of `(A, B)` (used to test the
+    /// equality cases of Fact A.1-(3)).
+    pub fn with_independent_c<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        na: usize,
+        nb: usize,
+        nc: usize,
+    ) -> Self {
+        let ab: Vec<f64> = (0..na * nb).map(|_| rng.gen::<f64>()).collect();
+        let c: Vec<f64> = (0..nc).map(|_| rng.gen::<f64>()).collect();
+        let mut table = vec![0.0; na * nb * nc];
+        for a in 0..na {
+            for b in 0..nb {
+                for k in 0..nc {
+                    table[a * nb * nc + b * nc + k] = ab[a * nb + b] * c[k];
+                }
+            }
+        }
+        Self::new(table, na, nb, nc)
+    }
+
+    #[inline]
+    fn prob(&self, a: usize, b: usize, c: usize) -> f64 {
+        self.p[a * self.nb * self.nc + b * self.nc + c]
+    }
+
+    fn h(mass: impl IntoIterator<Item = f64>) -> f64 {
+        mass.into_iter().filter(|&x| x > 0.0).map(|x| -x * x.log2()).sum()
+    }
+
+    /// `H(A, B, C)`.
+    pub fn h_abc(&self) -> f64 {
+        Self::h(self.p.iter().copied())
+    }
+
+    /// `H(A)`.
+    pub fn h_a(&self) -> f64 {
+        Self::h((0..self.na).map(|a| {
+            (0..self.nb).flat_map(|b| (0..self.nc).map(move |c| (b, c))).map(|(b, c)| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `H(B)`.
+    pub fn h_b(&self) -> f64 {
+        Self::h((0..self.nb).map(|b| {
+            (0..self.na).flat_map(|a| (0..self.nc).map(move |c| (a, c))).map(|(a, c)| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `H(C)`.
+    pub fn h_c(&self) -> f64 {
+        Self::h((0..self.nc).map(|c| {
+            (0..self.na).flat_map(|a| (0..self.nb).map(move |b| (a, b))).map(|(a, b)| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `H(A, B)`.
+    pub fn h_ab(&self) -> f64 {
+        Self::h((0..self.na).flat_map(|a| (0..self.nb).map(move |b| (a, b))).map(|(a, b)| {
+            (0..self.nc).map(|c| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `H(A, C)`.
+    pub fn h_ac(&self) -> f64 {
+        Self::h((0..self.na).flat_map(|a| (0..self.nc).map(move |c| (a, c))).map(|(a, c)| {
+            (0..self.nb).map(|b| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `H(B, C)`.
+    pub fn h_bc(&self) -> f64 {
+        Self::h((0..self.nb).flat_map(|b| (0..self.nc).map(move |c| (b, c))).map(|(b, c)| {
+            (0..self.na).map(|a| self.prob(a, b, c)).sum()
+        }))
+    }
+
+    /// `I(A : B)`.
+    pub fn i_ab(&self) -> f64 {
+        self.h_a() + self.h_b() - self.h_ab()
+    }
+
+    /// `I(A : B | C)`.
+    pub fn i_ab_given_c(&self) -> f64 {
+        self.h_ac() + self.h_bc() - self.h_abc() - self.h_c()
+    }
+
+    /// `H(A | B)`.
+    pub fn h_a_given_b(&self) -> f64 {
+        self.h_ab() - self.h_b()
+    }
+
+    /// `H(A | B, C)`.
+    pub fn h_a_given_bc(&self) -> f64 {
+        self.h_abc() - self.h_bc()
+    }
+}
+
+/// Checks all of Facts A.1–A.4 on a joint, returning the list of violated
+/// inequalities (empty ⇔ all hold). Tolerance absorbs floating error.
+pub fn check_facts(j: &Joint3, tol: f64) -> Vec<&'static str> {
+    let mut violated = Vec::new();
+    // Fact A.1-(1): 0 ≤ H(A) ≤ log |A|.
+    if j.h_a() < -tol || j.h_a() > (j.na as f64).log2() + tol {
+        violated.push("A.1-1: 0 ≤ H(A) ≤ log|A|");
+    }
+    // Fact A.1-(2): I(A:B) ≥ 0.
+    if j.i_ab() < -tol {
+        violated.push("A.1-2: I(A:B) ≥ 0");
+    }
+    // Fact A.1-(3): H(A | B, C) ≤ H(A | B).
+    if j.h_a_given_bc() > j.h_a_given_b() + tol {
+        violated.push("A.1-3: conditioning reduces entropy");
+    }
+    // Fact A.1-(4) chain rule: I(A,B : C) = I(A : C) + I(B : C | A).
+    let i_ab_c = j.h_ab() + j.h_c() - j.h_abc();
+    let i_a_c = j.h_a() + j.h_c() - j.h_ac();
+    let i_b_c_given_a = j.h_ab() + j.h_ac() - j.h_abc() - j.h_a();
+    if (i_ab_c - (i_a_c + i_b_c_given_a)).abs() > tol {
+        violated.push("A.1-4: chain rule");
+    }
+    // Fact A.4: I(A : B | C) ≤ I(A : B) + H(C).
+    if j.i_ab_given_c() > j.i_ab() + j.h_c() + tol {
+        violated.push("A.4: I(A:B|C) ≤ I(A:B) + H(C)");
+    }
+    violated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_joint_entropies() {
+        let j = Joint3::new(vec![1.0; 8], 2, 2, 2);
+        assert!((j.h_abc() - 3.0).abs() < 1e-12);
+        assert!((j.h_a() - 1.0).abs() < 1e-12);
+        assert!((j.h_ab() - 2.0).abs() < 1e-12);
+        assert!(j.i_ab().abs() < 1e-12, "independent under uniform");
+        assert!(j.i_ab_given_c().abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_joint_has_conditional_dependence() {
+        // p(a,b,c) uniform over {(a,b,a⊕b)}: I(A:B)=0, I(A:B|C)=1.
+        let mut table = vec![0.0; 8];
+        for a in 0..2 {
+            for b in 0..2 {
+                table[a * 4 + b * 2 + (a ^ b)] = 0.25;
+            }
+        }
+        let j = Joint3::new(table, 2, 2, 2);
+        assert!(j.i_ab().abs() < 1e-12);
+        assert!((j.i_ab_given_c() - 1.0).abs() < 1e-12);
+        // Fact A.4 is tight here: I(A:B) + H(C) = 0 + 1.
+        assert!(check_facts(&j, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn copy_joint_mi_equals_entropy() {
+        // B = A uniform on 4 symbols, C constant.
+        let mut table = vec![0.0; 16];
+        for a in 0..4 {
+            table[a * 4 + a] = 0.25; // c dimension size 1
+        }
+        let j = Joint3::new(table, 4, 4, 1);
+        assert!((j.i_ab() - 2.0).abs() < 1e-12);
+        assert!(check_facts(&j, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn random_joints_satisfy_all_facts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..200 {
+            let j = Joint3::random(&mut rng, 3, 4, 2);
+            let v = check_facts(&j, 1e-9);
+            assert!(v.is_empty(), "trial {trial} violated {v:?}");
+        }
+    }
+
+    #[test]
+    fn independent_c_gives_equality_in_a13() {
+        // When C ⊥ (A,B): H(A|B,C) = H(A|B) (Fact A.1-(3) equality case).
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let j = Joint3::with_independent_c(&mut rng, 3, 3, 3);
+            assert!(
+                (j.h_a_given_bc() - j.h_a_given_b()).abs() < 1e-9,
+                "equality must hold when A ⊥ C | B"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_checked() {
+        Joint3::new(vec![1.0; 7], 2, 2, 2);
+    }
+}

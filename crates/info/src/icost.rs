@@ -1,0 +1,180 @@
+//! Monte-Carlo estimation of protocol information cost (Definition 2).
+//!
+//! The internal information cost of a protocol `π` on distribution `D` is
+//! `ICost_D(π) = I(Π : A | B) + I(Π : B | A)`. We estimate it by running the
+//! protocol many times on fresh inputs from `D`, fingerprinting each
+//! transcript, and applying the plug-in conditional-MI estimator. This is an
+//! **estimator, not a proof**: it converges for small ground sets (`t ≲ 12`)
+//! where the joint support is manageable, which is enough to exhibit the
+//! qualitative separations of Proposition 2.5 / Lemma 3.5 — correct
+//! protocols pay `Ω(t)` information even on `D^N`; cheap erring sketches pay
+//! `o(t)` (E10).
+
+use crate::entropy::conditional_mutual_information;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamcover_comm::DisjProtocol;
+use streamcover_core::BitSet;
+
+/// Encodes a small bitset (capacity ≤ 63) injectively as a `u64`.
+pub fn bitset_key(s: &BitSet) -> u64 {
+    assert!(s.capacity() <= 63, "bitset_key needs capacity ≤ 63");
+    s.iter().fold(0u64, |acc, e| acc | 1 << e)
+}
+
+/// An estimated information cost, with the two directional terms separated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ICostEstimate {
+    /// `Î(Π : A | B)` — what Bob learns about Alice's input.
+    pub about_alice: f64,
+    /// `Î(Π : B | A)` — what Alice learns about Bob's input.
+    pub about_bob: f64,
+    /// Number of Monte-Carlo runs.
+    pub samples: usize,
+}
+
+impl ICostEstimate {
+    /// The internal information cost estimate (sum of the two terms).
+    pub fn total(&self) -> f64 {
+        self.about_alice + self.about_bob
+    }
+}
+
+/// Number of distinct public-coin values used by
+/// [`estimate_disj_icost`]. Small by design: the estimator conditions on
+/// `R` (Claim 2.3: `ICost = I(Π:A|B,R) + I(Π:B|A,R)`), and plug-in
+/// conditional MI needs every conditioning cell `(B, R)` to be hit many
+/// times — a fresh coin per run would make every cell a singleton and bias
+/// the estimate to zero.
+pub const PUBLIC_COINS: u64 = 8;
+
+/// Estimates `ICost_D(π)` for a Disj protocol on the input distribution
+/// realized by `sampler`, over `trials` runs.
+///
+/// Per Claim 2.3 the public randomness `R` joins the conditioning side, not
+/// `Π`: each run draws one of [`PUBLIC_COINS`] fixed coins, the protocol's
+/// rng is seeded from it, and the plug-in estimator computes
+/// `Î(Π : A | B, R) + Î(Π : B | A, R)`.
+///
+/// Estimator caveat (documented, not hidden): plug-in conditional MI is
+/// biased when conditioning cells are under-sampled; keep `t ≲ 8` and
+/// `trials ≳ 100·2^t` for trustworthy numbers.
+pub fn estimate_disj_icost<P, F>(
+    proto: &P,
+    mut sampler: F,
+    trials: usize,
+    rng: &mut StdRng,
+) -> ICostEstimate
+where
+    P: DisjProtocol + ?Sized,
+    F: FnMut(&mut StdRng) -> (BitSet, BitSet),
+{
+    let coin_seeds: Vec<u64> = (0..PUBLIC_COINS).map(|_| rng.gen()).collect();
+    let mut about_alice: Vec<(u64, u64, u64)> = Vec::with_capacity(trials); // (Π, A, (B,R))
+    let mut about_bob: Vec<(u64, u64, u64)> = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let (a, b) = sampler(rng);
+        let coin_idx = rng.gen_range(0..PUBLIC_COINS);
+        let mut prng = StdRng::seed_from_u64(coin_seeds[coin_idx as usize]);
+        let (_ans, tr) = proto.run(&a, &b, &mut prng);
+        let pi = tr.fingerprint();
+        let ka = bitset_key(&a);
+        let kb = bitset_key(&b);
+        about_alice.push((pi, ka, pack_cond(kb, coin_idx)));
+        about_bob.push((pi, kb, pack_cond(ka, coin_idx)));
+    }
+    ICostEstimate {
+        about_alice: conditional_mutual_information(&about_alice),
+        about_bob: conditional_mutual_information(&about_bob),
+        samples: trials,
+    }
+}
+
+/// Packs (input key, coin index) into the conditioning symbol.
+fn pack_cond(key: u64, coin: u64) -> u64 {
+    key.wrapping_mul(PUBLIC_COINS) + coin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamcover_comm::{SampledDisj, TrivialDisj};
+    use streamcover_dist::disj::{sample_no, sample_yes};
+
+    #[test]
+    fn bitset_key_is_injective_on_small_sets() {
+        let a = BitSet::from_iter(10, [0, 3, 9]);
+        let b = BitSet::from_iter(10, [0, 3, 8]);
+        assert_ne!(bitset_key(&a), bitset_key(&b));
+        assert_eq!(bitset_key(&a), 0b1000001001);
+        assert_eq!(bitset_key(&BitSet::new(10)), 0);
+    }
+
+    #[test]
+    fn trivial_protocol_reveals_far_more_than_a_sketch() {
+        // Π contains A verbatim ⇒ Î(Π:A|B) ≈ H(A|B) ≈ 6 bits at t = 8;
+        // plug-in undersampling (2^8·8 conditioning cells) biases the
+        // absolute number down, so the test pins the *separation* against
+        // the 1-probe sketch on the same distribution instead.
+        let t = 8;
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = |r: &mut StdRng| {
+            let i = sample_no(r, t);
+            (i.a, i.b)
+        };
+        let est_trivial = estimate_disj_icost(&TrivialDisj, sample, 40_000, &mut rng);
+        let est_sketch =
+            estimate_disj_icost(&SampledDisj { samples: 1 }, sample, 40_000, &mut rng);
+        assert!(
+            est_trivial.about_alice > est_sketch.about_alice + 1.0,
+            "trivial {} vs sketch {}",
+            est_trivial.about_alice,
+            est_sketch.about_alice
+        );
+        assert!(est_trivial.total() >= est_trivial.about_alice, "Bob's answer leaks ≥ 0");
+    }
+
+    #[test]
+    fn sketch_protocol_leaks_little() {
+        let t = 8;
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = estimate_disj_icost(
+            &SampledDisj { samples: 2 },
+            |r| {
+                let i = sample_no(r, t);
+                (i.a, i.b)
+            },
+            40_000,
+            &mut rng,
+        );
+        // Π is 2 probe bits + the 1-bit answer ⇒ ≤ 3 bits of information.
+        assert!(
+            est.about_alice < 3.2,
+            "2-probe sketch should leak ≤ 3 bits, got {}",
+            est.about_alice
+        );
+    }
+
+    #[test]
+    fn correct_protocol_costs_grow_with_t() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev = 0.0;
+        for t in [4, 6, 8] {
+            let est = estimate_disj_icost(
+                &TrivialDisj,
+                |r| {
+                    let i = sample_yes(r, t);
+                    (i.a, i.b)
+                },
+                40_000,
+                &mut rng,
+            );
+            assert!(
+                est.about_alice > prev,
+                "Î must grow with t (t={t}: {} ≤ {prev})",
+                est.about_alice
+            );
+            prev = est.about_alice;
+        }
+    }
+}

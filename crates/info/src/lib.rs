@@ -1,0 +1,37 @@
+//! # streamcover-info
+//!
+//! The information-theoretic toolkit behind the lower-bound proofs of
+//! Assadi (PODS 2017), as executable estimators and calculators.
+//!
+//! * [`entropy`] — Shannon entropy, binary entropy, plug-in (conditional)
+//!   mutual-information estimators over Monte-Carlo samples.
+//! * [`bounds`] — Proposition 2.1's Chernoff bound and Lemma 2.2's
+//!   random-large-sets residual bound, with an empirical experiment driver.
+//! * [`facts`] — Facts A.1–A.4 (chain rule, conditioning inequalities,
+//!   `I(A:B|C) ≤ I(A:B)+H(C)`) checked exactly on explicit joint pmfs.
+//! * [`icost`] — internal information cost (Definition 2) estimated for
+//!   concrete protocols: the engine of the Proposition 2.5 / Lemma 3.5
+//!   illustration (E10).
+//! * [`divergence`] — KL / total variation / Hellinger with the Pinsker
+//!   bridge from information to statistical distance.
+//! * [`odometer`] — the Braverman–Weinstein information odometer gadget
+//!   (\[14\], Lemma 3.6) at the estimator level: per-prefix leakage tracking
+//!   and a budget-aborting protocol wrapper.
+
+pub mod bounds;
+pub mod divergence;
+pub mod entropy;
+pub mod facts;
+pub mod icost;
+pub mod odometer;
+
+pub use bounds::{
+    chernoff_bound, lemma22_experiment, lemma22_failure_bound, lemma22_threshold, lemma22_trial,
+};
+pub use entropy::{
+    binary_entropy, conditional_mutual_information, entropy_of_pmf, mutual_information, Empirical,
+};
+pub use divergence::{hellinger_sq, kl_divergence, pinsker_bound, total_variation, Pmf};
+pub use facts::{check_facts, Joint3};
+pub use odometer::{prefix_icost, OdometerProtocol};
+pub use icost::{bitset_key, estimate_disj_icost, ICostEstimate, PUBLIC_COINS};

@@ -1,0 +1,413 @@
+//! Algorithm 1 of the paper (§3.4): the `(α+ε)`-approximation streaming set
+//! cover algorithm in `2α+1` passes and `Õ(m·n^{1/α}/ε² + n/ε)` space —
+//! Assadi's sharpening of Har-Peled et al. (PODS 2016).
+//!
+//! Structure for a known guess `o͂pt` of the optimum:
+//!
+//! 1. **One-shot pruning pass** — pick every set covering `≥ n/(ε·o͂pt)`
+//!    still-uncovered elements; at most `ε·o͂pt` picks, leaving all residual
+//!    sets small (this is what caps the stored projections later).
+//! 2. **α element-sampling rounds** — sample `U_smpl ⊆ U` at rate
+//!    `p = 16·o͂pt·ln m / n^{1−1/α}`, store every `S'_i = S_i ∩ U_smpl` in one
+//!    pass, solve set cover of `U_smpl` *offline* on the stored projections
+//!    (computation is unrestricted in this model), then spend one more pass
+//!    removing the chosen sets' elements from `U`. Lemma 3.12 with
+//!    `ρ = n^{-1/α}` guarantees each round shrinks `U` by an `n^{1/α}`
+//!    factor, so α rounds finish.
+//!
+//! The two knobs the paper's §3.4 comparison highlights are exposed for the
+//! ablation (E11): [`Pruning`] (one-shot vs per-round vs none) and
+//! [`SamplingRate`] (the paper's `1/ρ` rate vs the `1/ρ²` rate of the
+//! original Har-Peled et al. analysis, which costs a full extra `n^{1/α}`
+//! factor of space).
+//!
+//! Note on the paper's step 3(d): it reads `U_smpl ← U_smpl \ …`, but the
+//! surrounding analysis (Lemma 3.11 tracks `|U|` shrinking per iteration and
+//! step 3(a) re-samples from `U`) requires the update to apply to `U`; we
+//! implement `U ← U \ ⋃_{i∈OPT'} S_i`.
+
+use crate::guessing::GuessDriver;
+use crate::meter::{SpaceMeter, WORD};
+use crate::report::{CoverRun, SetCoverStreamer};
+use crate::stream::{Arrival, SetStream};
+use rand::rngs::StdRng;
+use rand::Rng;
+use streamcover_core::{
+    budgeted_cover_of, ceil_log2, greedy_cover_until, BitSet, SetId, SetSystem,
+};
+
+/// Which pruning discipline to run before/within the sampling rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pruning {
+    /// The paper's single pruning pass before the rounds (Algorithm 1).
+    OneShot,
+    /// A pruning pass at the start of every round — the iterative pruning
+    /// of Har-Peled et al. that Algorithm 1 replaces (costs `α−1` extra
+    /// passes; ablation arm).
+    PerRound,
+    /// No pruning (ablation arm: projections are no longer size-capped and
+    /// the stored bits blow up).
+    None,
+}
+
+/// Element-sampling rate per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingRate {
+    /// The paper's Lemma 3.12 rate `p = 16·k·ln m/(ρ·n)` with `ρ = n^{-1/α}`.
+    Fine,
+    /// The coarser `p = 16·k·ln m/(ρ²·n)` rate matching the original
+    /// Har-Peled et al. analysis (Lemma 2.5 of \[32\]) — an extra `n^{1/α}`
+    /// space factor.
+    Coarse,
+}
+
+/// How the offline oracle on the sampled instance is realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerSolver {
+    /// Exact branch-and-bound with a node budget, falling back to greedy's
+    /// incumbent when the budget trips (keeps the `(α+ε)` guarantee
+    /// whenever the search completes — it virtually always does at our
+    /// scales because the sampled instances have tiny covers).
+    Exact {
+        /// Search-node budget per round.
+        node_budget: u64,
+    },
+    /// Plain greedy on the sample — faster, weakens the per-round pick
+    /// bound from `o͂pt` to `o͂pt·H(|U_smpl|)`.
+    Greedy,
+}
+
+/// Algorithm 1 with its ablation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct HarPeledAssadi {
+    /// Target approximation `α ≥ 1`.
+    pub alpha: usize,
+    /// Accuracy/space knob `ε ∈ (0, 1]`.
+    pub eps: f64,
+    /// Pruning discipline.
+    pub pruning: Pruning,
+    /// Sampling rate.
+    pub rate: SamplingRate,
+    /// Offline oracle realization.
+    pub solver: InnerSolver,
+    /// The constant `c` in the sampling rate `p = c·k·ln m/(ρ·n)`. The
+    /// paper's analysis uses 16; at laptop scale `16·ln m` can exceed
+    /// `n^{1−1/α}` and cap `p` at 1 (degenerating the algorithm into
+    /// store-everything), so experiments may lower it — rounds then fail
+    /// with slightly higher probability, which the o͂pt-guess grid absorbs.
+    /// Recorded as a substitution in DESIGN.md §4.
+    pub rate_constant: f64,
+}
+
+impl HarPeledAssadi {
+    /// The paper's configuration: one-shot pruning, fine sampling, exact
+    /// oracle, `c = 16`.
+    pub fn paper(alpha: usize, eps: f64) -> Self {
+        assert!(alpha >= 1, "α ≥ 1 required");
+        assert!(eps > 0.0 && eps <= 1.0, "ε ∈ (0,1] required");
+        HarPeledAssadi {
+            alpha,
+            eps,
+            pruning: Pruning::OneShot,
+            rate: SamplingRate::Fine,
+            solver: InnerSolver::Exact { node_budget: 50_000 },
+            rate_constant: 16.0,
+        }
+    }
+
+    /// Laptop-scale configuration: the paper's structure with `c = 2`, so
+    /// the `n^{1/α}` scaling is visible at `n ≤ 2^14` (see DESIGN.md §4).
+    pub fn scaled(alpha: usize, eps: f64) -> Self {
+        HarPeledAssadi { rate_constant: 2.0, ..Self::paper(alpha, eps) }
+    }
+
+    /// The original Har-Peled et al. shape: per-round pruning + coarse rate.
+    pub fn harpeled_original(alpha: usize, eps: f64) -> Self {
+        HarPeledAssadi {
+            pruning: Pruning::PerRound,
+            rate: SamplingRate::Coarse,
+            ..Self::paper(alpha, eps)
+        }
+    }
+
+    /// The sampling probability for guess `k` on a universe of size `n`.
+    pub fn sample_rate(&self, n: usize, m: usize, k: usize) -> f64 {
+        let rho = (n as f64).powf(-1.0 / self.alpha as f64);
+        let base = self.rate_constant * k as f64 * (m.max(2) as f64).ln() / (rho * n as f64);
+        let p = match self.rate {
+            SamplingRate::Fine => base,
+            SamplingRate::Coarse => base / rho,
+        };
+        p.min(1.0)
+    }
+
+    /// Runs Algorithm 1 for a fixed guess `k = o͂pt`. Returns `None` when the
+    /// guess fails (sampled instance not coverable within `k` picks, or `U`
+    /// nonempty after the rounds); the guessing driver then moves on.
+    ///
+    /// Space charged: `U` as a dense `n`-bit map, the solution ids, the
+    /// sampled universe and every stored projection `S'_i` as member lists.
+    pub fn run_guess(
+        &self,
+        stream: &mut SetStream<'_>,
+        meter: &mut SpaceMeter,
+        rng: &mut StdRng,
+        k: usize,
+    ) -> Option<Vec<SetId>> {
+        let n = stream.universe();
+        let m = stream.num_sets();
+        let logm = u64::from(ceil_log2(m.max(2)));
+        if n == 0 {
+            return Some(Vec::new());
+        }
+
+        // U as a dense bitmap, live for the whole run.
+        let mut u = BitSet::full(n);
+        meter.charge(u.stored_bits_dense());
+        let mut sol: Vec<SetId> = Vec::new();
+
+        // Pruning threshold n/(ε·k); each accepted set covers that many new
+        // elements, so at most ε·k sets are accepted per pruning pass.
+        let threshold = ((n as f64) / (self.eps * k as f64)).ceil().max(1.0) as usize;
+        let prune_pass = |u: &mut BitSet, sol: &mut Vec<SetId>,
+                              stream: &mut SetStream<'_>, meter: &mut SpaceMeter| {
+            meter.charge(WORD); // the running threshold/counter
+            for (i, s) in stream.pass() {
+                if s.intersection_len(u) >= threshold {
+                    sol.push(i);
+                    meter.charge(logm);
+                    u.difference_with(s);
+                }
+            }
+            meter.release(WORD);
+        };
+
+        if self.pruning == Pruning::OneShot {
+            prune_pass(&mut u, &mut sol, stream, meter);
+        }
+
+        let p = self.sample_rate(n, m, k);
+        for _round in 0..self.alpha {
+            if u.is_empty() {
+                break;
+            }
+            if self.pruning == Pruning::PerRound {
+                prune_pass(&mut u, &mut sol, stream, meter);
+                if u.is_empty() {
+                    break;
+                }
+            }
+
+            // Sample U_smpl ⊆ U (no pass needed: U is in memory).
+            let mut u_smpl = BitSet::new(n);
+            for e in u.iter() {
+                if rng.gen_bool(p) {
+                    u_smpl.insert(e);
+                }
+            }
+            let smpl_bits = u_smpl.stored_bits_sparse();
+            meter.charge(smpl_bits);
+
+            // Storing pass: S'_i = S_i ∩ U_smpl for all i. The projected
+            // system is indexed by arrival position, so keep the position →
+            // instance-id map (the `logm` per stored set charged below is
+            // exactly this id).
+            let mut projected = SetSystem::new(n);
+            let mut arrival_ids: Vec<SetId> = Vec::new();
+            let mut stored_bits = 0u64;
+            for (i, s) in stream.pass() {
+                let proj = s.intersection(&u_smpl);
+                stored_bits += proj.stored_bits_sparse() + logm;
+                projected.push(proj);
+                arrival_ids.push(i);
+            }
+            meter.charge(stored_bits);
+
+            // Offline oracle on the sample, capped at k picks; map its
+            // position-indexed answer back to instance ids.
+            let picks = self.solve_sample(&projected, &u_smpl, k);
+            meter.release(stored_bits);
+            meter.release(smpl_bits);
+            let Some(picks) = picks else {
+                meter.release(u.stored_bits_dense() + sol.len() as u64 * logm);
+                return None; // guess too small
+            };
+            let picks: Vec<SetId> = picks.into_iter().map(|j| arrival_ids[j]).collect();
+
+            // Update pass: U ← U \ ⋃ S_i over the chosen ids.
+            for (i, s) in stream.pass() {
+                if picks.contains(&i) {
+                    u.difference_with(s);
+                }
+            }
+            for i in picks {
+                sol.push(i);
+                meter.charge(logm);
+            }
+        }
+
+        let feasible = u.is_empty();
+        meter.release(u.stored_bits_dense() + sol.len() as u64 * logm);
+        feasible.then_some(sol)
+    }
+
+    /// Solves set cover of `target` on the stored projections, returning at
+    /// most `k` ids or `None` when `k` do not suffice.
+    fn solve_sample(&self, projected: &SetSystem, target: &BitSet, k: usize) -> Option<Vec<SetId>> {
+        match self.solver {
+            InnerSolver::Exact { node_budget } => {
+                let (ids, _complete) = budgeted_cover_of(projected, target, node_budget);
+                let ids = ids?;
+                (ids.len() <= k && target.is_subset_of(&projected.coverage(&ids)))
+                    .then_some(ids)
+            }
+            InnerSolver::Greedy => {
+                let r = greedy_cover_until(projected, k, target);
+                (r.covered == *target).then_some(r.ids)
+            }
+        }
+    }
+}
+
+impl SetCoverStreamer for HarPeledAssadi {
+    fn name(&self) -> &'static str {
+        match (self.pruning, self.rate) {
+            (Pruning::OneShot, SamplingRate::Fine) => "assadi-alg1",
+            (Pruning::PerRound, SamplingRate::Coarse) => "harpeled-original",
+            (Pruning::None, _) => "alg1-noprune",
+            _ => "alg1-variant",
+        }
+    }
+
+    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
+        GuessDriver::new(self.eps).run(self.name(), sys, arrival, rng, |stream, meter, rng, k| {
+            self.run_guess(stream, meter, rng, k)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::planted_cover;
+
+    fn run_paper(alpha: usize, eps: f64, seed: u64) -> (CoverRun, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = planted_cover(&mut rng, 512, 48, 6);
+        let algo = HarPeledAssadi::paper(alpha, eps);
+        let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+        (run, 6)
+    }
+
+    #[test]
+    fn paper_config_covers_and_respects_ratio() {
+        let (run, planted_opt) = run_paper(3, 0.5, 1);
+        assert!(run.feasible, "must return a feasible cover");
+        // (α+ε)·opt bound against the *planted* opt (true opt ≤ planted).
+        let bound = (3.0 + 0.5) * planted_opt as f64 * 1.5; // guess-grid slack
+        assert!(
+            (run.size() as f64) <= bound,
+            "size {} exceeds (α+ε)·opt·slack = {bound}",
+            run.size()
+        );
+    }
+
+    #[test]
+    fn pass_budget_is_2alpha_plus_1() {
+        for alpha in [1, 2, 3, 4] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let w = planted_cover(&mut rng, 256, 24, 4);
+            let algo = HarPeledAssadi::paper(alpha, 0.5);
+            let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+            assert!(
+                run.passes <= 2 * alpha + 1,
+                "α={alpha}: {} passes > 2α+1",
+                run.passes
+            );
+            assert!(run.feasible);
+        }
+    }
+
+    #[test]
+    fn per_round_pruning_uses_more_passes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = planted_cover(&mut rng, 256, 24, 4);
+        let paper = HarPeledAssadi::paper(3, 0.5);
+        let orig = HarPeledAssadi::harpeled_original(3, 0.5);
+        let r1 = paper.run(&w.system, Arrival::Adversarial, &mut rng);
+        let r2 = orig.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(r1.feasible && r2.feasible);
+        assert!(
+            r2.passes >= r1.passes,
+            "iterative pruning cannot use fewer passes ({} vs {})",
+            r2.passes,
+            r1.passes
+        );
+    }
+
+    #[test]
+    fn coarse_rate_charges_more_space() {
+        // The 1/ρ² rate must store ≈ n^{1/α} times more bits (capped by p≤1).
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = planted_cover(&mut rng, 2048, 64, 4);
+        let fine = HarPeledAssadi::paper(4, 0.5);
+        let coarse = HarPeledAssadi { rate: SamplingRate::Coarse, ..fine };
+        let rf = fine.run(&w.system, Arrival::Adversarial, &mut rng);
+        let rc = coarse.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(rf.feasible && rc.feasible);
+        assert!(
+            rc.peak_bits > rf.peak_bits,
+            "coarse {} bits ≤ fine {} bits",
+            rc.peak_bits,
+            rf.peak_bits
+        );
+    }
+
+    #[test]
+    fn sample_rate_formula() {
+        let algo = HarPeledAssadi::paper(2, 0.5);
+        // n = 10_000, α = 2 ⇒ ρ = 0.01; p = 16·k·ln m/(ρ·n) = 16·k·ln m/100.
+        let p = algo.sample_rate(10_000, 64, 1);
+        assert!((p - 16.0 * 64f64.ln() / 100.0).abs() < 1e-12);
+        // Rates cap at 1.
+        assert_eq!(algo.sample_rate(100, 64, 50), 1.0);
+        // Coarse = fine / ρ (before capping).
+        let coarse = HarPeledAssadi { rate: SamplingRate::Coarse, ..algo };
+        let pc = coarse.sample_rate(10_000, 64, 1);
+        assert!((pc - p * 100.0).min(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn random_arrival_also_works() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = planted_cover(&mut rng, 512, 48, 6);
+        let algo = HarPeledAssadi::paper(3, 0.5);
+        let run = algo.run(&w.system, Arrival::Random { seed: 99 }, &mut rng);
+        assert!(run.feasible);
+        assert!(run.passes <= 7);
+    }
+
+    #[test]
+    fn greedy_solver_still_feasible() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let w = planted_cover(&mut rng, 512, 48, 6);
+        let algo = HarPeledAssadi {
+            solver: InnerSolver::Greedy,
+            ..HarPeledAssadi::paper(3, 0.5)
+        };
+        let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+    }
+
+    #[test]
+    fn alpha_one_single_round_stores_everything_relevant() {
+        // α = 1 ⇒ ρ = 1/n ⇒ p = 1: degenerate to store-the-residual exact.
+        let mut rng = StdRng::seed_from_u64(17);
+        let w = planted_cover(&mut rng, 128, 16, 4);
+        let algo = HarPeledAssadi::paper(1, 0.5);
+        let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        assert!(run.passes <= 3);
+    }
+}

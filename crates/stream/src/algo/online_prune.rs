@@ -1,0 +1,134 @@
+//! Single-pass "take if useful, prune later" heuristic — the Saha–Getoor
+//! (SDM 2009) style one-pass set cover: accept any arriving set that covers
+//! at least one new element (storing its contents), then greedily discard
+//! redundant picks at the end of the pass.
+//!
+//! No approximation guarantee better than trivial in the worst case, but a
+//! standard practical single-pass baseline; its space can degenerate toward
+//! `Θ(mn)` on adversarial orders, which is exactly the regime the paper's
+//! single-pass lower bound \[3\] formalizes.
+
+use crate::meter::SpaceMeter;
+use crate::report::{CoverRun, SetCoverStreamer};
+use crate::stream::{Arrival, SetStream};
+use rand::rngs::StdRng;
+use streamcover_core::{ceil_log2, BitSet, SetId, SetSystem};
+
+/// Single-pass accept-then-prune set cover heuristic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlinePrune;
+
+impl SetCoverStreamer for OnlinePrune {
+    fn name(&self) -> &'static str {
+        "online-prune"
+    }
+
+    fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
+        let n = sys.universe();
+        let mut stream = SetStream::new(sys, arrival);
+        let mut meter = SpaceMeter::new();
+        let logm = u64::from(ceil_log2(sys.len().max(2)));
+        let mut covered = BitSet::new(n);
+        meter.charge(covered.stored_bits_dense().max(1));
+
+        // Accept pass: keep any set with positive marginal coverage.
+        let mut kept: Vec<(SetId, BitSet)> = Vec::new();
+        for (i, s) in stream.pass() {
+            if s.difference_len(&covered) > 0 {
+                covered.union_with(s);
+                meter.charge(s.stored_bits_sparse() + logm);
+                kept.push((i, s.clone()));
+            }
+        }
+        let feasible = covered.is_full();
+
+        // Offline prune: drop sets that are redundant given the others,
+        // scanning in reverse acceptance order (later sets were accepted on
+        // thinner margins and are likelier to be droppable — heuristic).
+        let mut alive: Vec<bool> = vec![true; kept.len()];
+        for idx in (0..kept.len()).rev() {
+            let mut without = BitSet::new(n);
+            for (j, (_, s)) in kept.iter().enumerate() {
+                if j != idx && alive[j] {
+                    without.union_with(s);
+                }
+            }
+            if covered.is_subset_of(&without) {
+                alive[idx] = false;
+                meter.release(kept[idx].1.stored_bits_sparse() + logm);
+            }
+        }
+        let solution: Vec<SetId> = kept
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|((i, _), _)| *i)
+            .collect();
+        CoverRun {
+            algorithm: self.name(),
+            solution,
+            feasible,
+            passes: stream.passes_made(),
+            peak_bits: meter.peak_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::planted_cover;
+
+    #[test]
+    fn single_pass_and_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = planted_cover(&mut rng, 128, 24, 4);
+        let run = OnlinePrune.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert_eq!(run.passes, 1);
+        assert!(run.feasible);
+        assert!(w.system.is_cover(&run.solution));
+    }
+
+    #[test]
+    fn pruning_removes_redundancy() {
+        // Sets arriving worst-first: singletons then the full set. The full
+        // set makes every singleton redundant.
+        let sys = SetSystem::from_elements(4, &[vec![0], vec![1], vec![2], vec![0, 1, 2, 3]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        assert_eq!(run.solution, vec![3], "prune must keep only the full set");
+    }
+
+    #[test]
+    fn keeps_no_zero_gain_sets() {
+        let sys = SetSystem::from_elements(3, &[vec![0, 1, 2], vec![0], vec![1, 2]]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
+        assert_eq!(run.solution, vec![0]);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let sys = SetSystem::from_elements(3, &[vec![0]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
+        assert!(!run.feasible);
+    }
+
+    #[test]
+    fn arrival_order_changes_space() {
+        // Adversarial order (small sets first) stores many sets; an order
+        // with a big set early stores few. We exhibit the asymmetry.
+        let mut sets: Vec<Vec<usize>> = (0..63).map(|i| vec![i]).collect();
+        sets.push((0..64).collect()); // full set last in instance order
+        let sys = SetSystem::from_elements(64, &sets);
+        let mut rng = StdRng::seed_from_u64(5);
+        let adv = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
+        // Reverse-ish order via a seed whose permutation puts 63 early: just
+        // compare against the best case bound instead of a specific seed.
+        assert!(adv.peak_bits > 64 * 6, "worst order must hoard sets");
+        assert_eq!(adv.solution, vec![63]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Pass-budget enforcement: wraps any streaming algorithm and fails its run
+//! if it exceeds a declared pass budget.
+//!
+//! The model of Theorem 1 quantifies over `p`-pass algorithms; this wrapper
+//! turns "the algorithm claims ≤ p passes" into a checked property the
+//! harness can rely on — a run that would need more passes is reported
+//! infeasible rather than silently over-budget.
+
+use crate::report::{CoverRun, SetCoverStreamer};
+use crate::stream::Arrival;
+use rand::rngs::StdRng;
+use streamcover_core::SetSystem;
+
+/// A streaming algorithm with an enforced pass budget.
+pub struct PassLimited<S> {
+    /// The wrapped algorithm.
+    pub inner: S,
+    /// Maximum allowed passes.
+    pub max_passes: usize,
+}
+
+impl<S: SetCoverStreamer> SetCoverStreamer for PassLimited<S> {
+    fn name(&self) -> &'static str {
+        "pass-limited"
+    }
+
+    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
+        let run = self.inner.run(sys, arrival, rng);
+        if run.passes > self.max_passes {
+            return CoverRun {
+                algorithm: self.name(),
+                solution: Vec::new(),
+                feasible: false,
+                passes: run.passes,
+                peak_bits: run.peak_bits,
+            };
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{HarPeledAssadi, ThresholdGreedy};
+    use rand::SeedableRng;
+    use streamcover_dist::planted_cover;
+
+    #[test]
+    fn generous_budget_passes_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = planted_cover(&mut rng, 256, 24, 4);
+        let wrapped = PassLimited { inner: HarPeledAssadi::scaled(2, 0.5), max_passes: 5 };
+        let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        assert!(run.passes <= 5);
+    }
+
+    #[test]
+    fn tight_budget_fails_the_run() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = planted_cover(&mut rng, 1024, 32, 4);
+        // Threshold greedy needs ~log n passes; 2 is not enough.
+        let wrapped = PassLimited { inner: ThresholdGreedy, max_passes: 2 };
+        let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(!run.feasible, "budget violation must fail the run");
+        assert!(run.passes > 2, "original pass count is still reported");
+        assert!(run.solution.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Multi-pass threshold greedy — the classical `O(log n)`-pass,
+//! `O(log n)`-approximation baseline in `O(n)` bits (the pre-\[32\] regime the
+//! paper's introduction contrasts against; a fixed `log n`-approximation in
+//! this space/pass envelope is what Bateni et al. \[9\] refine).
+//!
+//! Pass `j` uses threshold `τ_j = n/2^j`: any arriving set covering at least
+//! `τ_j` still-uncovered elements is taken immediately. After `⌈log₂ n⌉+1`
+//! passes the threshold reaches 1 and the solution is feasible (if the
+//! instance is coverable). Every pick at threshold `τ` covers ≥ τ new
+//! elements while the optimum must cover the remaining elements too —
+//! the standard charging gives an `O(log n)` ratio.
+
+use crate::meter::{SpaceMeter, WORD};
+use crate::report::{CoverRun, SetCoverStreamer};
+use crate::stream::{Arrival, SetStream};
+use rand::rngs::StdRng;
+use streamcover_core::{ceil_log2, BitSet, SetSystem};
+
+/// The threshold-greedy streaming set cover algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThresholdGreedy;
+
+impl SetCoverStreamer for ThresholdGreedy {
+    fn name(&self) -> &'static str {
+        "threshold-greedy"
+    }
+
+    fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
+        let n = sys.universe();
+        let mut stream = SetStream::new(sys, arrival);
+        let mut meter = SpaceMeter::new();
+        if n == 0 {
+            return CoverRun {
+                algorithm: self.name(),
+                solution: Vec::new(),
+                feasible: true,
+                passes: 0,
+                peak_bits: 0,
+            };
+        }
+        let logm = u64::from(ceil_log2(sys.len().max(2)));
+        let mut u = BitSet::full(n);
+        meter.charge(u.stored_bits_dense() + WORD); // U bitmap + threshold word
+
+        let mut sol = Vec::new();
+        let mut threshold = n;
+        while !u.is_empty() && threshold >= 1 {
+            for (i, s) in stream.pass() {
+                if s.intersection_len(&u) >= threshold {
+                    u.difference_with(s);
+                    sol.push(i);
+                    meter.charge(logm);
+                }
+            }
+            if threshold == 1 {
+                break;
+            }
+            threshold /= 2;
+        }
+        let feasible = u.is_empty();
+        CoverRun {
+            algorithm: self.name(),
+            solution: sol,
+            feasible,
+            passes: stream.passes_made(),
+            peak_bits: meter.peak_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_dist::planted_cover;
+    use streamcover_core::exact_set_cover;
+
+    #[test]
+    fn covers_planted_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = planted_cover(&mut rng, 256, 32, 5);
+        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        let opt = exact_set_cover(&w.system).size().unwrap();
+        // O(log n) guarantee: H(n) ≈ 5.5 for n=256; allow the full bound.
+        assert!(
+            (run.size() as f64) <= (2.0 * (256f64).ln() + 1.0) * opt as f64,
+            "size {} vs opt {opt}",
+            run.size()
+        );
+    }
+
+    #[test]
+    fn pass_budget_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = planted_cover(&mut rng, 1024, 32, 4);
+        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.passes <= 11, "{} passes > log₂(1024)+1", run.passes);
+        assert!(run.feasible);
+    }
+
+    #[test]
+    fn space_is_linear_in_n_not_mn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = planted_cover(&mut rng, 512, 64, 4);
+        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+        // Dense U (512 bits) + word + solution ids; far below m·n = 32768.
+        assert!(run.peak_bits < 2_000, "peak {} bits", run.peak_bits);
+    }
+
+    #[test]
+    fn infeasible_instance_reported() {
+        let sys = SetSystem::from_elements(4, &[vec![0], vec![1]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        assert!(!run.feasible);
+        assert_eq!(run.size(), 2, "picks what it can");
+    }
+
+    #[test]
+    fn empty_universe() {
+        let sys = SetSystem::new(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        assert_eq!(run.passes, 0);
+    }
+
+    #[test]
+    fn random_arrival_same_guarantees() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = planted_cover(&mut rng, 256, 32, 5);
+        let run = ThresholdGreedy.run(&w.system, Arrival::Random { seed: 1 }, &mut rng);
+        assert!(run.feasible);
+        assert!(run.passes <= 9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # streamcover-stream
+//!
+//! The streaming model of computation and the algorithms of Assadi
+//! (PODS 2017) within it.
+//!
+//! Substrate:
+//! * [`stream::SetStream`] — multi-pass set streams with enforced pass
+//!   counting; adversarial and random-arrival orders ([`stream::Arrival`]).
+//! * [`meter::SpaceMeter`] — bit-exact working-memory accounting (the
+//!   paper's cost model).
+//! * [`report`] — uniform run reports and the [`report::SetCoverStreamer`] /
+//!   [`report::MaxCoverStreamer`] traits the bench harness sweeps.
+//!
+//! Set cover algorithms ([`algo`]):
+//! * [`algo::HarPeledAssadi`] — **Algorithm 1**: `(α+ε)`-approximation,
+//!   `2α+1` passes, `Õ(m·n^{1/α}/ε² + n/ε)` bits (Theorem 2), with ablation
+//!   knobs for the one-shot-pruning and fine-sampling improvements over
+//!   Har-Peled et al. (PODS 2016).
+//! * [`algo::ThresholdGreedy`] — `O(log n)` passes / `O(log n)`-approx /
+//!   `O(n)` bits classical baseline.
+//! * [`algo::StoreAll`] — one pass, optimal, `Θ(mn)` bits.
+//! * [`algo::OnlinePrune`] — single-pass accept-then-prune heuristic
+//!   (Saha–Getoor style).
+//!
+//! Maximum coverage algorithms ([`maxcov`]):
+//! * [`maxcov::ElementSampling`] — `(1−ε)`-approximate `k`-cover in
+//!   `Õ(mk/ε²)` bits (the subject of Result 2's tight lower bound).
+//! * [`maxcov::SieveStream`] — single-pass `(1/2−ε)` sieve baseline.
+//! * [`maxcov::SahaGetoorSwap`] — the original swap heuristic
+//!   (`1/4`-approximation).
+
+pub mod algo;
+pub mod guessing;
+pub mod maxcov;
+pub mod meter;
+pub mod report;
+pub mod stream;
+
+pub use algo::{
+    HarPeledAssadi, InnerSolver, OnlinePrune, PassLimited, Pruning, SamplingRate, StoreAll,
+    ThresholdGreedy,
+};
+pub use guessing::GuessDriver;
+pub use maxcov::{ElementSampling, McOracle, SahaGetoorSwap, SieveStream};
+pub use meter::SpaceMeter;
+pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
+pub use stream::{Arrival, SetStream};

@@ -1,0 +1,9 @@
+//! Streaming maximum k-coverage algorithms.
+
+pub mod element_sampling;
+pub mod sieve;
+pub mod swap;
+
+pub use element_sampling::{element_sample_for, ElementSampling, McOracle};
+pub use sieve::SieveStream;
+pub use swap::SahaGetoorSwap;

@@ -1,0 +1,158 @@
+//! The Saha–Getoor swap algorithm (SDM 2009) — the original streaming
+//! maximum-`k`-coverage heuristic that introduced the streaming set cover
+//! problem's study. Single pass, `O(kn)` bits, `1/4`-approximation.
+//!
+//! Maintain at most `k` sets (with contents). On arrival of `S`: if fewer
+//! than `k` are held, take it; otherwise apply the best single swap if it
+//! improves total coverage by at least `coverage/(2k)` (the improvement
+//! margin that yields the 1/4 guarantee).
+
+use crate::meter::SpaceMeter;
+use crate::report::{MaxCoverRun, MaxCoverStreamer};
+use crate::stream::{Arrival, SetStream};
+use rand::rngs::StdRng;
+use streamcover_core::{ceil_log2, BitSet, SetId, SetSystem};
+
+/// Single-pass swap-based max coverage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SahaGetoorSwap;
+
+fn coverage_of(held: &[(SetId, BitSet)], n: usize) -> BitSet {
+    let mut c = BitSet::new(n);
+    for (_, s) in held {
+        c.union_with(s);
+    }
+    c
+}
+
+impl MaxCoverStreamer for SahaGetoorSwap {
+    fn name(&self) -> &'static str {
+        "saha-getoor-swap"
+    }
+
+    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, _rng: &mut StdRng) -> MaxCoverRun {
+        let n = sys.universe();
+        let logm = u64::from(ceil_log2(sys.len().max(2)));
+        let mut stream = SetStream::new(sys, arrival);
+        let mut meter = SpaceMeter::new();
+        let mut held: Vec<(SetId, BitSet)> = Vec::new();
+
+        for (i, s) in stream.pass() {
+            if k == 0 {
+                break;
+            }
+            if held.len() < k {
+                meter.charge(s.stored_bits_sparse() + logm);
+                held.push((i, s.clone()));
+                continue;
+            }
+            let current = coverage_of(&held, n).len();
+            // Best swap: replace the member whose removal hurts least.
+            let mut best: Option<(usize, usize)> = None; // (slot, new coverage)
+            for slot in 0..held.len() {
+                let mut cov = BitSet::new(n);
+                for (j, (_, t)) in held.iter().enumerate() {
+                    if j != slot {
+                        cov.union_with(t);
+                    }
+                }
+                cov.union_with(s);
+                let c = cov.len();
+                match best {
+                    Some((_, b)) if b >= c => {}
+                    _ => best = Some((slot, c)),
+                }
+            }
+            if let Some((slot, c)) = best {
+                if c as f64 >= current as f64 + (current as f64) / (2.0 * k as f64) {
+                    meter.release(held[slot].1.stored_bits_sparse() + logm);
+                    meter.charge(s.stored_bits_sparse() + logm);
+                    held[slot] = (i, s.clone());
+                }
+            }
+        }
+
+        let chosen: Vec<SetId> = held.iter().map(|(i, _)| *i).collect();
+        let coverage = sys.coverage_len(&chosen);
+        MaxCoverRun {
+            algorithm: self.name(),
+            chosen,
+            coverage,
+            passes: stream.passes_made(),
+            peak_bits: meter.peak_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use streamcover_core::exact_max_coverage;
+    use streamcover_dist::{blog_watch, uniform_random};
+
+    #[test]
+    fn quarter_approximation_on_blogs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sys = blog_watch(&mut rng, 64, 120);
+        for k in [1, 2, 4] {
+            let (_, opt) = exact_max_coverage(&sys, k);
+            let run = SahaGetoorSwap.run(&sys, k, Arrival::Adversarial, &mut rng);
+            assert!(run.chosen.len() <= k);
+            assert_eq!(run.passes, 1);
+            assert!(
+                run.coverage * 4 >= opt,
+                "k={k}: {} < opt/4 = {}",
+                run.coverage,
+                opt / 4
+            );
+        }
+    }
+
+    #[test]
+    fn takes_first_k_then_swaps_upward() {
+        // Tiny sets first, then one huge set: the huge set must displace one.
+        let sys = SetSystem::from_elements(
+            12,
+            &[vec![0], vec![1], vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = SahaGetoorSwap.run(&sys, 2, Arrival::Adversarial, &mut rng);
+        assert!(run.chosen.contains(&2), "big set must be swapped in");
+        assert!(run.coverage >= 11);
+    }
+
+    #[test]
+    fn random_instances_meet_guarantee() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..10 {
+            let sys = uniform_random(&mut rng, 60, 25, 0.2, false);
+            let (_, opt) = exact_max_coverage(&sys, 3);
+            let run =
+                SahaGetoorSwap.run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
+            assert!(
+                run.coverage * 4 >= opt,
+                "trial {trial}: {} vs opt {opt}",
+                run.coverage
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        let sys = SetSystem::from_elements(4, &[vec![0, 1]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = SahaGetoorSwap.run(&sys, 0, Arrival::Adversarial, &mut rng);
+        assert!(run.chosen.is_empty());
+        assert_eq!(run.coverage, 0);
+    }
+
+    #[test]
+    fn space_is_bounded_by_k_sets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sys = uniform_random(&mut rng, 100, 50, 0.3, false);
+        let run = SahaGetoorSwap.run(&sys, 2, Arrival::Adversarial, &mut rng);
+        // 2 sets ≈ 2·(30 elements · 7 bits) + ids; generous cap ≪ m·n.
+        assert!(run.peak_bits < 2_000, "peak {}", run.peak_bits);
+    }
+}

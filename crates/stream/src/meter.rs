@@ -1,0 +1,135 @@
+//! Bit-exact space accounting.
+//!
+//! The paper measures streaming algorithms in bits of working memory, not
+//! RSS. Every algorithm in this crate routes each retained object through a
+//! [`SpaceMeter`]: `charge` on acquisition, `release` on drop, and the meter
+//! tracks the live total and the high-water mark. Reports quote the peak.
+//!
+//! Conventions (matching the paper's accounting):
+//! * an element id costs `⌈log₂ n⌉` bits, a set id `⌈log₂ m⌉` bits;
+//! * a subset stored as a member list costs `|S| · ⌈log₂ n⌉` bits
+//!   ([`streamcover_core::BitSet::stored_bits_sparse`]);
+//! * a subset stored as a bitmap costs `n` bits (`stored_bits_dense`) —
+//!   algorithms charge whichever representation they conceptually use;
+//! * counters and thresholds cost one word (64 bits).
+
+/// Bits in one machine word, charged for counters/thresholds.
+pub const WORD: u64 = 64;
+
+/// A live/peak bit counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpaceMeter {
+    live: u64,
+    peak: u64,
+}
+
+impl SpaceMeter {
+    /// A fresh meter with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `bits` of newly retained state.
+    pub fn charge(&mut self, bits: u64) {
+        self.live += bits;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Releases `bits` of previously charged state.
+    ///
+    /// # Panics
+    /// Panics if releasing more than is live — that is always an accounting
+    /// bug in the calling algorithm.
+    pub fn release(&mut self, bits: u64) {
+        assert!(
+            bits <= self.live,
+            "releasing {bits} bits with only {} live — accounting bug",
+            self.live
+        );
+        self.live -= bits;
+    }
+
+    /// Adjusts the live amount to an absolutely known figure (useful when an
+    /// algorithm re-derives its footprint wholesale, e.g. after rebuilding a
+    /// projected system).
+    pub fn set_live(&mut self, bits: u64) {
+        self.live = bits;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Currently live bits.
+    pub fn live_bits(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark.
+    pub fn peak_bits(&self) -> u64 {
+        self.peak
+    }
+
+    /// Folds another meter's peak in as if it ran *in parallel* with this
+    /// one (peaks add; used by the o͂pt-guessing driver which conceptually
+    /// runs `O(log n / ε)` copies side by side).
+    pub fn absorb_parallel(&mut self, other: &SpaceMeter) {
+        self.peak += other.peak;
+        self.live += other.live;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_tracks_peak() {
+        let mut m = SpaceMeter::new();
+        m.charge(100);
+        m.charge(50);
+        assert_eq!(m.live_bits(), 150);
+        assert_eq!(m.peak_bits(), 150);
+        m.release(120);
+        assert_eq!(m.live_bits(), 30);
+        assert_eq!(m.peak_bits(), 150, "peak is sticky");
+        m.charge(200);
+        assert_eq!(m.peak_bits(), 230);
+    }
+
+    #[test]
+    #[should_panic(expected = "accounting bug")]
+    fn over_release_panics() {
+        let mut m = SpaceMeter::new();
+        m.charge(10);
+        m.release(11);
+    }
+
+    #[test]
+    fn set_live_can_move_both_ways() {
+        let mut m = SpaceMeter::new();
+        m.set_live(500);
+        assert_eq!(m.peak_bits(), 500);
+        m.set_live(10);
+        assert_eq!(m.live_bits(), 10);
+        assert_eq!(m.peak_bits(), 500);
+        m.set_live(600);
+        assert_eq!(m.peak_bits(), 600);
+    }
+
+    #[test]
+    fn parallel_absorb_adds_peaks() {
+        let mut a = SpaceMeter::new();
+        a.charge(100);
+        a.release(100);
+        let mut b = SpaceMeter::new();
+        b.charge(70);
+        a.absorb_parallel(&b);
+        assert_eq!(a.peak_bits(), 170);
+        assert_eq!(a.live_bits(), 70);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let m = SpaceMeter::default();
+        assert_eq!(m.live_bits(), 0);
+        assert_eq!(m.peak_bits(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Run reports and the common interface all streaming set cover algorithms
+//! implement, so the benchmark harness can sweep them uniformly.
+
+use crate::stream::Arrival;
+use rand::rngs::StdRng;
+use streamcover_core::{SetId, SetSystem};
+
+/// Outcome of one streaming set cover run.
+#[derive(Clone, Debug)]
+pub struct CoverRun {
+    /// Name of the algorithm that produced this run.
+    pub algorithm: &'static str,
+    /// Chosen set ids (instance coordinates).
+    pub solution: Vec<SetId>,
+    /// Whether the solution covers the universe.
+    pub feasible: bool,
+    /// Passes made over the stream (max across parallel branches).
+    pub passes: usize,
+    /// Peak working-memory bits (summed across parallel branches).
+    pub peak_bits: u64,
+}
+
+impl CoverRun {
+    /// Number of sets in the solution.
+    pub fn size(&self) -> usize {
+        self.solution.len()
+    }
+
+    /// Approximation ratio against a known optimum. `NaN` if infeasible or
+    /// `opt == 0`.
+    pub fn ratio(&self, opt: usize) -> f64 {
+        if !self.feasible || opt == 0 {
+            return f64::NAN;
+        }
+        self.size() as f64 / opt as f64
+    }
+}
+
+/// A streaming set cover algorithm: consumes a set system through the
+/// pass-counting stream substrate and reports solution, passes and peak
+/// bits.
+pub trait SetCoverStreamer {
+    /// Short stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm over the instance under the given arrival order.
+    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun;
+}
+
+/// Outcome of one streaming maximum coverage run.
+#[derive(Clone, Debug)]
+pub struct MaxCoverRun {
+    /// Name of the algorithm.
+    pub algorithm: &'static str,
+    /// Chosen set ids (≤ k).
+    pub chosen: Vec<SetId>,
+    /// True coverage of the chosen sets (computed offline for reporting).
+    pub coverage: usize,
+    /// Passes made.
+    pub passes: usize,
+    /// Peak working-memory bits.
+    pub peak_bits: u64,
+}
+
+impl MaxCoverRun {
+    /// Fraction of a known optimum achieved. `NaN` when `opt == 0`.
+    pub fn ratio(&self, opt: usize) -> f64 {
+        if opt == 0 {
+            return f64::NAN;
+        }
+        self.coverage as f64 / opt as f64
+    }
+}
+
+/// A streaming maximum `k`-coverage algorithm.
+pub trait MaxCoverStreamer {
+    /// Short stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm; must return at most `k` set ids.
+    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, rng: &mut StdRng) -> MaxCoverRun;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_run_ratio() {
+        let r = CoverRun {
+            algorithm: "x",
+            solution: vec![1, 2, 3, 4],
+            feasible: true,
+            passes: 3,
+            peak_bits: 10,
+        };
+        assert_eq!(r.size(), 4);
+        assert!((r.ratio(2) - 2.0).abs() < 1e-12);
+        assert!(r.ratio(0).is_nan());
+        let bad = CoverRun { feasible: false, ..r };
+        assert!(bad.ratio(2).is_nan());
+    }
+
+    #[test]
+    fn maxcover_run_ratio() {
+        let r = MaxCoverRun {
+            algorithm: "x",
+            chosen: vec![0],
+            coverage: 30,
+            passes: 1,
+            peak_bits: 5,
+        };
+        assert!((r.ratio(60) - 0.5).abs() < 1e-12);
+        assert!(r.ratio(0).is_nan());
+    }
+}

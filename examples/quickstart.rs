@@ -1,0 +1,56 @@
+//! Quickstart: build an instance, run Algorithm 1, compare against the
+//! offline baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A coverable instance: universe of 1024 elements, 64 sets, with a
+    // planted cover of 6 sets hidden among decoys.
+    let workload = planted_cover(&mut rng, 1024, 64, 6);
+    let sys = &workload.system;
+    println!("instance: n={}, m={}, planted opt ≤ 6", sys.universe(), sys.len());
+
+    // Offline ground truth.
+    let exact = exact_set_cover(sys);
+    let greedy = greedy_set_cover(sys);
+    println!("offline exact opt      : {:?}", exact.size());
+    println!("offline greedy (ln n)  : {} sets", greedy.size());
+
+    // Algorithm 1 (Assadi PODS'17): (α+ε)-approximation in ≤ 2α+1 passes
+    // and Õ(m·n^{1/α}) bits.
+    for alpha in [2, 3, 4] {
+        let algo = HarPeledAssadi::scaled(alpha, 0.5);
+        let run = algo.run(sys, Arrival::Adversarial, &mut rng);
+        println!(
+            "alg1 α={alpha}: {} sets, {} passes (≤ {}), {} peak bits, feasible={}",
+            run.size(),
+            run.passes,
+            2 * alpha + 1,
+            run.peak_bits,
+            run.feasible,
+        );
+        assert!(run.feasible, "Algorithm 1 must return a cover");
+    }
+
+    // The trivial baselines for contrast.
+    let store = StoreAll::default().run(sys, Arrival::Adversarial, &mut rng);
+    let greedy_stream = ThresholdGreedy.run(sys, Arrival::Adversarial, &mut rng);
+    println!(
+        "store-all: {} sets, 1 pass, {} peak bits (the Θ(mn) strawman)",
+        store.size(),
+        store.peak_bits
+    );
+    println!(
+        "threshold-greedy: {} sets, {} passes, {} peak bits (the O(log n)-approx regime)",
+        greedy_stream.size(),
+        greedy_stream.passes,
+        greedy_stream.peak_bits
+    );
+}

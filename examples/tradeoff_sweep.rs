@@ -1,0 +1,40 @@
+//! Sweep α and watch Theorem 2's tradeoff: space falls like `n^{1/α}` while
+//! passes grow like `2α+1` and solution quality degrades gracefully to
+//! `(α+ε)·opt`.
+//!
+//! ```sh
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (n, m, opt) = (8192, 48, 4);
+    let w = planted_cover(&mut rng, n, m, opt);
+    println!("planted workload: n={n}, m={m}, opt ≤ {opt}, ε=0.5\n");
+    println!(
+        "{:>5} {:>8} {:>8} {:>14} {:>18} {:>6}",
+        "α", "passes", "≤2α+1", "peak bits", "peak/(m·n^(1/α))", "size"
+    );
+    for alpha in 1..=6 {
+        let run = HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
+        let reference = m as f64 * (n as f64).powf(1.0 / alpha as f64);
+        println!(
+            "{:>5} {:>8} {:>8} {:>14} {:>18.1} {:>6}",
+            alpha,
+            run.passes,
+            2 * alpha + 1,
+            run.peak_bits,
+            run.peak_bits as f64 / reference,
+            run.size(),
+        );
+        assert!(run.feasible);
+        assert!(run.passes <= 2 * alpha + 1);
+    }
+    println!();
+    println!("Theorem 1 says the n^(1/α) column is not an artifact: no algorithm can");
+    println!("beat Õ(m·n^(1/α)) space at approximation α, even with polylog(n) passes");
+    println!("and random arrival. Theorem 2 (this algorithm) shows it is achievable.");
+}

@@ -1,0 +1,82 @@
+//! Integration: the maximum coverage side (Result 2) — `D_MC`, the GHD
+//! reduction, and the streaming `(1−ε)` algorithm working together.
+
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::comm::{GhdFromMaxCover, GhdProtocol, MaxCoverProtocol, SendAllMaxCover};
+use streamcover::dist::ghd::{sample_no as ghd_no, sample_yes as ghd_yes};
+use streamcover::dist::{sample_dmc_with_theta, McParams};
+use streamcover::prelude::*;
+
+#[test]
+fn one_minus_eps_estimation_on_dmc_decides_theta() {
+    // Lemma 4.3 in action: the exact 2-coverage estimate falls on the
+    // correct side of τ for both branches.
+    let p = McParams::for_epsilon(6, 0.125);
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..6 {
+        let theta = trial % 2 == 0;
+        let inst = sample_dmc_with_theta(&mut rng, p, theta);
+        let (est, _) = SendAllMaxCover.run(&inst.alice, &inst.bob, &mut rng);
+        assert_eq!(
+            est as f64 > p.tau(),
+            theta,
+            "trial {trial}: estimate {est} vs τ = {} misdecides θ={theta}",
+            p.tau()
+        );
+    }
+}
+
+#[test]
+fn lemma_4_5_pipeline_solves_ghd_through_max_cover() {
+    let p = McParams::for_epsilon(6, 0.125);
+    let red = GhdFromMaxCover { mc: SendAllMaxCover, params: p };
+    let mut rng = StdRng::seed_from_u64(2);
+    for trial in 0..5 {
+        let yes = ghd_yes(&mut rng, p.ghd);
+        assert!(red.run(&yes.a, &yes.b, &mut rng).0, "trial {trial} Yes");
+        let no = ghd_no(&mut rng, p.ghd);
+        assert!(!red.run(&no.a, &no.b, &mut rng).0, "trial {trial} No");
+    }
+}
+
+#[test]
+fn streaming_element_sampling_decides_theta_with_enough_accuracy() {
+    // The streaming (1−ε) algorithm itself, run on the combined D_MC stream,
+    // can decide θ — which is exactly why Result 2 lower-bounds its space.
+    let p = McParams::for_epsilon(5, 0.25);
+    let mut rng = StdRng::seed_from_u64(3);
+    let algo = ElementSampling::new(0.05);
+    let mut correct = 0;
+    let trials = 6;
+    for trial in 0..trials {
+        let theta = trial % 2 == 0;
+        let inst = sample_dmc_with_theta(&mut rng, p, theta);
+        let run = algo.run(&inst.combined(), 2, Arrival::Random { seed: trial }, &mut rng);
+        if (run.coverage as f64 > p.tau()) == theta {
+            correct += 1;
+        }
+    }
+    assert!(correct >= trials - 1, "only {correct}/{trials} correct θ decisions");
+}
+
+#[test]
+fn maxcover_streamers_are_ordered_by_guarantee_on_average() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut wins_sampling = 0;
+    let trials = 8;
+    for trial in 0..trials {
+        let sys = blog_watch(&mut rng, 48, 80);
+        let (_, opt) = exact_max_coverage(&sys, 3);
+        let es = ElementSampling::new(0.15).run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
+        let sw = SahaGetoorSwap.run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
+        assert!(es.coverage as f64 >= 0.6 * opt as f64, "trial {trial}: (1−ε) too weak");
+        assert!(sw.coverage * 4 >= opt, "trial {trial}: swap below 1/4");
+        if es.coverage >= sw.coverage {
+            wins_sampling += 1;
+        }
+    }
+    assert!(
+        wins_sampling >= trials / 2,
+        "element sampling should usually dominate the swap heuristic"
+    );
+}

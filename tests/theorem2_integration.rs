@@ -1,0 +1,90 @@
+//! Integration: Algorithm 1 (Theorem 2) against offline ground truth across
+//! workloads, arrival orders and α — spanning `core`, `dist`, `stream`.
+
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::prelude::*;
+
+#[test]
+fn algorithm_one_respects_all_three_budgets() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (n, m, opt) in [(512, 32, 4), (1024, 64, 8), (2048, 48, 6)] {
+        let w = planted_cover(&mut rng, n, m, opt);
+        let true_opt = exact_set_cover(&w.system).size().unwrap();
+        for alpha in [2, 3] {
+            let run =
+                HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
+            assert!(run.feasible, "n={n} α={alpha}: infeasible");
+            assert!(w.system.is_cover(&run.solution));
+            assert!(run.passes <= 2 * alpha + 1, "n={n} α={alpha}: {} passes", run.passes);
+            // (α+ε)·opt with the (1+ε) guess-grid slack.
+            let bound = (alpha as f64 + 0.5) * 1.5 * true_opt as f64;
+            assert!(
+                (run.size() as f64) <= bound,
+                "n={n} α={alpha}: {} sets > {bound} (opt {true_opt})",
+                run.size()
+            );
+        }
+    }
+}
+
+#[test]
+fn space_decreases_in_alpha_and_beats_store_all() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = planted_cover(&mut rng, 8192, 48, 4);
+    let store = StoreAll::default().run(&w.system, Arrival::Adversarial, &mut rng);
+    let mut prev = u64::MAX;
+    for alpha in [2, 4, 6] {
+        let run =
+            HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
+        assert!(run.feasible);
+        assert!(
+            run.peak_bits < prev,
+            "space must fall with α: {} ≥ {prev} at α={alpha}",
+            run.peak_bits
+        );
+        prev = run.peak_bits;
+    }
+    // At α = 6 the algorithm must be well below the mn strawman.
+    assert!(
+        prev < store.peak_bits,
+        "alg1(α=6) uses {prev} ≥ store-all {}",
+        store.peak_bits
+    );
+}
+
+#[test]
+fn all_arrival_orders_give_feasible_covers() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = planted_cover(&mut rng, 1024, 48, 6);
+    let algo = HarPeledAssadi::scaled(3, 0.5);
+    for arrival in [
+        Arrival::Adversarial,
+        Arrival::Random { seed: 11 },
+        Arrival::Random { seed: 12 },
+        Arrival::ReshuffledEachPass { seed: 13 },
+    ] {
+        let run = algo.run(&w.system, arrival, &mut rng);
+        assert!(run.feasible, "{arrival:?}");
+        assert!(run.passes <= 7);
+    }
+}
+
+#[test]
+fn streaming_baselines_agree_with_offline_on_feasibility() {
+    let mut rng = StdRng::seed_from_u64(4);
+    // A mix of coverable and uncoverable instances.
+    for trial in 0..6 {
+        let coverable = trial % 2 == 0;
+        let sys = uniform_random(&mut rng, 256, 20, 0.08, coverable);
+        let offline_feasible = sys.is_coverable();
+        let tg = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        assert_eq!(tg.feasible, offline_feasible, "trial {trial} threshold-greedy");
+        let sa = StoreAll::default().run(&sys, Arrival::Adversarial, &mut rng);
+        assert_eq!(sa.feasible, offline_feasible, "trial {trial} store-all");
+        if offline_feasible {
+            let opt = exact_set_cover(&sys).size().unwrap();
+            assert_eq!(sa.size(), opt, "store-all must be optimal");
+            assert!(tg.size() >= opt);
+        }
+    }
+}
