@@ -7,18 +7,34 @@ use streamcover_stream::{Arrival, HarPeledAssadi, Pruning, SamplingRate, SetCove
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_ablation");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(11);
     let w = planted_cover(&mut rng, 1024, 48, 6);
     let paper = HarPeledAssadi::scaled(3, 0.5);
     let arms = [
         ("paper", paper),
-        ("noprune", HarPeledAssadi { pruning: Pruning::None, ..paper }),
-        ("coarse", HarPeledAssadi { rate: SamplingRate::Coarse, ..paper }),
+        (
+            "noprune",
+            HarPeledAssadi {
+                pruning: Pruning::None,
+                ..paper
+            },
+        ),
+        (
+            "coarse",
+            HarPeledAssadi {
+                rate: SamplingRate::Coarse,
+                ..paper
+            },
+        ),
     ];
     for (name, algo) in arms {
         g.bench_function(name, |b| {
-            b.iter(|| algo.run(&w.system, Arrival::Adversarial, &mut rng).peak_bits)
+            b.iter(|| {
+                algo.run(&w.system, Arrival::Adversarial, &mut rng)
+                    .peak_bits
+            })
         });
     }
     g.finish();

@@ -7,7 +7,8 @@ use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_arrival_order");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(9);
     let w = planted_cover(&mut rng, 1024, 48, 6);
     let algo = HarPeledAssadi::scaled(3, 0.5);

@@ -7,17 +7,30 @@ use streamcover_stream::{Arrival, OnlinePrune, SetCoverStreamer, StoreAll, Thres
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_baselines");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(8);
     let w = planted_cover(&mut rng, 1024, 64, 6);
     g.bench_function("threshold_greedy_n1024_m64", |b| {
-        b.iter(|| ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng).size())
+        b.iter(|| {
+            ThresholdGreedy
+                .run(&w.system, Arrival::Adversarial, &mut rng)
+                .size()
+        })
     });
     g.bench_function("online_prune_n1024_m64", |b| {
-        b.iter(|| OnlinePrune.run(&w.system, Arrival::Adversarial, &mut rng).size())
+        b.iter(|| {
+            OnlinePrune
+                .run(&w.system, Arrival::Adversarial, &mut rng)
+                .size()
+        })
     });
     g.bench_function("store_all_n1024_m64", |b| {
-        b.iter(|| StoreAll::default().run(&w.system, Arrival::Adversarial, &mut rng).size())
+        b.iter(|| {
+            StoreAll::default()
+                .run(&w.system, Arrival::Adversarial, &mut rng)
+                .size()
+        })
     });
     g.finish();
 }

@@ -8,19 +8,29 @@ use streamcover_stream::ThresholdGreedy;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_communication");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let p = ScParams::explicit(4096, 6, 32);
     let mut rng = StdRng::seed_from_u64(3);
     let inst = sample_dsc_with_theta(&mut rng, p, true);
     g.bench_function("send_all_planted_n4096", |b| {
-        b.iter(|| SendAllSetCover { node_budget: 10_000_000 }.run(&inst.alice, &inst.bob, &mut rng).1.total_bits())
+        b.iter(|| {
+            SendAllSetCover {
+                node_budget: 10_000_000,
+            }
+            .run(&inst.alice, &inst.bob, &mut rng)
+            .1
+            .total_bits()
+        })
     });
     g.bench_function("stream_adapter_threshold_greedy", |b| {
         b.iter(|| {
-            StreamingAsProtocol { algo: ThresholdGreedy }
-                .run(&inst.alice, &inst.bob, &mut rng)
-                .1
-                .total_bits()
+            StreamingAsProtocol {
+                algo: ThresholdGreedy,
+            }
+            .run(&inst.alice, &inst.bob, &mut rng)
+            .1
+            .total_bits()
         })
     });
     g.finish();

@@ -7,7 +7,8 @@ use streamcover_info::lemma22_trial;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_coverage_concentration");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(4);
     let u = BitSet::full(4096);
     for k in [2usize, 6] {

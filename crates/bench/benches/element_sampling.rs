@@ -7,11 +7,15 @@ use streamcover_stream::{Arrival, ElementSampling, MaxCoverStreamer, McOracle};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_element_sampling");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(7);
     let sys = uniform_random(&mut rng, 8192, 10, 0.05, false);
     for eps in [0.4f64, 0.1] {
-        let algo = ElementSampling { oracle: McOracle::Greedy, ..ElementSampling::new(eps) };
+        let algo = ElementSampling {
+            oracle: McOracle::Greedy,
+            ..ElementSampling::new(eps)
+        };
         g.bench_function(format!("k2_eps{eps}_n8192_m10"), |b| {
             b.iter(|| algo.run(&sys, 2, Arrival::Adversarial, &mut rng).peak_bits)
         });

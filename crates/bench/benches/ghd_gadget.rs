@@ -7,11 +7,16 @@ use streamcover_dist::GhdParams;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_ghd_gadget");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     let p = GhdParams::balanced(64);
     let mut rng = StdRng::seed_from_u64(12);
-    g.bench_function("ghd_sample_yes_t64", |b| b.iter(|| sample_yes(&mut rng, p).hamming()));
-    g.bench_function("ghd_sample_no_t64", |b| b.iter(|| sample_no(&mut rng, p).hamming()));
+    g.bench_function("ghd_sample_yes_t64", |b| {
+        b.iter(|| sample_yes(&mut rng, p).hamming())
+    });
+    g.bench_function("ghd_sample_no_t64", |b| {
+        b.iter(|| sample_no(&mut rng, p).hamming())
+    });
     g.finish();
 }
 

@@ -7,7 +7,8 @@ use streamcover_dist::{sample_dsc_with_theta, ScParams};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_hardness_gap");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let p = ScParams::explicit(4096, 6, 32);
     let mut rng = StdRng::seed_from_u64(2);
     g.bench_function("sample_dsc_n4096_m6", |b| {

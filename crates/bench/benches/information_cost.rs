@@ -8,7 +8,8 @@ use streamcover_info::estimate_disj_icost;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_information_cost");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(10);
     g.bench_function("icost_trivial_t6_5k_samples", |b| {
         b.iter(|| {

@@ -7,14 +7,17 @@ use streamcover_dist::{sample_dmc_with_theta, McParams};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_maxcover_gap");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let p = McParams::for_epsilon(6, 0.25);
     let mut rng = StdRng::seed_from_u64(6);
     g.bench_function("sample_dmc_eps025_m6", |b| {
         b.iter(|| sample_dmc_with_theta(&mut rng, p, true).combined().len())
     });
     let inst = sample_dmc_with_theta(&mut rng, p, true).combined();
-    g.bench_function("exact_max_2_coverage", |b| b.iter(|| exact_max_coverage(&inst, 2).1));
+    g.bench_function("exact_max_2_coverage", |b| {
+        b.iter(|| exact_max_coverage(&inst, 2).1)
+    });
     g.finish();
 }
 

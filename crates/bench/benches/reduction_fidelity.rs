@@ -8,10 +8,14 @@ use streamcover_dist::ScParams;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_reduction_fidelity");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let p = ScParams::explicit(4096, 6, 32);
     let red = DisjFromSetCover {
-        sc: ThresholdSetCover { bound: 4, node_budget: 10_000_000 },
+        sc: ThresholdSetCover {
+            bound: 4,
+            node_budget: 10_000_000,
+        },
         params: p,
         alpha: 2,
     };

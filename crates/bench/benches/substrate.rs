@@ -7,14 +7,19 @@ use streamcover_dist::planted_cover;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(13);
     let a = random_subset(&mut rng, 65_536, 20_000);
     let b = random_subset(&mut rng, 65_536, 20_000);
     g.bench_function("bitset_union_len_64k", |bch| bch.iter(|| a.union_len(&b)));
-    g.bench_function("bitset_difference_64k", |bch| bch.iter(|| a.difference(&b).len()));
+    g.bench_function("bitset_difference_64k", |bch| {
+        bch.iter(|| a.difference(&b).len())
+    });
     let w = planted_cover(&mut rng, 512, 48, 6);
-    g.bench_function("greedy_cover_n512_m48", |bch| bch.iter(|| greedy_set_cover(&w.system).size()));
+    g.bench_function("greedy_cover_n512_m48", |bch| {
+        bch.iter(|| greedy_set_cover(&w.system).size())
+    });
     g.bench_function("exact_cover_n512_m48", |bch| {
         bch.iter(|| exact_set_cover(&w.system).size())
     });

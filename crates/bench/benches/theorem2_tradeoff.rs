@@ -7,7 +7,8 @@ use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_theorem2_tradeoff");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(1);
     let w = planted_cover(&mut rng, 2048, 48, 4);
     for alpha in [2usize, 4] {

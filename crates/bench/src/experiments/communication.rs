@@ -7,8 +7,8 @@ use crate::Scale;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use streamcover_comm::{
-    DisjFromSetCover, DisjProtocol, ErringSetCover, SampledDisj, SendAllSetCover,
-    SetCoverProtocol, SketchedSetCover, StreamingAsProtocol, ThresholdSetCover, TrivialDisj,
+    DisjFromSetCover, DisjProtocol, ErringSetCover, SampledDisj, SendAllSetCover, SetCoverProtocol,
+    SketchedSetCover, StreamingAsProtocol, ThresholdSetCover, TrivialDisj,
 };
 use streamcover_dist::disj::{sample_no, sample_yes};
 use streamcover_dist::{random_partition, sample_dsc_with_theta, ScParams};
@@ -38,14 +38,28 @@ pub fn e3_communication(scale: Scale, seed: u64) -> Table {
             "E3 — communication on D^rnd_SC (n={}, m={}, t={}, α={alpha}, {trials} trials)",
             p.n, p.m, p.t
         ),
-        &["protocol", "mean_bits", "bits/(2m·n)", "bits/(m·n^{1/α})", "errors"],
+        &[
+            "protocol",
+            "mean_bits",
+            "bits/(2m·n)",
+            "bits/(m·n^{1/α})",
+            "errors",
+        ],
     );
 
     let protocols: Vec<(&'static str, Box<dyn SetCoverProtocol>)> = vec![
-        ("send-all (exact)", Box::new(SendAllSetCover { node_budget: 50_000_000 })),
+        (
+            "send-all (exact)",
+            Box::new(SendAllSetCover {
+                node_budget: 50_000_000,
+            }),
+        ),
         (
             "threshold 2α (exact)",
-            Box::new(ThresholdSetCover { bound: 2 * alpha, node_budget: 50_000_000 }),
+            Box::new(ThresholdSetCover {
+                bound: 2 * alpha,
+                node_budget: 50_000_000,
+            }),
         ),
         (
             "sketched q=3n/4",
@@ -57,15 +71,23 @@ pub fn e3_communication(scale: Scale, seed: u64) -> Table {
         ),
         (
             "sketched q=n/4 (cheap, errs)",
-            Box::new(SketchedSetCover { q: p.n / 4, bound: 2 * alpha, node_budget: 50_000_000 }),
+            Box::new(SketchedSetCover {
+                q: p.n / 4,
+                bound: 2 * alpha,
+                node_budget: 50_000_000,
+            }),
         ),
         (
             "stream-adapter(threshold-greedy)",
-            Box::new(StreamingAsProtocol { algo: ThresholdGreedy }),
+            Box::new(StreamingAsProtocol {
+                algo: ThresholdGreedy,
+            }),
         ),
         (
             "stream-adapter(alg1 α=2)",
-            Box::new(StreamingAsProtocol { algo: HarPeledAssadi::scaled(2, 0.5) }),
+            Box::new(StreamingAsProtocol {
+                algo: HarPeledAssadi::scaled(2, 0.5),
+            }),
         ),
     ];
 
@@ -134,17 +156,32 @@ pub fn e5_reduction_fidelity(scale: Scale, seed: u64) -> Table {
         let mut bits = 0.0;
         let mut inner_bits_match = true;
         for k in 0..2 * trials {
-            let inst = if k % 2 == 0 { sample_yes(rng, p.t) } else { sample_no(rng, p.t) };
+            let inst = if k % 2 == 0 {
+                sample_yes(rng, p.t)
+            } else {
+                sample_no(rng, p.t)
+            };
             let truth = inst.is_disjoint();
-            let inner = ThresholdSetCover { bound: 2 * alpha, node_budget: 50_000_000 };
+            let inner = ThresholdSetCover {
+                bound: 2 * alpha,
+                node_budget: 50_000_000,
+            };
             let (ans, tr) = match delta {
                 None => {
-                    let red = DisjFromSetCover { sc: inner, params: p, alpha };
+                    let red = DisjFromSetCover {
+                        sc: inner,
+                        params: p,
+                        alpha,
+                    };
                     red.run(&inst.a, &inst.b, rng)
                 }
                 Some(d) => {
                     let red = DisjFromSetCover {
-                        sc: ErringSetCover { inner, delta: d, threshold: 2 * alpha },
+                        sc: ErringSetCover {
+                            inner,
+                            delta: d,
+                            threshold: 2 * alpha,
+                        },
                         params: p,
                         alpha,
                     };
@@ -166,7 +203,12 @@ pub fn e5_reduction_fidelity(scale: Scale, seed: u64) -> Table {
                 }
             }
         }
-        (err_yes, err_no, bits / (2 * trials) as f64, inner_bits_match)
+        (
+            err_yes,
+            err_no,
+            bits / (2 * trials) as f64,
+            inner_bits_match,
+        )
     };
 
     let (ey, en, mb, ok) = run_case(&mut rng, None);
@@ -198,7 +240,13 @@ pub fn e10_information_cost(scale: Scale, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         format!("E10 — information cost estimates ({trials} samples per cell, plug-in)"),
-        &["protocol", "t", "Î on D^N bits", "Î on D^Y bits", "comm bits"],
+        &[
+            "protocol",
+            "t",
+            "Î on D^N bits",
+            "Î on D^Y bits",
+            "comm bits",
+        ],
     );
     for tt in [4usize, 6, 8] {
         let rows: Vec<(&'static str, Box<dyn DisjProtocol>)> = vec![

@@ -7,14 +7,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use streamcover_core::{decide_opt_at_most, exact_set_cover, BitSet, Decision};
 use streamcover_dist::ghd::{sample_no as ghd_no, sample_yes as ghd_yes};
-use streamcover_dist::{sample_dmc_with_theta, sample_dsc_with_theta, GhdParams, McParams, ScParams};
+use streamcover_dist::{
+    sample_dmc_with_theta, sample_dsc_with_theta, GhdParams, McParams, ScParams,
+};
 use streamcover_info::{lemma22_experiment, lemma22_failure_bound, lemma22_threshold};
 
 /// E2 — Lemma 3.2 + Remark 3.1: on `D_SC`, `θ=1` plants `opt = 2` while
 /// `θ=0` has `opt > 2α` w.h.p.; set sizes concentrate at `2n/3`.
 pub fn e2_hardness_gap(scale: Scale, seed: u64) -> Table {
-    let (n, m, t_param, trials) =
-        if scale.full { (16_384, 8, 32, 20) } else { (8_192, 6, 32, 8) };
+    let (n, m, t_param, trials) = if scale.full {
+        (16_384, 8, 32, 20)
+    } else {
+        (8_192, 6, 32, 8)
+    };
     let alpha = 2;
     let p = ScParams::explicit(n, m, t_param);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -26,8 +31,8 @@ pub fn e2_hardness_gap(scale: Scale, seed: u64) -> Table {
         if exact_set_cover(&inst.combined()).size() == Some(2) {
             opt2 += 1;
         }
-        mean_size += inst.alice.sets().iter().map(|s| s.len()).sum::<usize>() as f64
-            / (m as f64 * n as f64);
+        mean_size +=
+            inst.alice.sets().iter().map(|s| s.len()).sum::<usize>() as f64 / (m as f64 * n as f64);
     }
     let mut big = 0usize;
     let mut unknown = 0usize;
@@ -82,7 +87,14 @@ pub fn e4_coverage_concentration(scale: Scale, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         format!("E4 — Lemma 2.2 coverage concentration (n={n}, s=n/4, U=[n], {trials} trials)"),
-        &["k", "threshold", "mean_residual", "E[resid]=n(s/n)^k", "fail_rate", "lemma_bound"],
+        &[
+            "k",
+            "threshold",
+            "mean_residual",
+            "E[resid]=n(s/n)^k",
+            "fail_rate",
+            "lemma_bound",
+        ],
     );
     for k in 1..=8 {
         let (fail, mean_resid) = lemma22_experiment(&mut rng, n, s, k, &u, trials);
@@ -119,8 +131,11 @@ pub fn e12_ghd_gadget(scale: Scale, seed: u64) -> Table {
     let inst = sample_dmc_with_theta(&mut rng, p, true);
     let i_star = inst.i_star.unwrap();
     let planted = inst.pair_coverage(i_star);
-    let best_other_pair =
-        (0..p.m).filter(|&i| i != i_star).map(|i| inst.pair_coverage(i)).max().unwrap();
+    let best_other_pair = (0..p.m)
+        .filter(|&i| i != i_star)
+        .map(|i| inst.pair_coverage(i))
+        .max()
+        .unwrap();
     let mut best_mixed = 0usize;
     for i in 0..p.m {
         for j in 0..p.m {

@@ -21,7 +21,14 @@ pub fn e6_maxcover_gap(scale: Scale, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         format!("E6 — Lemma 4.3 MaxCover gap (k=2, m={m}, {trials} trials/branch)"),
-        &["ε", "τ", "max opt (θ=0)", "min opt (θ=1)", "separated", "gap_pred=√t₁"],
+        &[
+            "ε",
+            "τ",
+            "max opt (θ=0)",
+            "min opt (θ=1)",
+            "separated",
+            "gap_pred=√t₁",
+        ],
     );
     for eps in [0.25, 0.125, 0.0884] {
         let p = McParams::for_epsilon(m, eps);
@@ -44,14 +51,20 @@ pub fn e6_maxcover_gap(scale: Scale, seed: u64) -> Table {
             fnum(2.0 * p.gap()),
         ]);
     }
-    t.note("Lemma 4.3: opt ≤ (1−Θ(ε))τ under θ=0 and ≥ (1+Θ(ε))τ under θ=1 — 'separated' must be true");
+    t.note(
+        "Lemma 4.3: opt ≤ (1−Θ(ε))τ under θ=0 and ≥ (1+Θ(ε))τ under θ=1 — 'separated' must be true",
+    );
     t
 }
 
 /// E7 — Result 2 tightness: element-sampling `(1−ε)` k-cover space scales
 /// as `m·k/ε²`; Lemma 3.12's sampled covers lift to `(1−ρ)`-covers.
 pub fn e7_element_sampling(scale: Scale, seed: u64) -> Table {
-    let (n, m) = if scale.full { (65_536, 16) } else { (32_768, 10) };
+    let (n, m) = if scale.full {
+        (65_536, 16)
+    } else {
+        (32_768, 10)
+    };
     let k = 2;
     let mut rng = StdRng::seed_from_u64(seed);
     let sys = streamcover_dist::uniform_random(&mut rng, n, m, 0.03, false);
@@ -63,7 +76,10 @@ pub fn e7_element_sampling(scale: Scale, seed: u64) -> Table {
     );
     let mut prev_scaled: Option<f64> = None;
     for eps in [0.4, 0.2, 0.1] {
-        let algo = ElementSampling { oracle: McOracle::Greedy, ..ElementSampling::new(eps) };
+        let algo = ElementSampling {
+            oracle: McOracle::Greedy,
+            ..ElementSampling::new(eps)
+        };
         let run = algo.run(&sys, k, Arrival::Adversarial, &mut rng);
         let scaled = run.peak_bits as f64 * eps * eps / m as f64;
         t.row(vec![
@@ -103,7 +119,11 @@ pub fn e7_element_sampling(scale: Scale, seed: u64) -> Table {
             format!("ρ={rho} (Lemma 3.12)"),
             format!("{applicable} applicable"),
             format!("{lifted} lifted"),
-            fnum(if applicable > 0 { lifted as f64 / applicable as f64 } else { f64::NAN }),
+            fnum(if applicable > 0 {
+                lifted as f64 / applicable as f64
+            } else {
+                f64::NAN
+            }),
             "-".into(),
         ]);
     }
@@ -120,8 +140,17 @@ pub fn maxcover_algorithms(scale: Scale, seed: u64) -> Table {
     let sys = blog_watch(&mut rng, topics, blogs);
     let (_, opt) = exact_max_coverage(&sys, k);
     let mut t = Table::new(
-        format!("MaxCover algorithms on blog-watch (topics={topics}, blogs={blogs}, k={k}, opt={opt})"),
-        &["algorithm", "coverage", "ratio", "guarantee", "passes", "peak_bits"],
+        format!(
+            "MaxCover algorithms on blog-watch (topics={topics}, blogs={blogs}, k={k}, opt={opt})"
+        ),
+        &[
+            "algorithm",
+            "coverage",
+            "ratio",
+            "guarantee",
+            "passes",
+            "peak_bits",
+        ],
     );
     let algos: Vec<(Box<dyn MaxCoverStreamer>, &'static str)> = vec![
         (Box::new(ElementSampling::new(0.2)), "1−ε (ε=0.2)"),

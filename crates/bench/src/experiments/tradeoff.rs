@@ -24,16 +24,32 @@ pub fn e1_tradeoff(scale: Scale, seed: u64) -> Table {
     // Regime: the sampling rate p = c·k·ln m·n^{1/α}/n must be < 1 for the
     // guesses around the true optimum, i.e. n^{1−1/α} ≳ c·opt·ln m — small
     // opt and m keep laptop n inside the regime (see DESIGN.md §4).
-    let (n, m, opt) = if scale.full { (16_384, 64, 4) } else { (4096, 32, 4) };
+    let (n, m, opt) = if scale.full {
+        (16_384, 64, 4)
+    } else {
+        (4096, 32, 4)
+    };
     let eps = 0.5;
     let mut rng = StdRng::seed_from_u64(seed);
     let w = planted_cover(&mut rng, n, m, opt);
 
     let mut t = Table::new(
         format!("E1 — Theorem 2 tradeoff (n={n}, m={m}, planted opt={opt}, ε={eps})"),
-        &["alpha", "passes", "2a+1", "peak_bits", "peak/(m·n^{1/a})", "size", "ratio(≤a+e)"],
+        &[
+            "alpha",
+            "passes",
+            "2a+1",
+            "peak_bits",
+            "peak/(m·n^{1/a})",
+            "size",
+            "ratio(≤a+e)",
+        ],
     );
-    let alphas = if scale.full { vec![1, 2, 3, 4, 5, 6] } else { vec![1, 2, 3, 4] };
+    let alphas = if scale.full {
+        vec![1, 2, 3, 4, 5, 6]
+    } else {
+        vec![1, 2, 3, 4]
+    };
     for &alpha in &alphas {
         let algo = HarPeledAssadi::scaled(alpha, eps);
         let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
@@ -82,18 +98,37 @@ pub fn e1_tradeoff(scale: Scale, seed: u64) -> Table {
 /// E8 — baseline comparison: Algorithm 1 vs threshold greedy vs store-all vs
 /// the single-pass accept/prune heuristic, on the same planted workload.
 pub fn e8_baselines(scale: Scale, seed: u64) -> Table {
-    let (n, m, opt) = if scale.full { (2048, 128, 8) } else { (512, 48, 6) };
+    let (n, m, opt) = if scale.full {
+        (2048, 128, 8)
+    } else {
+        (512, 48, 6)
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let w = planted_cover(&mut rng, n, m, opt);
     let mut t = Table::new(
         format!("E8 — baselines (n={n}, m={m}, planted opt={opt})"),
-        &["algorithm", "passes", "peak_bits", "bits/mn", "size", "ratio", "feasible"],
+        &[
+            "algorithm",
+            "passes",
+            "peak_bits",
+            "bits/mn",
+            "size",
+            "ratio",
+            "feasible",
+        ],
     );
     let algos: Vec<(&'static str, Box<dyn SetCoverStreamer>)> = vec![
         ("assadi-alg1(α=2)", Box::new(HarPeledAssadi::scaled(2, 0.5))),
         ("assadi-alg1(α=3)", Box::new(HarPeledAssadi::scaled(3, 0.5))),
         ("assadi-alg1(α=4)", Box::new(HarPeledAssadi::scaled(4, 0.5))),
-        ("harpeled-orig(α=3)", Box::new(HarPeledAssadi { pruning: Pruning::PerRound, rate: SamplingRate::Coarse, ..HarPeledAssadi::scaled(3, 0.5) })),
+        (
+            "harpeled-orig(α=3)",
+            Box::new(HarPeledAssadi {
+                pruning: Pruning::PerRound,
+                rate: SamplingRate::Coarse,
+                ..HarPeledAssadi::scaled(3, 0.5)
+            }),
+        ),
         ("threshold-greedy", Box::new(ThresholdGreedy)),
         ("online-prune", Box::new(OnlinePrune)),
         ("store-all", Box::new(StoreAll::default())),
@@ -111,7 +146,9 @@ pub fn e8_baselines(scale: Scale, seed: u64) -> Table {
             run.feasible.to_string(),
         ]);
     }
-    t.note("paper §1: Algorithm 1 beats the O(log n)-approx regime on quality and store-all on space");
+    t.note(
+        "paper §1: Algorithm 1 beats the O(log n)-approx regime on quality and store-all on space",
+    );
     t
 }
 
@@ -120,20 +157,33 @@ pub fn e8_baselines(scale: Scale, seed: u64) -> Table {
 /// lower bound holding for random arrival means random order cannot be
 /// exploited for real savings.
 pub fn e9_arrival_order(scale: Scale, seed: u64) -> Table {
-    let (n, m, opt) = if scale.full { (2048, 128, 8) } else { (512, 48, 6) };
+    let (n, m, opt) = if scale.full {
+        (2048, 128, 8)
+    } else {
+        (512, 48, 6)
+    };
     let trials = if scale.full { 5 } else { 3 };
     let mut rng = StdRng::seed_from_u64(seed);
     let w = planted_cover(&mut rng, n, m, opt);
     let mut t = Table::new(
         format!("E9 — arrival-order robustness (n={n}, m={m}, α=3, {trials} trials)"),
-        &["arrival", "mean_passes", "mean_peak_bits", "mean_size", "all_feasible"],
+        &[
+            "arrival",
+            "mean_passes",
+            "mean_peak_bits",
+            "mean_size",
+            "all_feasible",
+        ],
     );
     let algo = HarPeledAssadi::scaled(3, 0.5);
     type OrderMaker = Box<dyn Fn(u64) -> Arrival>;
     let orders: Vec<(&str, OrderMaker)> = vec![
         ("adversarial", Box::new(|_s| Arrival::Adversarial)),
         ("random", Box::new(|s| Arrival::Random { seed: s })),
-        ("reshuffled", Box::new(|s| Arrival::ReshuffledEachPass { seed: s })),
+        (
+            "reshuffled",
+            Box::new(|s| Arrival::ReshuffledEachPass { seed: s }),
+        ),
     ];
     for (name, mk) in orders {
         let mut passes = 0.0;
@@ -164,7 +214,11 @@ pub fn e9_arrival_order(scale: Scale, seed: u64) -> Table {
 /// one-shot pruning (vs per-round, vs none) and the fine `1/ρ` sampling rate
 /// (vs the original `1/ρ²`).
 pub fn e11_ablation(scale: Scale, seed: u64) -> Table {
-    let (n, m, opt) = if scale.full { (4096, 128, 8) } else { (1024, 48, 6) };
+    let (n, m, opt) = if scale.full {
+        (4096, 128, 8)
+    } else {
+        (1024, 48, 6)
+    };
     let alpha = 3;
     let mut rng = StdRng::seed_from_u64(seed);
     let w = planted_cover(&mut rng, n, m, opt);
@@ -175,12 +229,34 @@ pub fn e11_ablation(scale: Scale, seed: u64) -> Table {
     let paper = HarPeledAssadi::scaled(alpha, 0.5);
     let variants: Vec<(&str, HarPeledAssadi)> = vec![
         ("paper (one-shot + fine)", paper),
-        ("per-round pruning", HarPeledAssadi { pruning: Pruning::PerRound, ..paper }),
-        ("no pruning", HarPeledAssadi { pruning: Pruning::None, ..paper }),
-        ("coarse 1/ρ² rate", HarPeledAssadi { rate: SamplingRate::Coarse, ..paper }),
+        (
+            "per-round pruning",
+            HarPeledAssadi {
+                pruning: Pruning::PerRound,
+                ..paper
+            },
+        ),
+        (
+            "no pruning",
+            HarPeledAssadi {
+                pruning: Pruning::None,
+                ..paper
+            },
+        ),
+        (
+            "coarse 1/ρ² rate",
+            HarPeledAssadi {
+                rate: SamplingRate::Coarse,
+                ..paper
+            },
+        ),
         (
             "harpeled original (both)",
-            HarPeledAssadi { pruning: Pruning::PerRound, rate: SamplingRate::Coarse, ..paper },
+            HarPeledAssadi {
+                pruning: Pruning::PerRound,
+                rate: SamplingRate::Coarse,
+                ..paper
+            },
         ),
     ];
     for (name, algo) in variants {
@@ -193,6 +269,8 @@ pub fn e11_ablation(scale: Scale, seed: u64) -> Table {
             run.feasible.to_string(),
         ]);
     }
-    t.note("paper §3.4: one-shot pruning + Lemma 3.12's rate is what turns n^{Θ(1/α)} into n^{1/α}");
+    t.note(
+        "paper §3.4: one-shot pruning + Lemma 3.12's rate is what turns n^{Θ(1/α)} into n^{1/α}",
+    );
     t
 }

@@ -5,6 +5,17 @@
 //! regenerates its table. `cargo run -p streamcover-bench --bin tables
 //! --release` prints them all; `--full` uses the paper-scale parameters
 //! recorded in EXPERIMENTS.md.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamcover_bench::{experiments, Scale};
+//!
+//! // Regenerate one table (E12: the GHD gadget geometry) at fast scale.
+//! let table = experiments::e12_ghd_gadget(Scale::FAST, 42);
+//! assert!(!table.rows.is_empty());
+//! println!("{table}");
+//! ```
 
 pub mod experiments;
 pub mod table;

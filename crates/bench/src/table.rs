@@ -29,7 +29,12 @@ impl Table {
 
     /// Appends a row; must match the header arity.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in {}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.title
+        );
         self.rows.push(cells);
     }
 

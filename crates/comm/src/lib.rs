@@ -15,6 +15,21 @@
 //!   `π_Disj` from `π_SC` (Lemma 3.4), `π_GHD` from `π_MC` (Lemma 4.5), and
 //!   the `p`-pass/`s`-space streaming → `O(p·s)`-bit protocol adapter from
 //!   Theorem 1's proof.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use streamcover_comm::{disj_answer, DisjProtocol, TrivialDisj};
+//! use streamcover_dist::disj::sample_yes;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let inst = sample_yes(&mut rng, 24); // disjoint pair on [24]
+//! let (answer, transcript) = TrivialDisj.run(&inst.a, &inst.b, &mut rng);
+//! assert!(answer);
+//! assert_eq!(answer, disj_answer(&inst.a, &inst.b));
+//! assert_eq!(transcript.total_bits(), 24 + 1); // A verbatim + answer bit
+//! ```
 
 pub mod problems;
 pub mod protocols;

@@ -112,6 +112,9 @@ mod tests {
         assert!(alpha_estimate_ok(2, 2, 3.0));
         assert!(alpha_estimate_ok(2, 6, 3.0));
         assert!(!alpha_estimate_ok(2, 7, 3.0));
-        assert!(!alpha_estimate_ok(2, 1, 3.0), "estimates below opt are invalid");
+        assert!(
+            !alpha_estimate_ok(2, 1, 3.0),
+            "estimates below opt are invalid"
+        );
     }
 }

@@ -82,7 +82,11 @@ mod tests {
     fn trivial_is_always_correct() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
-            let i = if rng.gen_bool(0.5) { sample_yes(&mut rng, 24) } else { sample_no(&mut rng, 24) };
+            let i = if rng.gen_bool(0.5) {
+                sample_yes(&mut rng, 24)
+            } else {
+                sample_no(&mut rng, 24)
+            };
             let (ans, tr) = TrivialDisj.run(&i.a, &i.b, &mut rng);
             assert_eq!(ans, disj_answer(&i.a, &i.b));
             assert_eq!(tr.total_bits(), 24 + 1, "t + 1 bits");
@@ -117,7 +121,10 @@ mod tests {
         }
         let rate = errs as f64 / trials as f64;
         let expected = (1.0 - 1.0 / t as f64).powi(s as i32);
-        assert!((rate - expected).abs() < 0.12, "error rate {rate} vs expected {expected}");
+        assert!(
+            (rate - expected).abs() < 0.12,
+            "error rate {rate} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
         assert!(est1 as f64 > p.tau(), "θ=1 estimate {est1} ≤ τ {}", p.tau());
         let (a0, b0, _) = instance(false, 3);
         let (est0, _) = SendAllMaxCover.run(&a0, &b0, &mut rng);
-        assert!((est0 as f64) < p.tau(), "θ=0 estimate {est0} ≥ τ {}", p.tau());
+        assert!(
+            (est0 as f64) < p.tau(),
+            "θ=0 estimate {est0} ≥ τ {}",
+            p.tau()
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub struct SendAllSetCover {
 
 impl Default for SendAllSetCover {
     fn default() -> Self {
-        SendAllSetCover { node_budget: 2_000_000 }
+        SendAllSetCover {
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -139,7 +141,11 @@ impl<P: SetCoverProtocol> SetCoverProtocol for ErringSetCover<P> {
     fn run(&self, alice: &SetSystem, bob: &SetSystem, rng: &mut StdRng) -> (usize, Transcript) {
         let (est, tr) = self.inner.run(alice, bob, rng);
         if rng.gen_bool(self.delta) {
-            let flipped = if est <= self.threshold { self.threshold + 1 } else { 2 };
+            let flipped = if est <= self.threshold {
+                self.threshold + 1
+            } else {
+                2
+            };
             return (flipped, tr);
         }
         (est, tr)
@@ -171,14 +177,16 @@ mod tests {
     #[test]
     fn threshold_protocol_separates_theta() {
         let mut rng = StdRng::seed_from_u64(3);
-        let p = ThresholdSetCover { bound: 4, node_budget: 10_000_000 };
+        let p = ThresholdSetCover {
+            bound: 4,
+            node_budget: 10_000_000,
+        };
         let (a1, b1) = split_instance(true, 4);
         let (est1, _) = p.run(&a1, &b1, &mut rng);
         assert!(est1 <= 4, "θ=1 must land ≤ 2α (got {est1})");
         // θ=0 at hardness-regime parameters.
         let mut rng2 = StdRng::seed_from_u64(5);
-        let inst =
-            sample_dsc_with_theta(&mut rng2, ScParams::explicit(16_384, 6, 32), false);
+        let inst = sample_dsc_with_theta(&mut rng2, ScParams::explicit(16_384, 6, 32), false);
         let (est0, _) = p.run(&inst.alice, &inst.bob, &mut rng2);
         assert!(est0 > 4, "θ=0 must land > 2α (got {est0})");
     }
@@ -186,8 +194,15 @@ mod tests {
     #[test]
     fn erring_wrapper_flips_at_rate_delta() {
         let (a, b) = split_instance(true, 6);
-        let inner = ThresholdSetCover { bound: 4, node_budget: 1_000_000 };
-        let err = ErringSetCover { inner, delta: 0.3, threshold: 4 };
+        let inner = ThresholdSetCover {
+            bound: 4,
+            node_budget: 1_000_000,
+        };
+        let err = ErringSetCover {
+            inner,
+            delta: 0.3,
+            threshold: 4,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let mut flips = 0;
         let trials = 300;

@@ -66,7 +66,7 @@ impl SetCoverProtocol for SketchedSetCover {
         }
         let compact_sys = SetSystem::from_sets(q, compact_sets);
         let est = match decide_opt_at_most(&compact_sys, self.bound, self.node_budget) {
-            Decision::Yes => 2,               // looks like the planted branch
+            Decision::Yes => 2, // looks like the planted branch
             Decision::No | Decision::Unknown => self.bound + 1,
         };
         tr.send(Player::Bob, est.to_le_bytes().to_vec(), None);
@@ -80,10 +80,18 @@ mod tests {
     use rand::SeedableRng;
     use streamcover_dist::{sample_dsc_with_theta, ScParams};
 
-    const P: ScParams = ScParams { n: 8192, m: 6, t: 32 };
+    const P: ScParams = ScParams {
+        n: 8192,
+        m: 6,
+        t: 32,
+    };
 
     fn error_rate(q: usize, trials: usize, seed: u64) -> f64 {
-        let proto = SketchedSetCover { q, bound: 4, node_budget: 20_000_000 };
+        let proto = SketchedSetCover {
+            q,
+            bound: 4,
+            node_budget: 20_000_000,
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut errs = 0;
         for k in 0..trials {
@@ -114,12 +122,19 @@ mod tests {
         let big = error_rate(6144, 8, 2);
         assert!(big <= 0.25, "q=6144 error {big}");
         let small = error_rate(16, 8, 3);
-        assert!(small >= 0.4, "q=16 error only {small} — should be ≈ 1/2 (all θ=0 wrong)");
+        assert!(
+            small >= 0.4,
+            "q=16 error only {small} — should be ≈ 1/2 (all θ=0 wrong)"
+        );
     }
 
     #[test]
     fn communication_is_m_q_bits() {
-        let proto = SketchedSetCover { q: 512, bound: 4, node_budget: 1_000_000 };
+        let proto = SketchedSetCover {
+            q: 512,
+            bound: 4,
+            node_budget: 1_000_000,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let inst = sample_dsc_with_theta(&mut rng, P, true);
         let (_, tr) = proto.run(&inst.alice, &inst.bob, &mut rng);

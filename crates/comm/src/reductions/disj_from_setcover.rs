@@ -67,7 +67,10 @@ impl<P> DisjFromSetCover<P> {
             s_sets.push(f.co_extend(&aj));
             t_sets.push(f.co_extend(&bj));
         }
-        (SetSystem::from_sets(n, s_sets), SetSystem::from_sets(n, t_sets))
+        (
+            SetSystem::from_sets(n, s_sets),
+            SetSystem::from_sets(n, t_sets),
+        )
     }
 }
 
@@ -94,7 +97,10 @@ mod tests {
     fn reduction() -> DisjFromSetCover<ThresholdSetCover> {
         // Hardness regime: n/t² ≫ log m and t ≥ 30 (see Lemma 3.2 tests).
         DisjFromSetCover {
-            sc: ThresholdSetCover { bound: 4, node_budget: 20_000_000 },
+            sc: ThresholdSetCover {
+                bound: 4,
+                node_budget: 20_000_000,
+            },
             params: ScParams::explicit(16_384, 6, 32),
             alpha: 2,
         }
@@ -161,7 +167,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let red = DisjFromSetCover {
             sc: ErringSetCover {
-                inner: ThresholdSetCover { bound: 4, node_budget: 20_000_000 },
+                inner: ThresholdSetCover {
+                    bound: 4,
+                    node_budget: 20_000_000,
+                },
                 delta: 0.25,
                 threshold: 4,
             },
@@ -171,7 +180,11 @@ mod tests {
         let mut errs = 0;
         let trials = 40;
         for i in 0..trials {
-            let inst = if i % 2 == 0 { sample_yes(&mut rng, 32) } else { sample_no(&mut rng, 32) };
+            let inst = if i % 2 == 0 {
+                sample_yes(&mut rng, 32)
+            } else {
+                sample_no(&mut rng, 32)
+            };
             let truth = inst.is_disjoint();
             let (ans, _) = red.run(&inst.a, &inst.b, &mut rng);
             if ans != truth {

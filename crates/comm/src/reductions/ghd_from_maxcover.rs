@@ -61,7 +61,10 @@ impl<P> GhdFromMaxCover<P> {
             s_sets.push(lift(&aj).union(&c));
             t_sets.push(lift(&bj).union(&d));
         }
-        (SetSystem::from_sets(n, s_sets), SetSystem::from_sets(n, t_sets))
+        (
+            SetSystem::from_sets(n, s_sets),
+            SetSystem::from_sets(n, t_sets),
+        )
     }
 }
 

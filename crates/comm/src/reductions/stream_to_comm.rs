@@ -44,7 +44,11 @@ impl<S: SetCoverStreamer> SetCoverProtocol for StreamingAsProtocol<S> {
             tr.send_abstract(Player::Alice, s);
             tr.send_abstract(Player::Bob, s);
         }
-        let est = if run.feasible { run.solution.len() } else { all.len() + 1 };
+        let est = if run.feasible {
+            run.solution.len()
+        } else {
+            all.len() + 1
+        };
         tr.send(Player::Bob, est.to_le_bytes().to_vec(), None);
         (est, tr)
     }
@@ -71,12 +75,18 @@ mod tests {
         let half = 12;
         let a = SetSystem::from_sets(256, w.system.sets()[..half].to_vec());
         let b = SetSystem::from_sets(256, w.system.sets()[half..].to_vec());
-        let proto = StreamingAsProtocol { algo: ThresholdGreedy };
+        let proto = StreamingAsProtocol {
+            algo: ThresholdGreedy,
+        };
         let (est, tr) = proto.run(&a, &b, &mut rng);
         assert!(est >= 4, "estimate must be a cover size ≥ opt");
         assert!(tr.total_bits() <= adapter_bound(10, tr.total_bits() / 2));
         // Structure: 2 abstract messages per pass + 1 concrete answer.
-        let abstracts = tr.messages().iter().filter(|m| matches!(m, crate::transcript::Message::Abstract { .. })).count();
+        let abstracts = tr
+            .messages()
+            .iter()
+            .filter(|m| matches!(m, crate::transcript::Message::Abstract { .. }))
+            .count();
         assert!(abstracts % 2 == 0 && abstracts >= 2);
     }
 
@@ -86,13 +96,20 @@ mod tests {
         let w = planted_cover(&mut rng, 512, 32, 4);
         let a = SetSystem::from_sets(512, w.system.sets()[..16].to_vec());
         let b = SetSystem::from_sets(512, w.system.sets()[16..].to_vec());
-        let proto = StreamingAsProtocol { algo: HarPeledAssadi::paper(3, 0.5) };
+        let proto = StreamingAsProtocol {
+            algo: HarPeledAssadi::paper(3, 0.5),
+        };
         let (est, tr) = proto.run(&a, &b, &mut rng);
         assert!(est <= 32, "feasible estimate expected");
         // Communication far below the trivial m·n = 16384 only when the
         // algorithm's space is sublinear; Algorithm 1's is ~m·n^{1/3}·polylog,
         // which at this tiny scale needn't beat mn — just check consistency.
-        let passes = tr.messages().iter().filter(|m| matches!(m, crate::transcript::Message::Abstract { .. })).count() / 2;
+        let passes = tr
+            .messages()
+            .iter()
+            .filter(|m| matches!(m, crate::transcript::Message::Abstract { .. }))
+            .count()
+            / 2;
         assert!(passes <= 7, "2α+1 = 7 passes max, got {passes}");
     }
 }

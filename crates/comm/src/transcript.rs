@@ -88,8 +88,15 @@ impl Transcript {
     pub fn send(&mut self, from: Player, payload: Vec<u8>, bits: Option<u64>) {
         let cap = payload.len() as u64 * 8;
         let bits = bits.unwrap_or(cap);
-        assert!(bits <= cap, "declared {bits} bits exceed payload capacity {cap}");
-        self.messages.push(Message::Concrete { from, payload, bits });
+        assert!(
+            bits <= cap,
+            "declared {bits} bits exceed payload capacity {cap}"
+        );
+        self.messages.push(Message::Concrete {
+            from,
+            payload,
+            bits,
+        });
     }
 
     /// Appends an abstract (cost-only) message.

@@ -9,8 +9,12 @@ use streamcover_comm::{
 use streamcover_core::BitSet;
 
 fn arb_bitset(t: usize) -> impl Strategy<Value = BitSet> {
-    proptest::collection::vec(proptest::bool::ANY, t)
-        .prop_map(move |bits| BitSet::from_iter(t, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)))
+    proptest::collection::vec(proptest::bool::ANY, t).prop_map(move |bits| {
+        BitSet::from_iter(
+            t,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        )
+    })
 }
 
 proptest! {

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size` / `measurement_time`,
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with straightforward wall-clock timing and
+//! plain-text output (no statistics engine, no HTML reports).
+//!
+//! Timing model: each `bench_function` runs one untimed warm-up iteration,
+//! then `sample_size` timed samples, each sample being as many iterations
+//! as fit a per-sample slice of `measurement_time`; the mean and min
+//! per-iteration times are printed.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (configuration root).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_bench(&id.into(), sample_size, measurement_time, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Warm-up (also sizes the per-sample iteration count).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    f(&mut b);
+    let warm = warm_start.elapsed().max(Duration::from_nanos(1));
+    let per_sample = measurement_time / sample_size.max(1) as u32;
+    let iters = (per_sample.as_nanos() / warm.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+        let per_iter = b.elapsed / b.iters.max(1) as u32;
+        best = best.min(per_iter);
+    }
+    let mean = if total_iters > 0 {
+        total / total_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("  bench: {id:<48} mean {mean:>12.2?}  min {best:>12.2?}  ({sample_size} samples × {iters} iters)");
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// An identity function the optimizer treats as opaque.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).measurement_time(Duration::from_millis(5));
+            g.bench_function("count", |b| {
+                runs += 1;
+                b.iter(|| black_box(2 + 2))
+            });
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bencher_times_positive_work() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

@@ -26,7 +26,10 @@ impl BitSet {
     /// Creates an empty subset of `{0, …, capacity-1}`.
     pub fn new(capacity: usize) -> Self {
         let nwords = capacity.div_ceil(WORD_BITS);
-        BitSet { words: vec![0; nwords], capacity }
+        BitSet {
+            words: vec![0; nwords],
+            capacity,
+        }
     }
 
     /// Creates the full set `{0, …, capacity-1}`.
@@ -75,7 +78,11 @@ impl BitSet {
     /// Panics if `e >= capacity`.
     #[inline]
     pub fn insert(&mut self, e: usize) -> bool {
-        assert!(e < self.capacity, "element {e} out of universe [{}]", self.capacity);
+        assert!(
+            e < self.capacity,
+            "element {e} out of universe [{}]",
+            self.capacity
+        );
         let (w, b) = (e / WORD_BITS, e % WORD_BITS);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;
@@ -86,7 +93,11 @@ impl BitSet {
     /// Removes element `e`. Returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, e: usize) -> bool {
-        assert!(e < self.capacity, "element {e} out of universe [{}]", self.capacity);
+        assert!(
+            e < self.capacity,
+            "element {e} out of universe [{}]",
+            self.capacity
+        );
         let (w, b) = (e / WORD_BITS, e % WORD_BITS);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;
@@ -249,12 +260,19 @@ impl BitSet {
     /// Whether `self ⊆ other`.
     pub fn is_subset_of(&self, other: &Self) -> bool {
         self.assert_compat(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// The smallest element, if any.
@@ -333,7 +351,10 @@ impl fmt::Debug for BitSet {
 /// Samples a uniformly random `size`-subset of `{0,…,capacity-1}` using
 /// Floyd's algorithm (O(size) expected insertions).
 pub fn random_subset<R: rand::Rng + ?Sized>(rng: &mut R, capacity: usize, size: usize) -> BitSet {
-    assert!(size <= capacity, "cannot sample {size}-subset of [{capacity}]");
+    assert!(
+        size <= capacity,
+        "cannot sample {size}-subset of [{capacity}]"
+    );
     let mut s = BitSet::new(capacity);
     // Floyd's sampling: for j = capacity-size .. capacity-1, insert a random
     // element of [0, j]; on collision insert j itself.

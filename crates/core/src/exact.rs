@@ -79,11 +79,18 @@ impl<'a> Searcher<'a> {
             }
             return;
         }
-        let depth_limit = self.best_len.min(self.cap.saturating_add(1)).saturating_sub(1);
+        let depth_limit = self
+            .best_len
+            .min(self.cap.saturating_add(1))
+            .saturating_sub(1);
         if chosen.len() >= depth_limit {
             return;
         }
-        if chosen.len().saturating_add(self.lower_bound(uncovered.len())) > depth_limit {
+        if chosen
+            .len()
+            .saturating_add(self.lower_bound(uncovered.len()))
+            > depth_limit
+        {
             return;
         }
         // Branch on an uncovered element contained in few sets: every cover
@@ -274,9 +281,29 @@ pub fn exact_max_coverage(sys: &SetSystem, k: usize) -> (Vec<SetId>, usize) {
         let mut with = covered.clone();
         with.union_with(sys.set(order[j]));
         chosen.push(order[j]);
-        dfs(sys, order, sizes, j + 1, remaining - 1, &with, chosen, best_ids, best_cov);
+        dfs(
+            sys,
+            order,
+            sizes,
+            j + 1,
+            remaining - 1,
+            &with,
+            chosen,
+            best_ids,
+            best_cov,
+        );
         chosen.pop();
-        dfs(sys, order, sizes, j + 1, remaining, covered, chosen, best_ids, best_cov);
+        dfs(
+            sys,
+            order,
+            sizes,
+            j + 1,
+            remaining,
+            covered,
+            chosen,
+            best_ids,
+            best_cov,
+        );
     }
 
     dfs(
@@ -369,7 +396,7 @@ mod tests {
             .collect();
         let mut sys = SetSystem::from_elements(n, &sets);
         sys.push(crate::bitset::BitSet::full(n)); // make it coverable
-        // bound 0 with coverable instance: never Yes, search trivially No.
+                                                  // bound 0 with coverable instance: never Yes, search trivially No.
         assert_ne!(decide_opt_at_most(&sys, 0, 10), Decision::Yes);
         // With budget 1 on a nontrivial bound the search may be Unknown or
         // resolve; it must never claim No incorrectly when a cover exists.

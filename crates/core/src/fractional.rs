@@ -47,7 +47,10 @@ impl DualBound {
 /// uncoverable instances (opt undefined).
 pub fn dual_fitting_bound(sys: &SetSystem) -> Option<DualBound> {
     if !sys.is_coverable() || sys.universe() == 0 {
-        return (sys.universe() == 0).then(|| DualBound { y: Vec::new(), value: 0.0 });
+        return (sys.universe() == 0).then(|| DualBound {
+            y: Vec::new(),
+            value: 0.0,
+        });
     }
     let n = sys.universe();
     let mut price = vec![0.0f64; n];
@@ -69,7 +72,10 @@ pub fn dual_fitting_bound(sys: &SetSystem) -> Option<DualBound> {
     let y: Vec<f64> = price.iter().map(|p| p / h).collect();
     let value = y.iter().sum();
     let bound = DualBound { y, value };
-    debug_assert!(bound.is_feasible_for(sys, 1e-9), "dual fitting must be feasible");
+    debug_assert!(
+        bound.is_feasible_for(sys, 1e-9),
+        "dual fitting must be feasible"
+    );
     Some(bound)
 }
 
@@ -95,7 +101,11 @@ pub struct FractionalCover {
 /// of `opt_f`.
 pub fn mwu_fractional_cover(sys: &SetSystem, iterations: usize) -> Option<FractionalCover> {
     if sys.universe() == 0 {
-        return Some(FractionalCover { x: vec![0.0; sys.len()], value: 0.0, iterations: 0 });
+        return Some(FractionalCover {
+            x: vec![0.0; sys.len()],
+            value: 0.0,
+            iterations: 0,
+        });
     }
     if !sys.is_coverable() {
         return None;
@@ -138,7 +148,11 @@ pub fn mwu_fractional_cover(sys: &SetSystem, iterations: usize) -> Option<Fracti
     }
     let x: Vec<f64> = counts.iter().map(|&c| c as f64 / min_cov).collect();
     let value = x.iter().sum();
-    Some(FractionalCover { x, value, iterations })
+    Some(FractionalCover {
+        x,
+        value,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +199,11 @@ mod tests {
             assert!(b.value <= opt + 1e-9, "trial {trial}: {} > {opt}", b.value);
             // Dual fitting is greedy/H(d): never catastrophically loose.
             let h = harmonic(n);
-            assert!(b.value * h * 1.5 >= opt, "trial {trial}: {} way below {opt}", b.value);
+            assert!(
+                b.value * h * 1.5 >= opt,
+                "trial {trial}: {} way below {opt}",
+                b.value
+            );
         }
     }
 
@@ -204,7 +222,11 @@ mod tests {
         }
         // Fractional value ≤ integral opt·(1+slack) and ≥ trivial bound.
         let opt = exact_set_cover(&sys).size().unwrap() as f64;
-        assert!(f.value <= opt * 1.6, "value {} too loose vs opt {opt}", f.value);
+        assert!(
+            f.value <= opt * 1.6,
+            "value {} too loose vs opt {opt}",
+            f.value
+        );
         assert!(f.value >= 1.0);
     }
 

@@ -57,7 +57,11 @@ pub fn greedy_max_coverage(sys: &SetSystem, k: usize) -> CoverResult {
 /// `max_picks` sets. Used by Algorithm 1's analysis experiments (covering
 /// the residual `U`) and by the exact solver's upper bound.
 pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) -> CoverResult {
-    assert_eq!(target.capacity(), sys.universe(), "target universe mismatch");
+    assert_eq!(
+        target.capacity(),
+        sys.universe(),
+        "target universe mismatch"
+    );
     let mut uncovered = target.clone();
     let mut covered = BitSet::new(sys.universe());
     let mut ids = Vec::new();
@@ -112,10 +116,10 @@ mod tests {
         let sys = SetSystem::from_elements(
             6,
             &[
-                vec![0, 1, 2],       // row A
-                vec![3, 4, 5],       // row B
-                vec![0, 1, 3, 4],    // greedy bait (size 4)
-                vec![2, 5],          // finisher
+                vec![0, 1, 2],    // row A
+                vec![3, 4, 5],    // row B
+                vec![0, 1, 3, 4], // greedy bait (size 4)
+                vec![2, 5],       // finisher
             ],
         );
         let r = greedy_set_cover(&sys);

@@ -88,7 +88,9 @@ pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
         .and_then(|x| x.parse().ok())
         .ok_or_else(|| ParseError::BadHeader(header.into()))?;
     if parts.next().is_some() {
-        return Err(ParseError::BadHeader(format!("trailing tokens in: {header}")));
+        return Err(ParseError::BadHeader(format!(
+            "trailing tokens in: {header}"
+        )));
     }
 
     let mut sys = SetSystem::new(n);
@@ -119,7 +121,10 @@ pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
         count += 1;
     }
     if count != m {
-        return Err(ParseError::WrongSetCount { expected: m, found: count });
+        return Err(ParseError::WrongSetCount {
+            expected: m,
+            found: count,
+        });
     }
     Ok(sys)
 }
@@ -152,7 +157,10 @@ mod tests {
     #[test]
     fn error_cases() {
         assert!(matches!(read_instance(""), Err(ParseError::BadHeader(_))));
-        assert!(matches!(read_instance("p wrong 3 1\ns 0\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            read_instance("p wrong 3 1\ns 0\n"),
+            Err(ParseError::BadHeader(_))
+        ));
         assert!(matches!(
             read_instance("p setcover 3 1\nx 0\n"),
             Err(ParseError::BadSetLine { line: 2, .. })
@@ -163,7 +171,10 @@ mod tests {
         ));
         assert!(matches!(
             read_instance("p setcover 3 2\ns 0\n"),
-            Err(ParseError::WrongSetCount { expected: 2, found: 1 })
+            Err(ParseError::WrongSetCount {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(matches!(
             read_instance("p setcover 3 1 junk\ns 0\n"),
@@ -175,7 +186,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = read_instance("p setcover 3 1\ns 9\n").unwrap_err();
         let msg = e.to_string();
-        assert!(msg.contains("line 2") && msg.contains("out of universe"), "{msg}");
+        assert!(
+            msg.contains("line 2") && msg.contains("out of universe"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -22,12 +22,29 @@
 //!   multiplicative-weights fractional LP solver (opt brackets for when the
 //!   exact search hits its node budget).
 //! * [`io`] — a plain-text instance format (writer + parser).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamcover_core::{exact_set_cover, greedy_set_cover, SetSystem};
+//!
+//! // {0,1,2} ∪ {3,4,5} is an optimal cover of [6].
+//! let sys = SetSystem::from_elements(
+//!     6,
+//!     &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+//! );
+//! let exact = exact_set_cover(&sys);
+//! assert_eq!(exact.size(), Some(2));
+//! let greedy = greedy_set_cover(&sys);
+//! assert!(greedy.is_feasible());
+//! assert!(greedy.size() >= 2);
+//! ```
 
 pub mod bitset;
 pub mod exact;
 pub mod fractional;
-pub mod io;
 pub mod greedy;
+pub mod io;
 pub mod stats;
 pub mod system;
 

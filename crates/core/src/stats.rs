@@ -33,7 +33,11 @@ pub fn system_stats(sys: &SetSystem) -> SystemStats {
         num_sets: sys.len(),
         min_set_size: sizes.iter().copied().min().unwrap_or(0),
         max_set_size: sizes.iter().copied().max().unwrap_or(0),
-        mean_set_size: if sizes.is_empty() { 0.0 } else { total as f64 / sizes.len() as f64 },
+        mean_set_size: if sizes.is_empty() {
+            0.0
+        } else {
+            total as f64 / sizes.len() as f64
+        },
         total_incidences: total,
         coverable_elements: coverable,
     }

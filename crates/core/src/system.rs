@@ -20,7 +20,10 @@ pub struct SetSystem {
 impl SetSystem {
     /// Creates an empty system over `[universe]`.
     pub fn new(universe: usize) -> Self {
-        SetSystem { universe, sets: Vec::new() }
+        SetSystem {
+            universe,
+            sets: Vec::new(),
+        }
     }
 
     /// Creates a system from pre-built sets.
@@ -127,7 +130,10 @@ impl SetSystem {
     /// dropped.
     pub fn project(&self, domain: &BitSet) -> SetSystem {
         let sets = self.sets.iter().map(|s| s.intersection(domain)).collect();
-        SetSystem { universe: self.universe, sets }
+        SetSystem {
+            universe: self.universe,
+            sets,
+        }
     }
 
     /// Total number of (set, element) incidences, `Σ|S_i|` — the input size

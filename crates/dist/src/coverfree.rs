@@ -1,0 +1,150 @@
+//! The `r`-cover-free property: no set is contained in the union of `r`
+//! others.
+//!
+//! Cover-freeness is the combinatorial engine of the paper's hard
+//! instances: when no set is swallowed by few others, an algorithm that
+//! misses the planted pair cannot substitute a small combination for it —
+//! so distinguishing the planted branch stays information-expensive.
+
+use streamcover_core::{BitSet, SetId, SetSystem};
+
+/// Outcome of a cover-freeness check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverFreeness {
+    /// No set lies inside the union of `r` others.
+    CoverFree,
+    /// Witness: set `covered` is contained in the union of the sets `by`
+    /// (with `|by| ≤ r`).
+    Violated {
+        /// The swallowed set.
+        covered: SetId,
+        /// The covering collection.
+        by: Vec<SetId>,
+    },
+}
+
+/// Checks whether the system is `r`-cover-free, returning a witness on
+/// violation. Exhaustive over `r`-subsets with greedy pre-pruning —
+/// intended for the moderate `m` and `r ≤ 3` the experiments use.
+pub fn check_cover_free(sys: &SetSystem, r: usize) -> CoverFreeness {
+    let m = sys.len();
+    for i in 0..m {
+        let target = sys.set(i);
+        if target.is_empty() {
+            // The empty set is vacuously covered by any collection.
+            return CoverFreeness::Violated {
+                covered: i,
+                by: Vec::new(),
+            };
+        }
+        let others: Vec<SetId> = (0..m).filter(|&j| j != i).collect();
+        if let Some(by) = cover_with(sys, target, &others, r, &mut Vec::new()) {
+            return CoverFreeness::Violated { covered: i, by };
+        }
+    }
+    CoverFreeness::CoverFree
+}
+
+/// Depth-first search for ≤ `r` sets from `candidates` whose union
+/// contains `target`.
+fn cover_with(
+    sys: &SetSystem,
+    target: &BitSet,
+    candidates: &[SetId],
+    r: usize,
+    chosen: &mut Vec<SetId>,
+) -> Option<Vec<SetId>> {
+    if target.is_empty() {
+        return Some(chosen.clone());
+    }
+    if r == 0 {
+        return None;
+    }
+    // Branch on one uncovered element: any covering collection must pick a
+    // candidate containing it. Every candidate stays available at deeper
+    // levels (minus the ones already chosen) — the branching element is not
+    // id-ordered, so restricting recursion to later candidates would miss
+    // covers whose members interleave in id order.
+    let e = target.first().expect("nonempty");
+    for &j in candidates {
+        if chosen.contains(&j) || !sys.set(j).contains(e) {
+            continue;
+        }
+        let rest = target.difference(sys.set(j));
+        chosen.push(j);
+        if let Some(hit) = cover_with(sys, &rest, candidates, r - 1, chosen) {
+            return Some(hit);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_sets_are_cover_free() {
+        let sys = SetSystem::from_elements(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]);
+        for r in 1..=3 {
+            assert_eq!(check_cover_free(&sys, r), CoverFreeness::CoverFree);
+        }
+    }
+
+    #[test]
+    fn subset_violates_at_r_one() {
+        let sys = SetSystem::from_elements(6, &[vec![0, 1, 2], vec![0, 1]]);
+        match check_cover_free(&sys, 1) {
+            CoverFreeness::Violated { covered, by } => {
+                assert_eq!(covered, 1);
+                assert_eq!(by, vec![0]);
+            }
+            CoverFreeness::CoverFree => panic!("subset not detected"),
+        }
+    }
+
+    #[test]
+    fn union_violation_appears_only_at_r_two() {
+        // Set 0 = {0,1,2,3} is covered by {0,1} ∪ {2,3} but by no single set.
+        let sys = SetSystem::from_elements(8, &[vec![0, 1, 2, 3], vec![0, 1, 4], vec![2, 3, 5]]);
+        assert_eq!(check_cover_free(&sys, 1), CoverFreeness::CoverFree);
+        match check_cover_free(&sys, 2) {
+            CoverFreeness::Violated { covered, by } => {
+                assert_eq!(covered, 0);
+                assert_eq!(by.len(), 2);
+                assert!(sys.set(covered).is_subset_of(&sys.coverage(&by)));
+            }
+            CoverFreeness::CoverFree => panic!("union cover not detected"),
+        }
+    }
+
+    #[test]
+    fn detects_covers_whose_members_interleave_in_id_order() {
+        // S0 = {0,1} ⊆ S1 ∪ S2, but element 0 lives only in S2 (the
+        // *higher* id) and element 1 only in S1 (the *lower* id): a search
+        // that only recurses into later candidates misses this witness.
+        let sys = SetSystem::from_elements(4, &[vec![0, 1], vec![1, 2], vec![0, 3]]);
+        match check_cover_free(&sys, 2) {
+            CoverFreeness::Violated { covered, by } => {
+                assert_eq!(covered, 0);
+                let mut by_sorted = by.clone();
+                by_sorted.sort_unstable();
+                assert_eq!(by_sorted, vec![1, 2]);
+            }
+            CoverFreeness::CoverFree => panic!("interleaved union cover not detected"),
+        }
+    }
+
+    #[test]
+    fn empty_set_is_trivially_covered() {
+        let sys = SetSystem::from_elements(3, &[vec![0], vec![]]);
+        match check_cover_free(&sys, 1) {
+            CoverFreeness::Violated { covered, by } => {
+                assert_eq!(covered, 1);
+                assert!(by.is_empty());
+            }
+            CoverFreeness::CoverFree => panic!("empty set must violate"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The hard input distribution `D_Disj` for set disjointness on `[t]`
+//! (§2.2 / Lemma 3.2's building block).
+//!
+//! `Disj_t` asks whether Alice's `A ⊆ [t]` and Bob's `B ⊆ [t]` are disjoint
+//! (**Yes** ⇔ `A ∩ B = ∅`). The hard distribution is promise-structured,
+//! Razborov-style, with both sides of size `ℓ = ⌈t/3⌉`:
+//!
+//! * `D^Y` (**Yes** branch): `A` a uniform `ℓ`-subset, `B` a uniform
+//!   `ℓ`-subset of `[t] \ A` — disjoint by construction.
+//! * `D^N` (**No** branch): a uniform special element `x`, then
+//!   `A = {x} ∪ A'`, `B = {x} ∪ B'` with `A'`, `B'` disjoint uniform
+//!   `(ℓ−1)`-subsets avoiding each other — so `A ∩ B = {x}` **exactly**.
+//!
+//! The size-`1` intersection under `D^N` is what Remark 3.1-(iii) needs:
+//! inside `D_SC` the pair `S_i ∪ T_i` misses exactly the one block
+//! `f_i(A_i ∩ B_i)`. The `ℓ ≈ t/3` sizing yields the `≈ 2n/3` set sizes of
+//! Remark 3.1-(i).
+//!
+//! The `*_marginal_no` / `*_given_*_no` samplers expose `D^N`'s marginals
+//! and conditionals, which the Lemma 3.4 reduction uses to publicly sample
+//! one side of each non-embedded coordinate and privately complete the
+//! other.
+
+use rand::Rng;
+use streamcover_core::{random_subset, BitSet};
+
+/// Side size `ℓ = ⌈t/3⌉` of both players' sets.
+pub fn side_size(t: usize) -> usize {
+    assert!(t >= 2, "Disj ground set needs t ≥ 2, got {t}");
+    // Rounded rather than ceiled: at small t (e.g. t = 4) ceiling would
+    // give 2ℓ = t, making the Yes branch degenerate (B forced to be the
+    // exact complement of A, so A carries no conditional entropy given B —
+    // the information-cost estimators need that entropy to be positive).
+    ((t as f64) / 3.0).round().max(1.0) as usize
+}
+
+/// One `Disj_t` input pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisjInstance {
+    /// Alice's set `A ⊆ [t]`.
+    pub a: BitSet,
+    /// Bob's set `B ⊆ [t]`.
+    pub b: BitSet,
+}
+
+impl DisjInstance {
+    /// Ground set size `t`.
+    pub fn t(&self) -> usize {
+        self.a.capacity()
+    }
+
+    /// `A ∩ B`.
+    pub fn intersection(&self) -> BitSet {
+        self.a.intersection(&self.b)
+    }
+
+    /// The Disj predicate: `true` iff `A ∩ B = ∅` (**Yes**).
+    pub fn is_disjoint(&self) -> bool {
+        self.a.is_disjoint(&self.b)
+    }
+}
+
+/// Samples from `D^Y`: disjoint `ℓ`-subsets of `[t]`.
+pub fn sample_yes<R: Rng + ?Sized>(rng: &mut R, t: usize) -> DisjInstance {
+    let l = side_size(t);
+    let a = random_subset(rng, t, l);
+    let b = subset_avoiding(rng, t, l, &a);
+    DisjInstance { a, b }
+}
+
+/// Samples from `D^N`: `ℓ`-subsets with `|A ∩ B| = 1` exactly.
+pub fn sample_no<R: Rng + ?Sized>(rng: &mut R, t: usize) -> DisjInstance {
+    let l = side_size(t);
+    let x = rng.gen_range(0..t);
+    let mut a = subset_avoiding(rng, t, l - 1, &BitSet::from_iter(t, [x]));
+    a.insert(x);
+    let b = sample_b_given_a_no_at(rng, &a, x);
+    DisjInstance { a, b }
+}
+
+/// The `A`-marginal of `D^N` (by symmetry also the `B`-marginal): a uniform
+/// `ℓ`-subset of `[t]`.
+pub fn sample_a_marginal_no<R: Rng + ?Sized>(rng: &mut R, t: usize) -> BitSet {
+    random_subset(rng, t, side_size(t))
+}
+
+/// Samples `B | A` under `D^N`: the shared element is uniform in `A`, the
+/// rest of `B` avoids `A` entirely.
+pub fn sample_b_given_a_no<R: Rng + ?Sized>(rng: &mut R, a: &BitSet) -> BitSet {
+    let members = a.to_vec();
+    assert!(!members.is_empty(), "conditioning set must be nonempty");
+    let x = members[rng.gen_range(0..members.len())];
+    sample_b_given_a_no_at(rng, a, x)
+}
+
+/// Samples `A | B` under `D^N` (the symmetric conditional).
+pub fn sample_a_given_b_no<R: Rng + ?Sized>(rng: &mut R, b: &BitSet) -> BitSet {
+    sample_b_given_a_no(rng, b)
+}
+
+/// `B | A` with the shared element fixed to `x ∈ A`.
+fn sample_b_given_a_no_at<R: Rng + ?Sized>(rng: &mut R, a: &BitSet, x: usize) -> BitSet {
+    let t = a.capacity();
+    let l = side_size(t);
+    debug_assert!(a.contains(x));
+    let mut b = subset_avoiding(rng, t, l - 1, a);
+    b.insert(x);
+    b
+}
+
+/// A uniform `size`-subset of `[t] \ avoid`.
+fn subset_avoiding<R: Rng + ?Sized>(rng: &mut R, t: usize, size: usize, avoid: &BitSet) -> BitSet {
+    let pool: Vec<usize> = avoid.complement().to_vec();
+    assert!(
+        size <= pool.len(),
+        "cannot pick {size} elements from the {} outside the avoided set",
+        pool.len()
+    );
+    let picks = random_subset(rng, pool.len(), size);
+    BitSet::from_iter(t, picks.iter().map(|i| pool[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn yes_instances_are_disjoint_with_balanced_sides() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [2, 3, 4, 6, 8, 32, 100] {
+            let l = side_size(t);
+            for _ in 0..50 {
+                let i = sample_yes(&mut rng, t);
+                assert!(i.is_disjoint(), "t={t}: Yes instance intersects");
+                assert!(i.intersection().is_empty());
+                assert_eq!(i.a.len(), l, "t={t}");
+                assert_eq!(i.b.len(), l, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_instances_intersect_in_exactly_one_element() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in [2, 3, 4, 6, 8, 32, 100] {
+            let l = side_size(t);
+            for _ in 0..50 {
+                let i = sample_no(&mut rng, t);
+                assert!(!i.is_disjoint(), "t={t}: No instance is disjoint");
+                assert_eq!(i.intersection().len(), 1, "t={t}: |A∩B| must be exactly 1");
+                assert_eq!(i.a.len(), l);
+                assert_eq!(i.b.len(), l);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_samplers_reproduce_the_no_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in [6, 32] {
+            for _ in 0..50 {
+                let a = sample_a_marginal_no(&mut rng, t);
+                assert_eq!(a.len(), side_size(t));
+                let b = sample_b_given_a_no(&mut rng, &a);
+                assert_eq!(b.len(), side_size(t));
+                assert_eq!(a.intersection_len(&b), 1, "B|A keeps |A∩B| = 1");
+                let a2 = sample_a_given_b_no(&mut rng, &b);
+                assert_eq!(a2.intersection_len(&b), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn special_element_is_roughly_uniform() {
+        // The planted intersection element should not be positionally biased.
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = 8;
+        let trials = 4000;
+        let mut counts = vec![0u32; t];
+        for _ in 0..trials {
+            let x = sample_no(&mut rng, t).intersection().first().unwrap();
+            counts[x] += 1;
+        }
+        let expected = trials as f64 / t as f64;
+        for (e, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.25 * expected,
+                "element {e}: {c} vs ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn side_sizes_track_t_over_3() {
+        assert_eq!(side_size(2), 1);
+        assert_eq!(side_size(3), 1);
+        assert_eq!(side_size(12), 4);
+        assert_eq!(side_size(32), 11);
+        // Set-size consequence for D_SC (Remark 3.1-i): (t−ℓ)/t ≈ 2/3.
+        let frac = (32.0 - side_size(32) as f64) / 32.0;
+        assert!((frac - 2.0 / 3.0).abs() < 0.04);
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≥ 2")]
+    fn degenerate_ground_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_yes(&mut rng, 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! The gap-hamming-distance gadget `GHD_t` and its promise distribution
+//! `D_GHD` (§4.1), the engine of the `D_MC` hardness construction.
+//!
+//! `GHD_t` is the promise problem on pairs `A, B ⊆ [t]`:
+//! **Yes** when `Δ(A, B) ≥ t/2 + √t`, **No** when `Δ(A, B) ≤ t/2 − √t`,
+//! and unconstrained (`⋆`) in the gap.
+//!
+//! The *balanced* promise distribution sampled here keeps `|A| = |B| = t/2`
+//! exactly: `A` is a uniform `t/2`-subset and `B` is obtained by swapping
+//! `d/2` uniformly chosen members of `A` against `d/2` uniformly chosen
+//! non-members, for an even distance `d` drawn uniformly from the branch's
+//! promise range. This gives `Δ(A, B) = d` *exactly*, so both branches
+//! satisfy their promise deterministically — which is what lets the
+//! Lemma 4.3 / Lemma 4.5 experiments separate `θ` without slack for
+//! sampling noise — and `|A ∪ B| = t/2 + d/2` exactly, the identity behind
+//! `D_MC`'s coverage geometry (Claim 4.4).
+
+use rand::Rng;
+use streamcover_core::{random_subset, BitSet};
+
+/// Shape of the balanced GHD distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GhdParams {
+    /// Ground set size `t` (even, ≥ 4).
+    pub t: usize,
+}
+
+impl GhdParams {
+    /// Balanced parameters over `[t]`.
+    ///
+    /// # Panics
+    /// Panics unless `t` is even and at least 4 (so the promise gap
+    /// `t/2 ± √t` is nondegenerate and `|A| = t/2` is integral).
+    pub fn balanced(t: usize) -> Self {
+        assert!(t >= 4, "GHD needs t ≥ 4, got {t}");
+        assert!(t % 2 == 0, "balanced GHD needs even t, got {t}");
+        GhdParams { t }
+    }
+
+    /// The Yes promise threshold `t/2 + √t`.
+    pub fn yes_threshold(&self) -> f64 {
+        self.t as f64 / 2.0 + (self.t as f64).sqrt()
+    }
+
+    /// The No promise threshold `t/2 − √t`.
+    pub fn no_threshold(&self) -> f64 {
+        self.t as f64 / 2.0 - (self.t as f64).sqrt()
+    }
+
+    /// Smallest even distance satisfying the Yes promise.
+    fn min_yes_even(&self) -> usize {
+        let d = self.yes_threshold().ceil() as usize;
+        d + (d % 2)
+    }
+
+    /// Largest even distance satisfying the No promise.
+    fn max_no_even(&self) -> usize {
+        let d = self.no_threshold().floor() as usize;
+        d - (d % 2)
+    }
+}
+
+/// Ground-truth classification of a `GHD_t` pair at distance `dist`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhdAnswer {
+    /// `Δ ≥ t/2 + √t`.
+    Yes,
+    /// `Δ ≤ t/2 − √t`.
+    No,
+    /// Inside the promise gap — any protocol output is acceptable.
+    Star,
+}
+
+/// Classifies a distance against the `t/2 ± √t` promise thresholds.
+pub fn classify(t: usize, dist: usize) -> GhdAnswer {
+    let (half, root) = (t as f64 / 2.0, (t as f64).sqrt());
+    let d = dist as f64;
+    if d >= half + root {
+        GhdAnswer::Yes
+    } else if d <= half - root {
+        GhdAnswer::No
+    } else {
+        GhdAnswer::Star
+    }
+}
+
+/// One `GHD_t` input pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GhdInstance {
+    /// Alice's set `A ⊆ [t]`.
+    pub a: BitSet,
+    /// Bob's set `B ⊆ [t]`.
+    pub b: BitSet,
+}
+
+impl GhdInstance {
+    /// `Δ(A, B) = |A Δ B|`.
+    pub fn hamming(&self) -> usize {
+        self.a.hamming_distance(&self.b)
+    }
+
+    /// Ground-truth promise classification of this pair.
+    pub fn answer(&self) -> GhdAnswer {
+        classify(self.a.capacity(), self.hamming())
+    }
+}
+
+/// Samples the Yes branch `D^Y`: `Δ(A, B)` uniform over even values in
+/// `[t/2 + √t, t]`.
+pub fn sample_yes<R: Rng + ?Sized>(rng: &mut R, p: GhdParams) -> GhdInstance {
+    let lo = p.min_yes_even();
+    let d = sample_even(rng, lo, p.t);
+    pair_at_distance(rng, p, d)
+}
+
+/// Samples the No branch `D^N`: `Δ(A, B)` uniform over even values in
+/// `[0, t/2 − √t]`.
+pub fn sample_no<R: Rng + ?Sized>(rng: &mut R, p: GhdParams) -> GhdInstance {
+    let d = sample_even(rng, 0, p.max_no_even());
+    pair_at_distance(rng, p, d)
+}
+
+/// The `A`-marginal of `D^N` (by exchangeability also the `B`-marginal): a
+/// uniform `t/2`-subset.
+pub fn sample_a_marginal_no<R: Rng + ?Sized>(rng: &mut R, p: GhdParams) -> BitSet {
+    random_subset(rng, p.t, p.t / 2)
+}
+
+/// Samples `B | A` under `D^N`: a fresh even promise distance, realized by
+/// a uniform balanced swap against `A`.
+pub fn sample_b_given_a_no<R: Rng + ?Sized>(rng: &mut R, p: GhdParams, a: &BitSet) -> BitSet {
+    let d = sample_even(rng, 0, p.max_no_even());
+    swap_at_distance(rng, a, d)
+}
+
+/// Samples `A | B` under `D^N` (the distribution is exchangeable in the two
+/// sides, so this is the same conditional).
+pub fn sample_a_given_b_no<R: Rng + ?Sized>(rng: &mut R, p: GhdParams, b: &BitSet) -> BitSet {
+    sample_b_given_a_no(rng, p, b)
+}
+
+/// Uniform even value in `[lo, hi]` (both even).
+fn sample_even<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo % 2 == 0 && hi % 2 == 0 && lo <= hi);
+    lo + 2 * rng.gen_range(0..=(hi - lo) / 2)
+}
+
+/// A uniform balanced pair at exact distance `d`.
+fn pair_at_distance<R: Rng + ?Sized>(rng: &mut R, p: GhdParams, d: usize) -> GhdInstance {
+    let a = random_subset(rng, p.t, p.t / 2);
+    let b = swap_at_distance(rng, &a, d);
+    GhdInstance { a, b }
+}
+
+/// Swaps `d/2` members of `a` against `d/2` non-members, uniformly — the
+/// result has `a`'s size and Hamming distance exactly `d` from it.
+fn swap_at_distance<R: Rng + ?Sized>(rng: &mut R, a: &BitSet, d: usize) -> BitSet {
+    let t = a.capacity();
+    debug_assert!(d % 2 == 0 && d / 2 <= a.len() && d / 2 <= t - a.len());
+    let members = a.to_vec();
+    let outsiders = a.complement().to_vec();
+    let drop = random_subset(rng, members.len(), d / 2);
+    let add = random_subset(rng, outsiders.len(), d / 2);
+    let mut b = a.clone();
+    for i in drop.iter() {
+        b.remove(members[i]);
+    }
+    for i in add.iter() {
+        b.insert(outsiders[i]);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn yes_branch_always_meets_the_promise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [4, 16, 64, 100] {
+            let p = GhdParams::balanced(t);
+            for _ in 0..100 {
+                let i = sample_yes(&mut rng, p);
+                assert_eq!(i.answer(), GhdAnswer::Yes, "t={t}, Δ={}", i.hamming());
+                assert_eq!(i.a.len(), t / 2);
+                assert_eq!(i.b.len(), t / 2, "swaps must preserve balance");
+            }
+        }
+    }
+
+    #[test]
+    fn no_branch_always_meets_the_promise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in [4, 16, 64, 100] {
+            let p = GhdParams::balanced(t);
+            for _ in 0..100 {
+                let i = sample_no(&mut rng, p);
+                assert_eq!(i.answer(), GhdAnswer::No, "t={t}, Δ={}", i.hamming());
+                assert_eq!(i.a.len(), t / 2);
+                assert_eq!(i.b.len(), t / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_matches_thresholds_at_t64() {
+        // t = 64: √t = 8, so Yes ⇔ Δ ≥ 40, No ⇔ Δ ≤ 24.
+        assert_eq!(classify(64, 40), GhdAnswer::Yes);
+        assert_eq!(classify(64, 64), GhdAnswer::Yes);
+        assert_eq!(classify(64, 39), GhdAnswer::Star);
+        assert_eq!(classify(64, 25), GhdAnswer::Star);
+        assert_eq!(classify(64, 24), GhdAnswer::No);
+        assert_eq!(classify(64, 0), GhdAnswer::No);
+    }
+
+    #[test]
+    fn classify_agrees_with_sampled_promises() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = GhdParams::balanced(64);
+        for _ in 0..200 {
+            let y = sample_yes(&mut rng, p);
+            assert_eq!(classify(p.t, y.hamming()), GhdAnswer::Yes);
+            let n = sample_no(&mut rng, p);
+            assert_eq!(classify(p.t, n.hamming()), GhdAnswer::No);
+        }
+    }
+
+    #[test]
+    fn union_size_identity_for_balanced_pairs() {
+        // |A ∪ B| = t/2 + Δ/2 exactly — the Claim 4.4 geometry.
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = GhdParams::balanced(64);
+        for _ in 0..100 {
+            let i = sample_yes(&mut rng, p);
+            assert_eq!(i.a.union_len(&i.b), p.t / 2 + i.hamming() / 2);
+            let i = sample_no(&mut rng, p);
+            assert_eq!(i.a.union_len(&i.b), p.t / 2 + i.hamming() / 2);
+        }
+    }
+
+    #[test]
+    fn conditionals_preserve_balance_and_promise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = GhdParams::balanced(16);
+        for _ in 0..100 {
+            let a = sample_a_marginal_no(&mut rng, p);
+            assert_eq!(a.len(), 8);
+            let b = sample_b_given_a_no(&mut rng, p, &a);
+            assert_eq!(b.len(), 8);
+            assert_eq!(classify(p.t, a.hamming_distance(&b)), GhdAnswer::No);
+            let a2 = sample_a_given_b_no(&mut rng, p, &b);
+            assert_eq!(classify(p.t, a2.hamming_distance(&b)), GhdAnswer::No);
+        }
+    }
+
+    #[test]
+    fn distances_spread_over_the_promise_range() {
+        // The Yes branch should not collapse onto a single distance.
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = GhdParams::balanced(64);
+        let seen: std::collections::HashSet<usize> = (0..200)
+            .map(|_| sample_yes(&mut rng, p).hamming())
+            .collect();
+        assert!(seen.len() >= 5, "only distances {seen:?}");
+        assert!(seen.iter().all(|d| d % 2 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "even t")]
+    fn odd_t_rejected() {
+        GhdParams::balanced(65);
+    }
+}

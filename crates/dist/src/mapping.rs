@@ -1,0 +1,183 @@
+//! Mapping extensions `f : [t] → 2^[n]` (§3.1): a uniformly random
+//! partition of `[n]` into `t` blocks of (near-)equal size, extended to
+//! subsets by `f(A) = ⋃_{x ∈ A} f(x)`.
+//!
+//! `D_SC` uses one independent mapping extension per coordinate to lift the
+//! `Disj_t` pairs to sets over `[n]`: `S_i = f_i(Ā_i)` and `T_i = f_i(B̄_i)`,
+//! so `S_i ∪ T_i = [n] \ f_i(A_i ∩ B_i)` (Remark 3.1-iii). When `t | n`
+//! every block has exactly `n/t` elements; otherwise the first `n mod t`
+//! blocks carry one extra element.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use streamcover_core::BitSet;
+
+/// A random partition of `[n]` into `t` labelled blocks, with subset
+/// extension.
+#[derive(Clone, Debug)]
+pub struct MappingExtension {
+    t: usize,
+    n: usize,
+    /// `block_of[e]` = the block index of element `e`.
+    block_of: Vec<usize>,
+    /// `blocks[i]` = `f(i)` as a subset of `[n]`.
+    blocks: Vec<BitSet>,
+}
+
+impl MappingExtension {
+    /// Samples a uniform block partition of `[n]` into `t` blocks.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ t ≤ n`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, t: usize, n: usize) -> Self {
+        assert!(t >= 1, "need at least one block");
+        assert!(t <= n, "cannot split [{n}] into {t} nonempty blocks");
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        let (base, extra) = (n / t, n % t);
+        let mut block_of = vec![0usize; n];
+        let mut blocks = Vec::with_capacity(t);
+        let mut pos = 0;
+        for i in 0..t {
+            let size = base + usize::from(i < extra);
+            let mut block = BitSet::new(n);
+            for &e in &perm[pos..pos + size] {
+                block.insert(e);
+                block_of[e] = i;
+            }
+            blocks.push(block);
+            pos += size;
+        }
+        MappingExtension {
+            t,
+            n,
+            block_of,
+            blocks,
+        }
+    }
+
+    /// Domain size `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Codomain universe size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The block `f(i) ⊆ [n]`.
+    pub fn block(&self, i: usize) -> BitSet {
+        self.blocks[i].clone()
+    }
+
+    /// The block index of element `e ∈ [n]`.
+    pub fn block_of(&self, e: usize) -> usize {
+        self.block_of[e]
+    }
+
+    /// The extension `f(A) = ⋃_{x ∈ A} f(x)` of a subset `A ⊆ [t]`.
+    ///
+    /// # Panics
+    /// Panics if `A`'s capacity is not `t`.
+    pub fn extend(&self, a: &BitSet) -> BitSet {
+        assert_eq!(a.capacity(), self.t, "extension input must live on [t]");
+        let mut out = BitSet::new(self.n);
+        for x in a.iter() {
+            out.union_with(&self.blocks[x]);
+        }
+        out
+    }
+
+    /// The complement extension `f(Ā) = [n] \ f(A)` — the lift `D_SC`
+    /// applies to each player's Disj set.
+    pub fn co_extend(&self, a: &BitSet) -> BitSet {
+        self.extend(a).complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn blocks_partition_the_universe() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (t, n) in [(1, 1), (1, 7), (3, 7), (4, 12), (5, 5), (12, 96)] {
+            let f = MappingExtension::sample(&mut rng, t, n);
+            let mut seen = BitSet::new(n);
+            let mut total = 0;
+            for i in 0..t {
+                let b = f.block(i);
+                assert!(b.is_disjoint(&seen), "t={t} n={n}: block {i} overlaps");
+                assert!(!b.is_empty(), "blocks are nonempty");
+                total += b.len();
+                seen.union_with(&b);
+            }
+            assert_eq!(total, n);
+            assert!(seen.is_full());
+        }
+    }
+
+    #[test]
+    fn equal_blocks_when_t_divides_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = MappingExtension::sample(&mut rng, 8, 64);
+        for i in 0..8 {
+            assert_eq!(f.block(i).len(), 8);
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = MappingExtension::sample(&mut rng, 5, 13);
+        let sizes: Vec<usize> = (0..5).map(|i| f.block(i).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 13);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn block_of_inverts_block_membership() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = MappingExtension::sample(&mut rng, 6, 30);
+        for e in 0..30 {
+            assert!(f.block(f.block_of(e)).contains(e));
+        }
+    }
+
+    #[test]
+    fn extend_respects_unions_and_complement() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = MappingExtension::sample(&mut rng, 8, 40);
+        let a = BitSet::from_iter(8, [0, 3, 5]);
+        let fa = f.extend(&a);
+        for e in 0..40 {
+            assert_eq!(fa.contains(e), a.contains(f.block_of(e)));
+        }
+        assert_eq!(f.co_extend(&a), fa.complement());
+        // f(∅) = ∅ and f([t]) = [n].
+        assert!(f.extend(&BitSet::new(8)).is_empty());
+        assert!(f.extend(&BitSet::full(8)).is_full());
+    }
+
+    #[test]
+    fn partitions_are_random() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let f1 = MappingExtension::sample(&mut rng, 4, 32);
+        let f2 = MappingExtension::sample(&mut rng, 4, 32);
+        assert_ne!(
+            f1.block(0),
+            f2.block(0),
+            "independent samples should differ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty blocks")]
+    fn too_many_blocks_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        MappingExtension::sample(&mut rng, 5, 4);
+    }
+}

@@ -1,0 +1,272 @@
+//! The hard maximum coverage distribution `D_MC` (§4.2, Lemma 4.3).
+//!
+//! The universe splits as `U = U₁ ∪ U₂` with `|U₁| = t₁` (the GHD gadget
+//! coordinates, `U₁ = {0, …, t₁−1}`) and `|U₂| = t₂` (ballast,
+//! `U₂ = {t₁, …, n−1}`). Coordinate `i` draws a balanced `GHD_{t₁}` pair
+//! `(A_i, B_i)` and a fair-coin partition `U₂ = C_i ⊔ D_i`, and sets
+//! `S_i = A_i ∪ C_i`, `T_i = B_i ∪ D_i`.
+//!
+//! Matched pairs cover all of `U₂` plus `|A_i ∪ B_i| = t₁/2 + Δ_i/2`, so
+//! their 2-coverage sits at `τ ± √t₁/2` according to the GHD branch —
+//! while mixed pairs miss ≈ `t₂/4` of `U₂` and stay far below `τ`
+//! (Claim 4.4). Planting one `D^Y` coordinate under `θ = 1` therefore
+//! pushes the optimal 2-coverage above `τ`, keeping it below under
+//! `θ = 0`: a `(1−ε)`-approximate estimate decides `θ`, which is what
+//! Result 2's `Ω̃(m/ε²)` bound is made of.
+
+use crate::ghd::{self, GhdInstance, GhdParams};
+use rand::Rng;
+use streamcover_core::{BitSet, SetSystem};
+
+/// Shape of a `D_MC` instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McParams {
+    /// Number of matched pairs `m` (the instance has `2m` sets).
+    pub m: usize,
+    /// GHD gadget size `|U₁| = t₁`.
+    pub t1: usize,
+    /// Ballast size `|U₂| = t₂`.
+    pub t2: usize,
+    /// The gadget's GHD parameters (over `[t₁]`).
+    pub ghd: GhdParams,
+}
+
+impl McParams {
+    /// Explicit parameters.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 2`, `t₁` is even and ≥ 4, and `t₂ ≥ t₁` (the
+    /// separation of Claim 4.4 needs the ballast to dominate the gadget).
+    pub fn explicit(m: usize, t1: usize, t2: usize) -> Self {
+        assert!(m >= 2, "D_MC needs m ≥ 2, got {m}");
+        assert!(t2 >= t1, "ballast t₂ = {t2} must be ≥ t₁ = {t1}");
+        McParams {
+            m,
+            t1,
+            t2,
+            ghd: GhdParams::balanced(t1),
+        }
+    }
+
+    /// The paper's `ε`-parameterization: `t₁ = 1/ε²` (rounded to the
+    /// nearest even integer) and `t₂ = 8·t₁`, so the Yes/No coverage gap
+    /// `√t₁ = 1/ε` is a `Θ(ε)` fraction of `τ`.
+    pub fn for_epsilon(m: usize, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 0.5, "ε ∈ (0, 1/2] required, got {eps}");
+        let mut t1 = (1.0 / (eps * eps)).round() as usize;
+        t1 += t1 % 2;
+        Self::explicit(m, t1.max(4), 8 * t1.max(4))
+    }
+
+    /// Universe size `n = t₁ + t₂`.
+    pub fn n(&self) -> usize {
+        self.t1 + self.t2
+    }
+
+    /// The Lemma 4.3 decision threshold `τ = t₂ + 3t₁/4` — the matched-pair
+    /// coverage at the middle GHD distance `Δ = t₁/2`.
+    pub fn tau(&self) -> f64 {
+        self.t2 as f64 + 0.75 * self.t1 as f64
+    }
+
+    /// Half the promise gap in coverage units: `√t₁/2`. Matched pairs land
+    /// at `≥ τ + gap` (Yes) or `≤ τ − gap` (No).
+    pub fn gap(&self) -> f64 {
+        (self.t1 as f64).sqrt() / 2.0
+    }
+}
+
+/// One sampled `D_MC` instance with its hidden structure exposed.
+#[derive(Clone, Debug)]
+pub struct DmcInstance {
+    /// Instance shape.
+    pub params: McParams,
+    /// Alice's sets `S_1, …, S_m` over `[n]`.
+    pub alice: SetSystem,
+    /// Bob's sets `T_1, …, T_m` over `[n]`.
+    pub bob: SetSystem,
+    /// The underlying GHD pairs (over `[t₁]`).
+    pub ghd: Vec<GhdInstance>,
+    /// The planted coordinate (`Some` ⇔ `θ = 1`).
+    pub i_star: Option<usize>,
+}
+
+impl DmcInstance {
+    /// The full `2m`-set instance: Alice's sets at ids `0..m`, Bob's at
+    /// `m..2m`.
+    pub fn combined(&self) -> SetSystem {
+        let mut all = SetSystem::new(self.params.n());
+        for (_, s) in self.alice.iter().chain(self.bob.iter()) {
+            all.push(s.clone());
+        }
+        all
+    }
+
+    /// `|S_i ∪ T_i|`, the coverage of matched pair `i`.
+    pub fn pair_coverage(&self, i: usize) -> usize {
+        self.alice.set(i).union_len(self.bob.set(i))
+    }
+}
+
+/// Samples `D_MC` with the given branch: `θ = 1` redraws one hidden
+/// coordinate from `D^Y_GHD`, pushing the optimal 2-coverage above `τ`.
+pub fn sample_dmc_with_theta<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: McParams,
+    theta: bool,
+) -> DmcInstance {
+    let n = p.n();
+    let i_star = if theta {
+        Some(rng.gen_range(0..p.m))
+    } else {
+        None
+    };
+    let lift = |x: &BitSet| BitSet::from_iter(n, x.iter());
+    let mut alice = SetSystem::new(n);
+    let mut bob = SetSystem::new(n);
+    let mut pairs = Vec::with_capacity(p.m);
+    for i in 0..p.m {
+        let pair = if i_star == Some(i) {
+            ghd::sample_yes(rng, p.ghd)
+        } else {
+            ghd::sample_no(rng, p.ghd)
+        };
+        // Fair-coin split U₂ = C_i ⊔ D_i.
+        let mut c = BitSet::new(n);
+        let mut d = BitSet::new(n);
+        for e in p.t1..n {
+            if rng.gen_bool(0.5) {
+                c.insert(e);
+            } else {
+                d.insert(e);
+            }
+        }
+        alice.push(lift(&pair.a).union(&c));
+        bob.push(lift(&pair.b).union(&d));
+        pairs.push(pair);
+    }
+    DmcInstance {
+        params: p,
+        alice,
+        bob,
+        ghd: pairs,
+        i_star,
+    }
+}
+
+/// Samples `D_MC` with a fair-coin `θ`.
+pub fn sample_dmc<R: Rng + ?Sized>(rng: &mut R, p: McParams) -> DmcInstance {
+    let theta = rng.gen_bool(0.5);
+    sample_dmc_with_theta(rng, p, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use streamcover_core::exact_max_coverage;
+
+    #[test]
+    fn epsilon_parameterization() {
+        let p = McParams::for_epsilon(5, 0.125);
+        assert_eq!(p.t1, 64);
+        assert_eq!(p.t2, 512);
+        assert_eq!(p.n(), 576);
+        assert_eq!(p.tau(), 560.0);
+        assert_eq!(p.gap(), 4.0);
+        let p = McParams::for_epsilon(6, 0.25);
+        assert_eq!(p.t1, 16);
+        assert_eq!(p.gap(), 2.0);
+    }
+
+    #[test]
+    fn matched_pairs_cover_all_ballast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = McParams::for_epsilon(5, 0.25);
+        let inst = sample_dmc_with_theta(&mut rng, p, false);
+        for i in 0..p.m {
+            let union = inst.alice.set(i).union(inst.bob.set(i));
+            for e in p.t1..p.n() {
+                assert!(union.contains(e), "pair {i} misses ballast element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_coverage_tracks_the_ghd_branch_exactly() {
+        // |S_i ∪ T_i| = t₂ + t₁/2 + Δ_i/2: ≥ τ+gap when planted, ≤ τ−gap
+        // otherwise.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = McParams::for_epsilon(6, 0.125);
+        for trial in 0..10 {
+            let theta = trial % 2 == 0;
+            let inst = sample_dmc_with_theta(&mut rng, p, theta);
+            for i in 0..p.m {
+                let cov = inst.pair_coverage(i);
+                let expect = p.t2 + p.t1 / 2 + inst.ghd[i].hamming() / 2;
+                assert_eq!(cov, expect, "pair {i}");
+                if inst.i_star == Some(i) {
+                    assert!(
+                        cov as f64 >= p.tau() + p.gap(),
+                        "planted pair too low: {cov}"
+                    );
+                } else {
+                    assert!(
+                        cov as f64 <= p.tau() - p.gap(),
+                        "unplanted pair too high: {cov}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_43_exact_two_coverage_separates_theta() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for eps in [0.25, 0.125] {
+            let p = McParams::for_epsilon(5, eps);
+            for trial in 0..6 {
+                let theta = trial % 2 == 0;
+                let inst = sample_dmc_with_theta(&mut rng, p, theta);
+                let (_, opt) = exact_max_coverage(&inst.combined(), 2);
+                assert_eq!(
+                    opt as f64 > p.tau(),
+                    theta,
+                    "ε={eps} trial {trial}: opt {opt} vs τ {}",
+                    p.tau()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_optimum_is_the_planted_pair() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = McParams::for_epsilon(5, 0.25);
+        let inst = sample_dmc_with_theta(&mut rng, p, true);
+        let i_star = inst.i_star.unwrap();
+        let (ids, opt) = exact_max_coverage(&inst.combined(), 2);
+        assert_eq!(opt, inst.pair_coverage(i_star));
+        let mut expect = vec![i_star, p.m + i_star];
+        let mut got = ids.clone();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect, "optimum must be the planted matched pair");
+    }
+
+    #[test]
+    fn fair_coin_sampler_hits_both_branches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = McParams::for_epsilon(4, 0.25);
+        let mut planted = 0;
+        for _ in 0..40 {
+            if sample_dmc(&mut rng, p).i_star.is_some() {
+                planted += 1;
+            }
+        }
+        assert!(
+            (5..=35).contains(&planted),
+            "θ coin badly skewed: {planted}/40"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Random re-partitioning of a split instance between the two players —
+//! the `D^rnd_SC` device of Lemma 3.7.
+//!
+//! Theorem 1 covers *random arrival* streams: the `2m` sets are dealt to
+//! Alice and Bob by independent fair coins, and each player streams their
+//! part in random order, which composes to a uniform arrival permutation.
+//! Re-partitioning does not change the multiset of sets, so the `θ`-gap of
+//! `D_SC` (opt = 2 vs opt > 2α) survives verbatim.
+
+use rand::Rng;
+use streamcover_core::{BitSet, SetId, SetSystem};
+
+/// A random split of `2m` sets between the players. Each entry carries the
+/// set's id in the *original* combined instance (Alice-then-Bob order), so
+/// partitioned runs can be mapped back.
+#[derive(Clone, Debug)]
+pub struct RandomPartition {
+    /// Universe size `n`.
+    pub universe: usize,
+    /// Alice's dealt sets, as `(original id, set)`.
+    pub alice: Vec<(SetId, BitSet)>,
+    /// Bob's dealt sets, as `(original id, set)`.
+    pub bob: Vec<(SetId, BitSet)>,
+}
+
+impl RandomPartition {
+    /// The partitioned instance as one system: Alice's dealt sets first,
+    /// then Bob's.
+    pub fn combined(&self) -> SetSystem {
+        let mut all = SetSystem::new(self.universe);
+        for (_, s) in self.alice.iter().chain(self.bob.iter()) {
+            all.push(s.clone());
+        }
+        all
+    }
+
+    /// Total number of sets (`2m`).
+    pub fn len(&self) -> usize {
+        self.alice.len() + self.bob.len()
+    }
+
+    /// Whether the partition holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.alice.is_empty() && self.bob.is_empty()
+    }
+}
+
+/// Deals the `2m` sets of a split instance to the players by independent
+/// fair coins (Lemma 3.7's `D^rnd_SC`). Original ids follow the
+/// Alice-then-Bob convention of the input: `alice.set(i)` has id `i`,
+/// `bob.set(i)` has id `alice.len() + i`.
+///
+/// # Panics
+/// Panics if the two systems' universes differ.
+pub fn random_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    alice: &SetSystem,
+    bob: &SetSystem,
+) -> RandomPartition {
+    assert_eq!(
+        alice.universe(),
+        bob.universe(),
+        "players must share a universe"
+    );
+    let mut out = RandomPartition {
+        universe: alice.universe(),
+        alice: Vec::new(),
+        bob: Vec::new(),
+    };
+    let m = alice.len();
+    let pool = alice.iter().chain(bob.iter().map(|(i, s)| (m + i, s)));
+    for (id, s) in pool {
+        if rng.gen_bool(0.5) {
+            out.alice.push((id, s.clone()));
+        } else {
+            out.bob.push((id, s.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn two_systems() -> (SetSystem, SetSystem) {
+        let a = SetSystem::from_elements(6, &[vec![0, 1], vec![2]]);
+        let b = SetSystem::from_elements(6, &[vec![3], vec![4, 5]]);
+        (a, b)
+    }
+
+    #[test]
+    fn partition_preserves_the_multiset_with_original_ids() {
+        let (a, b) = two_systems();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let part = random_partition(&mut rng, &a, &b);
+            assert_eq!(part.len(), 4);
+            assert!(!part.is_empty());
+            let mut ids: Vec<SetId> = part
+                .alice
+                .iter()
+                .chain(part.bob.iter())
+                .map(|(i, _)| *i)
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+            for (id, s) in part.alice.iter().chain(part.bob.iter()) {
+                let original = if *id < 2 { a.set(*id) } else { b.set(*id - 2) };
+                assert_eq!(s, original, "id {id} payload mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn combined_lists_alice_then_bob() {
+        let (a, b) = two_systems();
+        let mut rng = StdRng::seed_from_u64(2);
+        let part = random_partition(&mut rng, &a, &b);
+        let all = part.combined();
+        assert_eq!(all.len(), 4);
+        for (k, (_, s)) in part.alice.iter().chain(part.bob.iter()).enumerate() {
+            assert_eq!(all.set(k), s);
+        }
+    }
+
+    #[test]
+    fn deals_are_random() {
+        let (a, b) = two_systems();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut alice_counts = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            alice_counts += random_partition(&mut rng, &a, &b).alice.len();
+        }
+        let mean = alice_counts as f64 / trials as f64;
+        assert!(
+            (mean - 2.0).abs() < 0.2,
+            "Alice got {mean} of 4 sets on average"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe")]
+    fn mismatched_universes_rejected() {
+        let a = SetSystem::new(5);
+        let b = SetSystem::new(6);
+        random_partition(&mut StdRng::seed_from_u64(4), &a, &b);
+    }
+}

@@ -1,0 +1,245 @@
+//! The hard set cover distribution `D_SC` (§3.1, Lemma 3.2).
+//!
+//! An instance is `2m` sets over `[n]`, split as `m` Alice sets
+//! `S_1, …, S_m` and `m` Bob sets `T_1, …, T_m`. Coordinate `i` draws a
+//! `Disj_t` pair `(A_i, B_i)` and an independent mapping extension `f_i`,
+//! and lifts `S_i = f_i(Ā_i)`, `T_i = f_i(B̄_i)`; therefore
+//! `S_i ∪ T_i = [n] \ f_i(A_i ∩ B_i)` (Remark 3.1-iii).
+//!
+//! Under `θ = 0` every coordinate is `D^N_Disj` (`|A_i ∩ B_i| = 1`), so
+//! every matched pair misses exactly one block and — in the hardness regime
+//! `n/t² ≫ log m` — no `2α` sets cover `[n]` w.h.p. (Lemma 3.2). Under
+//! `θ = 1` a hidden uniform coordinate `i*` is redrawn from `D^Y_Disj`
+//! (disjoint), planting the size-2 cover `{S_{i*}, T_{i*}}`. An
+//! `α`-approximate value estimate therefore decides `θ` — the crux of
+//! Theorem 1.
+
+use crate::disj::{self, DisjInstance};
+use crate::mapping::MappingExtension;
+use rand::Rng;
+use streamcover_core::{SetId, SetSystem};
+
+/// Shape of a `D_SC` instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScParams {
+    /// Universe size `n`.
+    pub n: usize,
+    /// Number of matched pairs `m` (the instance has `2m` sets).
+    pub m: usize,
+    /// Disj ground set size `t` (= number of mapping blocks).
+    pub t: usize,
+}
+
+impl ScParams {
+    /// Explicit parameters.
+    ///
+    /// # Panics
+    /// Panics unless `t ≥ 2`, `n ≥ t` and `m ≥ 1`. (The hardness *regime*
+    /// additionally wants `t ≥ 30` and `n/t² ≫ log m`, but small
+    /// out-of-regime instances are valid and useful in tests.)
+    pub fn explicit(n: usize, m: usize, t: usize) -> Self {
+        assert!(t >= 2, "D_SC needs t ≥ 2, got {t}");
+        assert!(n >= t, "universe [{n}] cannot hold {t} blocks");
+        assert!(m >= 1, "need at least one pair");
+        ScParams { n, m, t }
+    }
+}
+
+/// One sampled `D_SC` instance, with its hidden structure exposed for
+/// experiments (a streaming algorithm sees only the `2m` sets).
+#[derive(Clone, Debug)]
+pub struct DscInstance {
+    /// Instance shape.
+    pub params: ScParams,
+    /// Alice's sets `S_1, …, S_m`.
+    pub alice: SetSystem,
+    /// Bob's sets `T_1, …, T_m`.
+    pub bob: SetSystem,
+    /// The per-coordinate mapping extensions `f_i`.
+    pub mappings: Vec<MappingExtension>,
+    /// The underlying `Disj_t` pairs `(A_i, B_i)`.
+    pub disj: Vec<DisjInstance>,
+    /// The planted coordinate (`Some` ⇔ the instance was drawn with
+    /// `θ = 1`).
+    pub i_star: Option<usize>,
+}
+
+impl DscInstance {
+    /// The full `2m`-set instance: Alice's sets at ids `0..m`, Bob's at
+    /// `m..2m`.
+    pub fn combined(&self) -> SetSystem {
+        let mut all = SetSystem::new(self.params.n);
+        for (_, s) in self.alice.iter().chain(self.bob.iter()) {
+            all.push(s.clone());
+        }
+        all
+    }
+
+    /// `|S_i ∪ T_i|`.
+    pub fn pair_coverage(&self, i: usize) -> usize {
+        self.alice.set(i).union_len(self.bob.set(i))
+    }
+
+    /// Whether matched pair `i` covers the whole universe.
+    pub fn pair_covers(&self, i: usize) -> bool {
+        self.pair_coverage(i) == self.params.n
+    }
+
+    /// Ids (into [`DscInstance::combined`]) of the planted size-2 cover,
+    /// when `θ = 1`.
+    pub fn planted_cover(&self) -> Option<Vec<SetId>> {
+        self.i_star.map(|i| vec![i, self.params.m + i])
+    }
+}
+
+/// Samples `D_SC` with the given branch: `θ = 1` plants a hidden
+/// disjoint coordinate (so `opt = 2`), `θ = 0` draws every coordinate from
+/// `D^N` (so `opt > 2α` w.h.p. in the hardness regime).
+pub fn sample_dsc_with_theta<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: ScParams,
+    theta: bool,
+) -> DscInstance {
+    let i_star = if theta {
+        Some(rng.gen_range(0..p.m))
+    } else {
+        None
+    };
+    let mut mappings = Vec::with_capacity(p.m);
+    let mut disj_pairs = Vec::with_capacity(p.m);
+    let mut alice = SetSystem::new(p.n);
+    let mut bob = SetSystem::new(p.n);
+    for i in 0..p.m {
+        let f = MappingExtension::sample(rng, p.t, p.n);
+        let pair = if i_star == Some(i) {
+            disj::sample_yes(rng, p.t)
+        } else {
+            disj::sample_no(rng, p.t)
+        };
+        alice.push(f.co_extend(&pair.a));
+        bob.push(f.co_extend(&pair.b));
+        mappings.push(f);
+        disj_pairs.push(pair);
+    }
+    DscInstance {
+        params: p,
+        alice,
+        bob,
+        mappings,
+        disj: disj_pairs,
+        i_star,
+    }
+}
+
+/// Samples `D_SC` with a fair-coin `θ`.
+pub fn sample_dsc<R: Rng + ?Sized>(rng: &mut R, p: ScParams) -> DscInstance {
+    let theta = rng.gen_bool(0.5);
+    sample_dsc_with_theta(rng, p, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use streamcover_core::{decide_opt_at_most, exact_set_cover, Decision};
+
+    const SMALL: ScParams = ScParams { n: 96, m: 4, t: 12 };
+
+    #[test]
+    fn shape_and_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = sample_dsc_with_theta(&mut rng, SMALL, true);
+        assert_eq!(inst.alice.len(), 4);
+        assert_eq!(inst.bob.len(), 4);
+        assert_eq!(inst.alice.universe(), 96);
+        let all = inst.combined();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all.set(1), inst.alice.set(1));
+        assert_eq!(all.set(5), inst.bob.set(1));
+    }
+
+    #[test]
+    fn remark_31_iii_pair_unions_miss_the_intersection_blocks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for theta in [false, true] {
+            let inst = sample_dsc_with_theta(&mut rng, SMALL, theta);
+            for i in 0..SMALL.m {
+                let union = inst.alice.set(i).union(inst.bob.set(i));
+                let miss = inst.mappings[i].extend(&inst.disj[i].intersection());
+                assert_eq!(union, miss.complement(), "θ={theta} pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_plants_exactly_one_covering_pair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let inst = sample_dsc_with_theta(&mut rng, SMALL, true);
+            let i_star = inst.i_star.expect("θ=1 must record i*");
+            for i in 0..SMALL.m {
+                assert_eq!(inst.pair_covers(i), i == i_star, "pair {i}");
+            }
+            let planted = inst.planted_cover().unwrap();
+            assert!(inst.combined().is_cover(&planted));
+            assert_eq!(planted.len(), 2);
+            assert_eq!(exact_set_cover(&inst.combined()).size(), Some(2));
+        }
+    }
+
+    #[test]
+    fn theta_zero_pairs_miss_exactly_one_block_each() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let inst = sample_dsc_with_theta(&mut rng, SMALL, false);
+            assert!(inst.i_star.is_none());
+            assert!(inst.planted_cover().is_none());
+            for i in 0..SMALL.m {
+                // |A∩B| = 1 ⇒ the union misses one block of n/t elements.
+                assert_eq!(inst.pair_coverage(i), 96 - 96 / 12, "pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardness_regime_separates_theta_through_opt() {
+        // Lemma 3.2 at a laptop-scale hardness point: θ=1 ⇒ opt = 2;
+        // θ=0 ⇒ opt > 4 (α = 2), certified by exhaustive search.
+        let p = ScParams::explicit(8192, 6, 32);
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..4 {
+            let theta = trial % 2 == 0;
+            let inst = sample_dsc_with_theta(&mut rng, p, theta);
+            let verdict = decide_opt_at_most(&inst.combined(), 4, 50_000_000);
+            let expect = if theta { Decision::Yes } else { Decision::No };
+            assert_eq!(verdict, expect, "trial {trial} θ={theta}");
+        }
+    }
+
+    #[test]
+    fn set_sizes_concentrate_near_two_thirds() {
+        // Remark 3.1-i: |S_i| = (t − ℓ)·n/t ≈ 2n/3.
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = ScParams::explicit(4096, 4, 32);
+        let inst = sample_dsc_with_theta(&mut rng, p, false);
+        for (_, s) in inst.alice.iter().chain(inst.bob.iter()) {
+            let frac = s.len() as f64 / 4096.0;
+            assert!((frac - 2.0 / 3.0).abs() < 0.05, "set density {frac}");
+        }
+    }
+
+    #[test]
+    fn fair_coin_sampler_hits_both_branches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut planted = 0;
+        for _ in 0..40 {
+            if sample_dsc(&mut rng, SMALL).i_star.is_some() {
+                planted += 1;
+            }
+        }
+        assert!(
+            (5..=35).contains(&planted),
+            "θ coin badly skewed: {planted}/40"
+        );
+    }
+}

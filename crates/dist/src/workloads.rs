@@ -1,0 +1,243 @@
+//! Realistic and structured workloads the upper-bound experiments run on:
+//! planted covers (known small optimum), uniform random systems, and the
+//! Saha–Getoor style blog/topic catalogues.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use streamcover_core::{bernoulli_subset, random_subset, BitSet, SetId, SetSystem};
+
+/// A coverable instance with a known planted cover.
+#[derive(Clone, Debug)]
+pub struct PlantedWorkload {
+    /// The instance.
+    pub system: SetSystem,
+    /// Ids of the planted cover (a partition of `[n]`, so it is feasible by
+    /// construction).
+    pub planted: Vec<SetId>,
+    /// Size of the planted cover — an upper bound on the true optimum.
+    pub opt: usize,
+}
+
+/// Builds a coverable instance over `[n]` with `m` sets and a planted cover
+/// of `opt` sets hidden among decoys.
+///
+/// The planted sets are a random partition of `[n]` into `opt` near-equal
+/// parts, placed at random positions; the other `m − opt` sets are random
+/// decoys of `≈ n/(4·opt) … n/(2·opt)` elements each — individually smaller
+/// than the planted parts, so the planted structure stays near-optimal
+/// while greedy-style algorithms still find plenty of partial overlap to
+/// chew on.
+///
+/// # Panics
+/// Panics unless `1 ≤ opt ≤ m` and `n ≥ opt`.
+pub fn planted_cover<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    opt: usize,
+) -> PlantedWorkload {
+    assert!(opt >= 1, "planted cover needs opt ≥ 1");
+    assert!(opt <= m, "cannot hide {opt} planted sets among {m}");
+    assert!(
+        n >= opt,
+        "universe [{n}] cannot split into {opt} nonempty parts"
+    );
+
+    // Random partition of [n] into opt near-equal parts.
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    let (base, extra) = (n / opt, n % opt);
+    let mut parts = Vec::with_capacity(opt);
+    let mut pos = 0;
+    for i in 0..opt {
+        let size = base + usize::from(i < extra);
+        parts.push(BitSet::from_iter(n, perm[pos..pos + size].iter().copied()));
+        pos += size;
+    }
+
+    // Random positions for the planted sets among the m slots.
+    let planted_pos = random_subset(rng, m, opt).to_vec();
+    let mut sets: Vec<Option<BitSet>> = vec![None; m];
+    for (part, &slot) in parts.into_iter().zip(&planted_pos) {
+        sets[slot] = Some(part);
+    }
+
+    // Decoys: random sparse sets, at most half a planted part each.
+    let hi = (n / (2 * opt)).max(1);
+    let lo = (n / (4 * opt)).max(1);
+    let mut system = SetSystem::new(n);
+    for slot in sets {
+        let set = match slot {
+            Some(part) => part,
+            None => {
+                let size = rng.gen_range(lo..=hi);
+                random_subset(rng, n, size)
+            }
+        };
+        system.push(set);
+    }
+    PlantedWorkload {
+        system,
+        planted: planted_pos,
+        opt,
+    }
+}
+
+/// `m` independent Bernoulli(`p`) subsets of `[n]`. With `coverable =
+/// true`, any element left uncovered is patched into a uniformly random
+/// set, guaranteeing `⋃ S_i = [n]`; with `false` the system is left as
+/// drawn (for small `p` it is uncoverable w.h.p., which is what the
+/// feasibility-detection tests want).
+///
+/// # Panics
+/// Panics unless `m ≥ 1` and `p ∈ [0, 1]`.
+pub fn uniform_random<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    p: f64,
+    coverable: bool,
+) -> SetSystem {
+    assert!(m >= 1, "need at least one set");
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let mut sets: Vec<BitSet> = (0..m).map(|_| bernoulli_subset(rng, n, p)).collect();
+    if coverable {
+        let mut covered = BitSet::new(n);
+        for s in &sets {
+            covered.union_with(s);
+        }
+        for e in covered.complement().iter() {
+            sets[rng.gen_range(0..m)].insert(e);
+        }
+    }
+    SetSystem::from_sets(n, sets)
+}
+
+/// A blog/topic catalogue in the spirit of Saha–Getoor's blog-monitoring
+/// application: the universe is `topics` topics with Zipf-like popularity,
+/// and each of `blogs` blogs covers a few topics drawn by popularity — a
+/// heavy-tailed coverage workload for the maximum coverage algorithms.
+///
+/// # Panics
+/// Panics unless `topics ≥ 2` and `blogs ≥ 1`.
+pub fn blog_watch<R: Rng + ?Sized>(rng: &mut R, topics: usize, blogs: usize) -> SetSystem {
+    assert!(topics >= 2, "need at least two topics");
+    assert!(blogs >= 1, "need at least one blog");
+    // Zipf weights 1/(i+1) with cumulative table for sampling.
+    let mut cumulative = Vec::with_capacity(topics);
+    let mut total = 0.0f64;
+    for i in 0..topics {
+        total += 1.0 / (i + 1) as f64;
+        cumulative.push(total);
+    }
+    let max_size = (topics / 4).max(2);
+    let mut system = SetSystem::new(topics);
+    for _ in 0..blogs {
+        let size = rng.gen_range(1..=max_size);
+        let mut set = BitSet::new(topics);
+        // Weighted sampling with rejection of duplicates; bail out early if
+        // the popular head is saturated.
+        let mut attempts = 0;
+        while set.len() < size && attempts < 20 * size {
+            attempts += 1;
+            let x = rng.gen::<f64>() * total;
+            let topic = cumulative.partition_point(|&c| c < x).min(topics - 1);
+            set.insert(topic);
+        }
+        system.push(set);
+    }
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use streamcover_core::{exact_set_cover, greedy_set_cover};
+
+    #[test]
+    fn planted_cover_is_feasible_via_the_planted_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, m, opt) in [(16, 4, 2), (128, 24, 4), (512, 48, 6), (100, 7, 7)] {
+            let w = planted_cover(&mut rng, n, m, opt);
+            assert_eq!(w.system.len(), m);
+            assert_eq!(w.system.universe(), n);
+            assert_eq!(w.planted.len(), opt);
+            assert_eq!(w.opt, opt);
+            assert!(
+                w.system.is_cover(&w.planted),
+                "planted ids must cover: n={n} m={m} opt={opt}"
+            );
+            // The planted sets partition [n]: coverage is exactly n with no
+            // double counting.
+            let total: usize = w.planted.iter().map(|&i| w.system.set(i).len()).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn planted_optimum_is_tight_for_solvers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = planted_cover(&mut rng, 256, 24, 4);
+        let exact = exact_set_cover(&w.system).size().unwrap();
+        assert!(exact <= 4);
+        assert!(exact >= 2, "decoys are too powerful: opt = {exact}");
+        assert!(greedy_set_cover(&w.system).is_feasible());
+    }
+
+    #[test]
+    fn decoys_are_smaller_than_planted_parts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = planted_cover(&mut rng, 240, 30, 4);
+        let planted: std::collections::HashSet<usize> = w.planted.iter().copied().collect();
+        for (i, s) in w.system.iter() {
+            if !planted.contains(&i) {
+                assert!(s.len() <= 240 / 8, "decoy {i} has {} elements", s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_coverable_flag_guarantees_coverage() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sys = uniform_random(&mut rng, 256, 20, 0.02, true);
+        assert!(sys.is_coverable());
+        // Sparse draw without patching is uncoverable w.h.p.
+        let bare = uniform_random(&mut rng, 256, 20, 0.02, false);
+        assert!(
+            !bare.is_coverable(),
+            "2%-density 20-set draw covered [256]?"
+        );
+    }
+
+    #[test]
+    fn uniform_random_density_is_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sys = uniform_random(&mut rng, 10_000, 8, 0.3, false);
+        for (_, s) in sys.iter() {
+            let frac = s.len() as f64 / 10_000.0;
+            assert!((frac - 0.3).abs() < 0.05, "density {frac}");
+        }
+    }
+
+    #[test]
+    fn blog_watch_shape_and_popularity_skew() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sys = blog_watch(&mut rng, 64, 200);
+        assert_eq!(sys.universe(), 64);
+        assert_eq!(sys.len(), 200);
+        let max_size = 64 / 4;
+        let mut head = 0usize; // topic-0 appearances
+        let mut tail = 0usize; // topic-63 appearances
+        for (_, s) in sys.iter() {
+            assert!(!s.is_empty());
+            assert!(s.len() <= max_size);
+            head += usize::from(s.contains(0));
+            tail += usize::from(s.contains(63));
+        }
+        assert!(
+            head >= 4 * tail.max(1),
+            "popular topics must dominate: head {head} vs tail {tail}"
+        );
+    }
+}

@@ -31,7 +31,13 @@ pub fn lemma22_failure_bound(u_len: usize, s: usize, n: usize, k: usize) -> f64 
 
 /// One Lemma 2.2 trial: draws `k` independent uniform `(n−s)`-subsets and
 /// reports the residual `|U \ (S_1 ∪ … ∪ S_k)|`.
-pub fn lemma22_trial<R: Rng + ?Sized>(rng: &mut R, n: usize, s: usize, k: usize, u: &BitSet) -> usize {
+pub fn lemma22_trial<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    s: usize,
+    k: usize,
+    u: &BitSet,
+) -> usize {
     assert_eq!(u.capacity(), n);
     let mut residual = u.clone();
     for _ in 0..k {
@@ -63,7 +69,10 @@ pub fn lemma22_experiment<R: Rng + ?Sized>(
         }
         total_residual += r;
     }
-    (failures as f64 / trials as f64, total_residual as f64 / trials as f64)
+    (
+        failures as f64 / trials as f64,
+        total_residual as f64 / trials as f64,
+    )
 }
 
 #[cfg(test)]

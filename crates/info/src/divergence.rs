@@ -55,7 +55,10 @@ impl Pmf {
 
 /// Total variation distance `½·Σ|p − q|` ∈ [0, 1].
 pub fn total_variation(p: &Pmf, q: &Pmf) -> f64 {
-    0.5 * p.union_support(q).map(|s| (p.p(s) - q.p(s)).abs()).sum::<f64>()
+    0.5 * p
+        .union_support(q)
+        .map(|s| (p.p(s) - q.p(s)).abs())
+        .sum::<f64>()
 }
 
 /// KL divergence `D(p‖q)` in bits; `+∞` when `p` has mass outside `q`'s

@@ -87,8 +87,9 @@ impl Empirical {
         if self.total == 0 {
             return 0.0;
         }
-        self.entropy() + (self.support_size().saturating_sub(1)) as f64
-            / (2.0 * self.total as f64 * std::f64::consts::LN_2)
+        self.entropy()
+            + (self.support_size().saturating_sub(1)) as f64
+                / (2.0 * self.total as f64 * std::f64::consts::LN_2)
     }
 }
 
@@ -183,8 +184,9 @@ mod tests {
     #[test]
     fn mi_of_independent_is_near_zero() {
         let mut rng = StdRng::seed_from_u64(2);
-        let pairs: Vec<(u64, u64)> =
-            (0..40_000).map(|_| (rng.gen_range(0..8), rng.gen_range(0..8))).collect();
+        let pairs: Vec<(u64, u64)> = (0..40_000)
+            .map(|_| (rng.gen_range(0..8), rng.gen_range(0..8)))
+            .collect();
         let mi = mutual_information(&pairs);
         assert!(mi < 0.01, "Î = {mi} for independent variables");
     }
@@ -209,7 +211,7 @@ mod tests {
         let triples: Vec<(u64, u64, u64)> = (0..30_000)
             .map(|_| {
                 let z = rng.gen_range(0..4);
-                let x = z ^ rng.gen_range(0..2); // correlated with z
+                let x = z ^ rng.gen_range(0..2u64); // correlated with z
                 (x, z, z)
             })
             .collect();

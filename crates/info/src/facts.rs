@@ -60,7 +60,10 @@ impl Joint3 {
     }
 
     fn h(mass: impl IntoIterator<Item = f64>) -> f64 {
-        mass.into_iter().filter(|&x| x > 0.0).map(|x| -x * x.log2()).sum()
+        mass.into_iter()
+            .filter(|&x| x > 0.0)
+            .map(|x| -x * x.log2())
+            .sum()
     }
 
     /// `H(A, B, C)`.
@@ -71,43 +74,58 @@ impl Joint3 {
     /// `H(A)`.
     pub fn h_a(&self) -> f64 {
         Self::h((0..self.na).map(|a| {
-            (0..self.nb).flat_map(|b| (0..self.nc).map(move |c| (b, c))).map(|(b, c)| self.prob(a, b, c)).sum()
+            (0..self.nb)
+                .flat_map(|b| (0..self.nc).map(move |c| (b, c)))
+                .map(|(b, c)| self.prob(a, b, c))
+                .sum()
         }))
     }
 
     /// `H(B)`.
     pub fn h_b(&self) -> f64 {
         Self::h((0..self.nb).map(|b| {
-            (0..self.na).flat_map(|a| (0..self.nc).map(move |c| (a, c))).map(|(a, c)| self.prob(a, b, c)).sum()
+            (0..self.na)
+                .flat_map(|a| (0..self.nc).map(move |c| (a, c)))
+                .map(|(a, c)| self.prob(a, b, c))
+                .sum()
         }))
     }
 
     /// `H(C)`.
     pub fn h_c(&self) -> f64 {
         Self::h((0..self.nc).map(|c| {
-            (0..self.na).flat_map(|a| (0..self.nb).map(move |b| (a, b))).map(|(a, b)| self.prob(a, b, c)).sum()
+            (0..self.na)
+                .flat_map(|a| (0..self.nb).map(move |b| (a, b)))
+                .map(|(a, b)| self.prob(a, b, c))
+                .sum()
         }))
     }
 
     /// `H(A, B)`.
     pub fn h_ab(&self) -> f64 {
-        Self::h((0..self.na).flat_map(|a| (0..self.nb).map(move |b| (a, b))).map(|(a, b)| {
-            (0..self.nc).map(|c| self.prob(a, b, c)).sum()
-        }))
+        Self::h(
+            (0..self.na)
+                .flat_map(|a| (0..self.nb).map(move |b| (a, b)))
+                .map(|(a, b)| (0..self.nc).map(|c| self.prob(a, b, c)).sum()),
+        )
     }
 
     /// `H(A, C)`.
     pub fn h_ac(&self) -> f64 {
-        Self::h((0..self.na).flat_map(|a| (0..self.nc).map(move |c| (a, c))).map(|(a, c)| {
-            (0..self.nb).map(|b| self.prob(a, b, c)).sum()
-        }))
+        Self::h(
+            (0..self.na)
+                .flat_map(|a| (0..self.nc).map(move |c| (a, c)))
+                .map(|(a, c)| (0..self.nb).map(|b| self.prob(a, b, c)).sum()),
+        )
     }
 
     /// `H(B, C)`.
     pub fn h_bc(&self) -> f64 {
-        Self::h((0..self.nb).flat_map(|b| (0..self.nc).map(move |c| (b, c))).map(|(b, c)| {
-            (0..self.na).map(|a| self.prob(a, b, c)).sum()
-        }))
+        Self::h(
+            (0..self.nb)
+                .flat_map(|b| (0..self.nc).map(move |c| (b, c)))
+                .map(|(b, c)| (0..self.na).map(|a| self.prob(a, b, c)).sum()),
+        )
     }
 
     /// `I(A : B)`.

@@ -123,15 +123,17 @@ mod tests {
             (i.a, i.b)
         };
         let est_trivial = estimate_disj_icost(&TrivialDisj, sample, 40_000, &mut rng);
-        let est_sketch =
-            estimate_disj_icost(&SampledDisj { samples: 1 }, sample, 40_000, &mut rng);
+        let est_sketch = estimate_disj_icost(&SampledDisj { samples: 1 }, sample, 40_000, &mut rng);
         assert!(
             est_trivial.about_alice > est_sketch.about_alice + 1.0,
             "trivial {} vs sketch {}",
             est_trivial.about_alice,
             est_sketch.about_alice
         );
-        assert!(est_trivial.total() >= est_trivial.about_alice, "Bob's answer leaks ≥ 0");
+        assert!(
+            est_trivial.total() >= est_trivial.about_alice,
+            "Bob's answer leaks ≥ 0"
+        );
     }
 
     #[test]

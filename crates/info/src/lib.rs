@@ -17,6 +17,19 @@
 //! * [`odometer`] — the Braverman–Weinstein information odometer gadget
 //!   (\[14\], Lemma 3.6) at the estimator level: per-prefix leakage tracking
 //!   and a budget-aborting protocol wrapper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamcover_info::{binary_entropy, mutual_information};
+//!
+//! // A fair coin carries one bit.
+//! assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+//!
+//! // Plug-in MI on a deterministic relationship recovers H(X) = 2 bits.
+//! let pairs: Vec<(u64, u64)> = (0..4000).map(|i| (i % 4, i % 4)).collect();
+//! assert!((mutual_information(&pairs) - 2.0).abs() < 0.01);
+//! ```
 
 pub mod bounds;
 pub mod divergence;
@@ -28,10 +41,10 @@ pub mod odometer;
 pub use bounds::{
     chernoff_bound, lemma22_experiment, lemma22_failure_bound, lemma22_threshold, lemma22_trial,
 };
+pub use divergence::{hellinger_sq, kl_divergence, pinsker_bound, total_variation, Pmf};
 pub use entropy::{
     binary_entropy, conditional_mutual_information, entropy_of_pmf, mutual_information, Empirical,
 };
-pub use divergence::{hellinger_sq, kl_divergence, pinsker_bound, total_variation, Pmf};
 pub use facts::{check_facts, Joint3};
-pub use odometer::{prefix_icost, OdometerProtocol};
 pub use icost::{bitset_key, estimate_disj_icost, ICostEstimate, PUBLIC_COINS};
+pub use odometer::{prefix_icost, OdometerProtocol};

@@ -34,12 +34,7 @@ fn prefix_fingerprint(tr: &Transcript, k: usize) -> u64 {
 ///
 /// Data-processing guarantees the true sequence is nondecreasing in `k`;
 /// plug-in noise can wiggle it by the estimator's bias.
-pub fn prefix_icost<P, F>(
-    proto: &P,
-    mut sampler: F,
-    trials: usize,
-    rng: &mut StdRng,
-) -> Vec<f64>
+pub fn prefix_icost<P, F>(proto: &P, mut sampler: F, trials: usize, rng: &mut StdRng) -> Vec<f64>
 where
     P: DisjProtocol + ?Sized,
     F: FnMut(&mut StdRng) -> (BitSet, BitSet),
@@ -88,7 +83,10 @@ pub struct OdometerProtocol<P> {
 impl<P> OdometerProtocol<P> {
     /// How many messages survive the budget (prefix length kept).
     pub fn cutoff(&self) -> usize {
-        self.calibration.iter().take_while(|&&c| c <= self.budget).count()
+        self.calibration
+            .iter()
+            .take_while(|&&c| c <= self.budget)
+            .count()
     }
 }
 
@@ -107,7 +105,11 @@ impl<P: DisjProtocol> DisjProtocol for OdometerProtocol<P> {
         let mut cut = Transcript::new();
         for msg in tr.messages().iter().take(keep) {
             match msg {
-                Message::Concrete { from, payload, bits } => {
+                Message::Concrete {
+                    from,
+                    payload,
+                    bits,
+                } => {
                     cut.send(*from, payload.clone(), Some(*bits));
                 }
                 Message::Abstract { from, bits } => cut.send_abstract(*from, *bits),
@@ -196,6 +198,10 @@ mod tests {
         let (ans, tr) = od.run(&i.a, &i.b, &mut rng);
         assert!(!ans);
         assert_eq!(tr.len(), 2, "message 1 + abort");
-        assert_eq!(tr.total_bits(), 8 + 1, "A's t bits survive, answer replaced by abort");
+        assert_eq!(
+            tr.total_bits(),
+            8 + 1,
+            "A's t bits survive, answer replaced by abort"
+        );
     }
 }

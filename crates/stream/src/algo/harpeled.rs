@@ -110,7 +110,9 @@ impl HarPeledAssadi {
             eps,
             pruning: Pruning::OneShot,
             rate: SamplingRate::Fine,
-            solver: InnerSolver::Exact { node_budget: 50_000 },
+            solver: InnerSolver::Exact {
+                node_budget: 50_000,
+            },
             rate_constant: 16.0,
         }
     }
@@ -118,7 +120,10 @@ impl HarPeledAssadi {
     /// Laptop-scale configuration: the paper's structure with `c = 2`, so
     /// the `n^{1/α}` scaling is visible at `n ≤ 2^14` (see DESIGN.md §4).
     pub fn scaled(alpha: usize, eps: f64) -> Self {
-        HarPeledAssadi { rate_constant: 2.0, ..Self::paper(alpha, eps) }
+        HarPeledAssadi {
+            rate_constant: 2.0,
+            ..Self::paper(alpha, eps)
+        }
     }
 
     /// The original Har-Peled et al. shape: per-round pruning + coarse rate.
@@ -169,8 +174,10 @@ impl HarPeledAssadi {
         // Pruning threshold n/(ε·k); each accepted set covers that many new
         // elements, so at most ε·k sets are accepted per pruning pass.
         let threshold = ((n as f64) / (self.eps * k as f64)).ceil().max(1.0) as usize;
-        let prune_pass = |u: &mut BitSet, sol: &mut Vec<SetId>,
-                              stream: &mut SetStream<'_>, meter: &mut SpaceMeter| {
+        let prune_pass = |u: &mut BitSet,
+                          sol: &mut Vec<SetId>,
+                          stream: &mut SetStream<'_>,
+                          meter: &mut SpaceMeter| {
             meter.charge(WORD); // the running threshold/counter
             for (i, s) in stream.pass() {
                 if s.intersection_len(u) >= threshold {
@@ -258,8 +265,7 @@ impl HarPeledAssadi {
             InnerSolver::Exact { node_budget } => {
                 let (ids, _complete) = budgeted_cover_of(projected, target, node_budget);
                 let ids = ids?;
-                (ids.len() <= k && target.is_subset_of(&projected.coverage(&ids)))
-                    .then_some(ids)
+                (ids.len() <= k && target.is_subset_of(&projected.coverage(&ids))).then_some(ids)
             }
             InnerSolver::Greedy => {
                 let r = greedy_cover_until(projected, k, target);
@@ -352,7 +358,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let w = planted_cover(&mut rng, 2048, 64, 4);
         let fine = HarPeledAssadi::paper(4, 0.5);
-        let coarse = HarPeledAssadi { rate: SamplingRate::Coarse, ..fine };
+        let coarse = HarPeledAssadi {
+            rate: SamplingRate::Coarse,
+            ..fine
+        };
         let rf = fine.run(&w.system, Arrival::Adversarial, &mut rng);
         let rc = coarse.run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(rf.feasible && rc.feasible);
@@ -373,7 +382,10 @@ mod tests {
         // Rates cap at 1.
         assert_eq!(algo.sample_rate(100, 64, 50), 1.0);
         // Coarse = fine / ρ (before capping).
-        let coarse = HarPeledAssadi { rate: SamplingRate::Coarse, ..algo };
+        let coarse = HarPeledAssadi {
+            rate: SamplingRate::Coarse,
+            ..algo
+        };
         let pc = coarse.sample_rate(10_000, 64, 1);
         assert!((pc - p * 100.0).min(1.0) <= 1.0);
     }

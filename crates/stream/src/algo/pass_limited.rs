@@ -50,7 +50,10 @@ mod tests {
     fn generous_budget_passes_through() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = planted_cover(&mut rng, 256, 24, 4);
-        let wrapped = PassLimited { inner: HarPeledAssadi::scaled(2, 0.5), max_passes: 5 };
+        let wrapped = PassLimited {
+            inner: HarPeledAssadi::scaled(2, 0.5),
+            max_passes: 5,
+        };
         let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
         assert!(run.passes <= 5);
@@ -61,7 +64,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = planted_cover(&mut rng, 1024, 32, 4);
         // Threshold greedy needs ~log n passes; 2 is not enough.
-        let wrapped = PassLimited { inner: ThresholdGreedy, max_passes: 2 };
+        let wrapped = PassLimited {
+            inner: ThresholdGreedy,
+            max_passes: 2,
+        };
         let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(!run.feasible, "budget violation must fail the run");
         assert!(run.passes > 2, "original pass count is still reported");

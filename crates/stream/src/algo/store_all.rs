@@ -19,7 +19,9 @@ pub struct StoreAll {
 
 impl Default for StoreAll {
     fn default() -> Self {
-        StoreAll { node_budget: 5_000_000 }
+        StoreAll {
+            node_budget: 5_000_000,
+        }
     }
 }
 

@@ -72,8 +72,8 @@ impl SetCoverStreamer for ThresholdGreedy {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use streamcover_dist::planted_cover;
     use streamcover_core::exact_set_cover;
+    use streamcover_dist::planted_cover;
 
     #[test]
     fn covers_planted_instances() {

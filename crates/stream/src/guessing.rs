@@ -134,15 +134,21 @@ mod tests {
         let d = GuessDriver::new(1.0);
         let mut rng = StdRng::seed_from_u64(0);
         // per_guess: guess 1 → the singleton full set; guess ≥ 2 → 3 sets.
-        let run = d.run("t", &sys, Arrival::Adversarial, &mut rng, |st, me, _rng, k| {
-            for _ in st.pass() {}
-            me.charge(10);
-            if k == 1 {
-                Some(vec![0])
-            } else {
-                Some(vec![1, 2, 3])
-            }
-        });
+        let run = d.run(
+            "t",
+            &sys,
+            Arrival::Adversarial,
+            &mut rng,
+            |st, me, _rng, k| {
+                for _ in st.pass() {}
+                me.charge(10);
+                if k == 1 {
+                    Some(vec![0])
+                } else {
+                    Some(vec![1, 2, 3])
+                }
+            },
+        );
         assert!(run.feasible);
         assert_eq!(run.solution, vec![0]);
         assert_eq!(run.passes, 1, "parallel copies share passes");

@@ -28,6 +28,21 @@
 //! * [`maxcov::SieveStream`] — single-pass `(1/2−ε)` sieve baseline.
 //! * [`maxcov::SahaGetoorSwap`] — the original swap heuristic
 //!   (`1/4`-approximation).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use streamcover_dist::planted_cover;
+//! use streamcover_stream::{Arrival, SetCoverStreamer, ThresholdGreedy};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let w = planted_cover(&mut rng, 256, 24, 4);
+//! let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+//! assert!(run.feasible);
+//! assert!(w.system.is_cover(&run.solution));
+//! assert!(run.passes <= 9); // ⌈log₂ 256⌉ + 1
+//! ```
 
 pub mod algo;
 pub mod guessing;

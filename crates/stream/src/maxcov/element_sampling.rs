@@ -18,8 +18,7 @@ use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use rand::Rng;
 use streamcover_core::{
-    bernoulli_subset, ceil_log2, exact_max_coverage, greedy_max_coverage, BitSet, SetId,
-    SetSystem,
+    bernoulli_subset, ceil_log2, exact_max_coverage, greedy_max_coverage, BitSet, SetId, SetSystem,
 };
 
 /// Offline oracle used on the sampled instance.
@@ -48,7 +47,11 @@ impl ElementSampling {
     /// Paper-faithful configuration.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "ε ∈ (0,1) required");
-        ElementSampling { eps, c: 16.0, oracle: McOracle::Exact }
+        ElementSampling {
+            eps,
+            c: 16.0,
+            oracle: McOracle::Exact,
+        }
     }
 
     /// Sampling probability for coverage guess `v`.
@@ -185,8 +188,14 @@ mod tests {
         // coverage guesses v > c·k·ln m/ε² — so the universe must be large.
         let mut rng = StdRng::seed_from_u64(2);
         let sys = streamcover_dist::uniform_random(&mut rng, 100_000, 8, 0.02, false);
-        let tight = ElementSampling { oracle: McOracle::Greedy, ..ElementSampling::new(0.15) };
-        let loose = ElementSampling { oracle: McOracle::Greedy, ..ElementSampling::new(0.45) };
+        let tight = ElementSampling {
+            oracle: McOracle::Greedy,
+            ..ElementSampling::new(0.15)
+        };
+        let loose = ElementSampling {
+            oracle: McOracle::Greedy,
+            ..ElementSampling::new(0.45)
+        };
         let rt = tight.run(&sys, 2, Arrival::Adversarial, &mut rng);
         let rl = loose.run(&sys, 2, Arrival::Adversarial, &mut rng);
         assert!(
@@ -201,7 +210,10 @@ mod tests {
     fn greedy_oracle_works() {
         let mut rng = StdRng::seed_from_u64(3);
         let sys = blog_watch(&mut rng, 32, 40);
-        let algo = ElementSampling { oracle: McOracle::Greedy, ..ElementSampling::new(0.25) };
+        let algo = ElementSampling {
+            oracle: McOracle::Greedy,
+            ..ElementSampling::new(0.25)
+        };
         let run = algo.run(&sys, 2, Arrival::Adversarial, &mut rng);
         let (_, opt) = exact_max_coverage(&sys, 2);
         assert!(run.coverage as f64 >= 0.5 * opt as f64);

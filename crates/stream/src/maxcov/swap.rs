@@ -128,8 +128,7 @@ mod tests {
         for trial in 0..10 {
             let sys = uniform_random(&mut rng, 60, 25, 0.2, false);
             let (_, opt) = exact_max_coverage(&sys, 3);
-            let run =
-                SahaGetoorSwap.run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
+            let run = SahaGetoorSwap.run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
             assert!(
                 run.coverage * 4 >= opt,
                 "trial {trial}: {} vs opt {opt}",

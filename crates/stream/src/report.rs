@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(r.size(), 4);
         assert!((r.ratio(2) - 2.0).abs() < 1e-12);
         assert!(r.ratio(0).is_nan());
-        let bad = CoverRun { feasible: false, ..r };
+        let bad = CoverRun {
+            feasible: false,
+            ..r
+        };
         assert!(bad.ratio(2).is_nan());
     }
 

@@ -61,7 +61,12 @@ impl<'a> SetStream<'a> {
             Arrival::ReshuffledEachPass { seed } => Some(StdRng::seed_from_u64(seed ^ 0x5eed)),
             _ => None,
         };
-        SetStream { sys, order, passes: 0, reshuffler }
+        SetStream {
+            sys,
+            order,
+            passes: 0,
+            reshuffler,
+        }
     }
 
     /// Universe size `n` (known to algorithms up front, as is standard).
@@ -82,7 +87,11 @@ impl<'a> SetStream<'a> {
         if let Some(rng) = &mut self.reshuffler {
             self.order.shuffle(rng);
         }
-        Pass { sys: self.sys, order: &self.order, pos: 0 }
+        Pass {
+            sys: self.sys,
+            order: &self.order,
+            pos: 0,
+        }
     }
 
     /// Number of passes started so far.

@@ -22,7 +22,10 @@ fn main() {
     println!("offline greedy (1−1/e): {} topics", g.coverage());
 
     let algos: Vec<(Box<dyn MaxCoverStreamer>, &str)> = vec![
-        (Box::new(ElementSampling::new(0.2)), "(1−ε) element sampling, ε=0.2"),
+        (
+            Box::new(ElementSampling::new(0.2)),
+            "(1−ε) element sampling, ε=0.2",
+        ),
         (Box::new(SieveStream::new(0.1)), "(1/2−ε) sieve streaming"),
         (Box::new(SahaGetoorSwap), "1/4 swap (Saha–Getoor)"),
     ];
@@ -40,8 +43,6 @@ fn main() {
     }
 
     println!();
-    println!(
-        "Result 2 (Assadi PODS'17): the (1−ε) guarantee fundamentally costs Ω̃(m/ε²) bits —"
-    );
+    println!("Result 2 (Assadi PODS'17): the (1−ε) guarantee fundamentally costs Ω̃(m/ε²) bits —");
     println!("run `cargo run -p streamcover-bench --bin tables -- e7` to see the sweep.");
 }

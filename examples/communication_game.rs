@@ -17,7 +17,10 @@ fn main() {
     let alpha = 2usize;
     let params = ScParams::explicit(16_384, 6, 32);
     let reduction = DisjFromSetCover {
-        sc: ThresholdSetCover { bound: 2 * alpha, node_budget: 100_000_000 },
+        sc: ThresholdSetCover {
+            bound: 2 * alpha,
+            node_budget: 100_000_000,
+        },
         params,
         alpha,
     };
@@ -29,13 +32,21 @@ fn main() {
 
     for round in 0..4 {
         let disjoint = round % 2 == 0;
-        let inst = if disjoint { sample_yes(&mut rng, params.t) } else { sample_no(&mut rng, params.t) };
+        let inst = if disjoint {
+            sample_yes(&mut rng, params.t)
+        } else {
+            sample_no(&mut rng, params.t)
+        };
         println!(
             "round {round}: |A|={}, |B|={}, |A∩B|={} → truth: {}",
             inst.a.len(),
             inst.b.len(),
             inst.intersection().len(),
-            if disjoint { "Yes (disjoint)" } else { "No (intersecting)" },
+            if disjoint {
+                "Yes (disjoint)"
+            } else {
+                "No (intersecting)"
+            },
         );
 
         // Peek at the embedding the players construct.
@@ -56,7 +67,11 @@ fn main() {
             transcript.total_bits(),
             transcript.len(),
             if answer { "Yes" } else { "No" },
-            if answer == disjoint { "correct" } else { "WRONG" },
+            if answer == disjoint {
+                "correct"
+            } else {
+                "WRONG"
+            },
         );
         assert_eq!(answer, disjoint);
     }

@@ -52,7 +52,10 @@ fn main() {
     let misses: Vec<usize> = (0..p.m)
         .map(|i| p.n - inst0.alice.set(i).union_len(inst0.bob.set(i)))
         .collect();
-    println!("  per-pair uncovered elements: {misses:?} (= n/t = {} each)", p.n / p.t);
+    println!(
+        "  per-pair uncovered elements: {misses:?} (= n/t = {} each)",
+        p.n / p.t
+    );
     let verdict = decide_opt_at_most(&inst0.combined(), 2 * alpha, 100_000_000);
     match verdict {
         Decision::No => println!("  exact search certifies: opt > 2α = {} ✓", 2 * alpha),

@@ -20,7 +20,11 @@ fn main() {
 
     // 1. Serialize / parse round trip.
     let text = write_instance(&sys);
-    println!("serialized instance: {} bytes, header: {}", text.len(), text.lines().next().unwrap());
+    println!(
+        "serialized instance: {} bytes, header: {}",
+        text.len(),
+        text.lines().next().unwrap()
+    );
     let back = read_instance(&text).expect("roundtrip");
     assert_eq!(back, sys);
     println!("parsed back: n={}, m={} ✓\n", back.universe(), back.len());
@@ -28,7 +32,10 @@ fn main() {
     // 2. Bracket opt three ways.
     let exact = exact_set_cover(&sys).size().unwrap();
     let dual = dual_fitting_bound(&sys).expect("coverable");
-    assert!(dual.is_feasible_for(&sys, 1e-9), "the dual certificate checks");
+    assert!(
+        dual.is_feasible_for(&sys, 1e-9),
+        "the dual certificate checks"
+    );
     let frac = mwu_fractional_cover(&sys, 800).expect("coverable");
     println!("opt bracketing:");
     println!("  certified dual-fitting lower bound : {:.3}", dual.value);

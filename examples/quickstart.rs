@@ -15,7 +15,11 @@ fn main() {
     // planted cover of 6 sets hidden among decoys.
     let workload = planted_cover(&mut rng, 1024, 64, 6);
     let sys = &workload.system;
-    println!("instance: n={}, m={}, planted opt ≤ 6", sys.universe(), sys.len());
+    println!(
+        "instance: n={}, m={}, planted opt ≤ 6",
+        sys.universe(),
+        sys.len()
+    );
 
     // Offline ground truth.
     let exact = exact_set_cover(sys);

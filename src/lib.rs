@@ -51,8 +51,8 @@ pub mod prelude {
         Transcript,
     };
     pub use streamcover_core::{
-        exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BitSet,
-        SetId, SetSystem,
+        exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BitSet, SetId,
+        SetSystem,
     };
     pub use streamcover_dist::{
         blog_watch, planted_cover, sample_dmc, sample_dsc, uniform_random, McParams, ScParams,

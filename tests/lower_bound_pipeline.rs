@@ -5,14 +5,17 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use streamcover::comm::{
-    merge, DisjFromSetCover, DisjProtocol, SetCoverProtocol, StreamingAsProtocol,
-    ThresholdSetCover,
+    merge, DisjFromSetCover, DisjProtocol, SetCoverProtocol, StreamingAsProtocol, ThresholdSetCover,
 };
 use streamcover::dist::disj::{sample_no, sample_yes};
 use streamcover::dist::{random_partition, sample_dsc_with_theta, ScParams};
 use streamcover::prelude::*;
 
-const HARD: ScParams = ScParams { n: 8192, m: 6, t: 32 };
+const HARD: ScParams = ScParams {
+    n: 8192,
+    m: 6,
+    t: 32,
+};
 const ALPHA: usize = 2;
 
 #[test]
@@ -20,12 +23,19 @@ fn alpha_estimation_on_dsc_decides_theta() {
     // The core of Theorem 1: an α-approximate value estimate separates the
     // two branches of D_SC.
     let mut rng = StdRng::seed_from_u64(1);
-    let proto = ThresholdSetCover { bound: 2 * ALPHA, node_budget: 80_000_000 };
+    let proto = ThresholdSetCover {
+        bound: 2 * ALPHA,
+        node_budget: 80_000_000,
+    };
     for trial in 0..6 {
         let theta = trial % 2 == 0;
         let inst = sample_dsc_with_theta(&mut rng, HARD, theta);
         let (est, _) = proto.run(&inst.alice, &inst.bob, &mut rng);
-        assert_eq!(est <= 2 * ALPHA, theta, "trial {trial}: est {est} misdecides θ={theta}");
+        assert_eq!(
+            est <= 2 * ALPHA,
+            theta,
+            "trial {trial}: est {est} misdecides θ={theta}"
+        );
     }
 }
 
@@ -33,7 +43,10 @@ fn alpha_estimation_on_dsc_decides_theta() {
 fn lemma_3_4_pipeline_solves_disj_through_set_cover() {
     let mut rng = StdRng::seed_from_u64(2);
     let red = DisjFromSetCover {
-        sc: ThresholdSetCover { bound: 2 * ALPHA, node_budget: 80_000_000 },
+        sc: ThresholdSetCover {
+            bound: 2 * ALPHA,
+            node_budget: 80_000_000,
+        },
         params: HARD,
         alpha: ALPHA,
     };
@@ -68,7 +81,9 @@ fn random_partition_preserves_the_gap() {
 fn theorem_1_adapter_charges_two_ps_bits() {
     let mut rng = StdRng::seed_from_u64(4);
     let inst = sample_dsc_with_theta(&mut rng, HARD, true);
-    let adapter = StreamingAsProtocol { algo: ThresholdGreedy };
+    let adapter = StreamingAsProtocol {
+        algo: ThresholdGreedy,
+    };
     let (_, tr) = adapter.run(&inst.alice, &inst.bob, &mut rng);
     // The transcript must consist of paired abstract messages (2 per pass)
     // plus one concrete answer.
@@ -82,7 +97,10 @@ fn theorem_1_adapter_charges_two_ps_bits() {
         .collect();
     assert!(abstracts.len() >= 2 && abstracts.len().is_multiple_of(2));
     let s = abstracts[0];
-    assert!(abstracts.iter().all(|&b| b == s), "every snapshot is the peak s");
+    assert!(
+        abstracts.iter().all(|&b| b == s),
+        "every snapshot is the peak s"
+    );
     let passes = abstracts.len() / 2;
     assert_eq!(tr.total_bits(), 2 * passes as u64 * s + 64);
 }

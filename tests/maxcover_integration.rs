@@ -29,7 +29,10 @@ fn one_minus_eps_estimation_on_dmc_decides_theta() {
 #[test]
 fn lemma_4_5_pipeline_solves_ghd_through_max_cover() {
     let p = McParams::for_epsilon(6, 0.125);
-    let red = GhdFromMaxCover { mc: SendAllMaxCover, params: p };
+    let red = GhdFromMaxCover {
+        mc: SendAllMaxCover,
+        params: p,
+    };
     let mut rng = StdRng::seed_from_u64(2);
     for trial in 0..5 {
         let yes = ghd_yes(&mut rng, p.ghd);
@@ -51,12 +54,20 @@ fn streaming_element_sampling_decides_theta_with_enough_accuracy() {
     for trial in 0..trials {
         let theta = trial % 2 == 0;
         let inst = sample_dmc_with_theta(&mut rng, p, theta);
-        let run = algo.run(&inst.combined(), 2, Arrival::Random { seed: trial }, &mut rng);
+        let run = algo.run(
+            &inst.combined(),
+            2,
+            Arrival::Random { seed: trial },
+            &mut rng,
+        );
         if (run.coverage as f64 > p.tau()) == theta {
             correct += 1;
         }
     }
-    assert!(correct >= trials - 1, "only {correct}/{trials} correct θ decisions");
+    assert!(
+        correct >= trials - 1,
+        "only {correct}/{trials} correct θ decisions"
+    );
 }
 
 #[test]
@@ -69,7 +80,10 @@ fn maxcover_streamers_are_ordered_by_guarantee_on_average() {
         let (_, opt) = exact_max_coverage(&sys, 3);
         let es = ElementSampling::new(0.15).run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
         let sw = SahaGetoorSwap.run(&sys, 3, Arrival::Random { seed: trial }, &mut rng);
-        assert!(es.coverage as f64 >= 0.6 * opt as f64, "trial {trial}: (1−ε) too weak");
+        assert!(
+            es.coverage as f64 >= 0.6 * opt as f64,
+            "trial {trial}: (1−ε) too weak"
+        );
         assert!(sw.coverage * 4 >= opt, "trial {trial}: swap below 1/4");
         if es.coverage >= sw.coverage {
             wins_sampling += 1;

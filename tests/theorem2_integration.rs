@@ -15,7 +15,11 @@ fn algorithm_one_respects_all_three_budgets() {
                 HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
             assert!(run.feasible, "n={n} α={alpha}: infeasible");
             assert!(w.system.is_cover(&run.solution));
-            assert!(run.passes <= 2 * alpha + 1, "n={n} α={alpha}: {} passes", run.passes);
+            assert!(
+                run.passes <= 2 * alpha + 1,
+                "n={n} α={alpha}: {} passes",
+                run.passes
+            );
             // (α+ε)·opt with the (1+ε) guess-grid slack.
             let bound = (alpha as f64 + 0.5) * 1.5 * true_opt as f64;
             assert!(
@@ -34,8 +38,7 @@ fn space_decreases_in_alpha_and_beats_store_all() {
     let store = StoreAll::default().run(&w.system, Arrival::Adversarial, &mut rng);
     let mut prev = u64::MAX;
     for alpha in [2, 4, 6] {
-        let run =
-            HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
+        let run = HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
         assert!(
             run.peak_bits < prev,
@@ -78,7 +81,10 @@ fn streaming_baselines_agree_with_offline_on_feasibility() {
         let sys = uniform_random(&mut rng, 256, 20, 0.08, coverable);
         let offline_feasible = sys.is_coverable();
         let tg = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
-        assert_eq!(tg.feasible, offline_feasible, "trial {trial} threshold-greedy");
+        assert_eq!(
+            tg.feasible, offline_feasible,
+            "trial {trial} threshold-greedy"
+        );
         let sa = StoreAll::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert_eq!(sa.feasible, offline_feasible, "trial {trial} store-all");
         if offline_feasible {
