@@ -1,0 +1,322 @@
+//! Machine-readable substrate benchmarks: ns/op for the hybrid-store
+//! kernels (coverage/union/difference, sparse vs dense backend) and for
+//! lazy vs eager greedy set cover, at three instance scales.
+//!
+//! Usage: `substrate_bench [--smoke] [--check] [--seed N] [--out PATH]`
+//!
+//! * `--smoke` — smallest scale only (CI's release-mode regression job);
+//! * `--check` — exit nonzero unless the perf acceptance criteria hold
+//!   (sparse coverage kernel ≥ 2× dense on the `D_SC`-regime instance;
+//!   lazy greedy beats eager at `m ≥ 4096`);
+//! * `--out` — output path (default `BENCH_substrate.json`).
+//!
+//! The kernel scales model the paper's own regime: `m` sets of average
+//! size `n^{1/3}` (α = 3) over universes `n = 2^14 … 2^16`, where a dense
+//! word-scan pays `n/64` word ops per pair while the sparse merge-walk
+//! pays `O(n^{1/3})`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use streamcover_core::{
+    bernoulli_elems, greedy_cover_until, greedy_cover_until_eager, BitSet, ReprPolicy, SetRef,
+    SetSystem,
+};
+use streamcover_dist::planted_cover;
+
+/// Median-of-samples ns/op for `f`, which must return a checksum (kept
+/// opaque via `black_box` so the work is not optimized away).
+fn time_ns_per_op(ops_per_call: u64, samples: usize, mut f: impl FnMut() -> u64) -> f64 {
+    black_box(f()); // warm-up
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64 / ops_per_call as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_op[per_op.len() / 2]
+}
+
+struct KernelRow {
+    name: &'static str,
+    n: usize,
+    m: usize,
+    avg_set_size: f64,
+    coverage_sparse_ns: f64,
+    coverage_dense_ns: f64,
+    union_sparse_ns: f64,
+    union_dense_ns: f64,
+    difference_sparse_ns: f64,
+    difference_dense_ns: f64,
+    residual_gain_sparse_ns: f64,
+    residual_gain_dense_ns: f64,
+}
+
+impl KernelRow {
+    fn coverage_speedup(&self) -> f64 {
+        self.coverage_dense_ns / self.coverage_sparse_ns
+    }
+}
+
+/// Benchmarks the pairwise kernels on a `D_SC`-regime instance (`m` sets of
+/// average size `n^{1/3}`), with the same sets stored through both backends.
+fn bench_kernels(name: &'static str, n: usize, m: usize, seed: u64) -> KernelRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_size = (n as f64).powf(1.0 / 3.0);
+    let p = target_size / n as f64;
+    let lists: Vec<Vec<u32>> = (0..m).map(|_| bernoulli_elems(&mut rng, n, p)).collect();
+    let mut sparse = SetSystem::with_policy(n, ReprPolicy::ForceSparse);
+    let mut dense = SetSystem::with_policy(n, ReprPolicy::ForceDense);
+    for l in &lists {
+        sparse.push_sorted(l);
+        dense.push_sorted(l);
+    }
+    let avg = sparse.total_incidences() as f64 / m as f64;
+    let pairs = (m * m) as u64;
+
+    // Views are resolved once per sweep (as the solvers do), so the timing
+    // isolates the kernels rather than descriptor lookups.
+    fn pairwise(sys: &SetSystem, op: impl Fn(SetRef<'_>, SetRef<'_>) -> usize) -> u64 {
+        let views: Vec<SetRef<'_>> = (0..sys.len()).map(|i| sys.set(i)).collect();
+        let mut acc = 0u64;
+        for &a in &views {
+            for &b in &views {
+                acc = acc.wrapping_add(op(a, b) as u64);
+            }
+        }
+        acc
+    }
+    let inter = |a: SetRef<'_>, b: SetRef<'_>| a.intersection_len(b);
+    let union = |a: SetRef<'_>, b: SetRef<'_>| a.union_len(b);
+    let diff = |a: SetRef<'_>, b: SetRef<'_>| a.difference_len(b);
+
+    // The greedy inner-loop op: marginal gain against a dense residual.
+    let residual = BitSet::from_iter(n, (0..n).filter(|e| e % 3 != 0));
+    let gain_sweep = |sys: &SetSystem| -> u64 {
+        let mut acc = 0u64;
+        for (_, s) in sys.iter() {
+            acc = acc.wrapping_add(s.intersection_len(residual.as_set_ref()) as u64);
+        }
+        acc
+    };
+
+    let samples = 7;
+    KernelRow {
+        name,
+        n,
+        m,
+        avg_set_size: avg,
+        coverage_sparse_ns: time_ns_per_op(pairs, samples, || pairwise(&sparse, inter)),
+        coverage_dense_ns: time_ns_per_op(pairs, samples, || pairwise(&dense, inter)),
+        union_sparse_ns: time_ns_per_op(pairs, samples, || pairwise(&sparse, union)),
+        union_dense_ns: time_ns_per_op(pairs, samples, || pairwise(&dense, union)),
+        difference_sparse_ns: time_ns_per_op(pairs, samples, || pairwise(&sparse, diff)),
+        difference_dense_ns: time_ns_per_op(pairs, samples, || pairwise(&dense, diff)),
+        residual_gain_sparse_ns: time_ns_per_op(m as u64, samples, || gain_sweep(&sparse)),
+        residual_gain_dense_ns: time_ns_per_op(m as u64, samples, || gain_sweep(&dense)),
+    }
+}
+
+struct GreedyRow {
+    n: usize,
+    m: usize,
+    opt: usize,
+    lazy_ns: f64,
+    eager_ns: f64,
+}
+
+impl GreedyRow {
+    fn speedup(&self) -> f64 {
+        self.eager_ns / self.lazy_ns
+    }
+}
+
+/// Benchmarks lazy (CELF) vs eager greedy set cover on a planted instance.
+fn bench_greedy(n: usize, m: usize, opt: usize, seed: u64) -> GreedyRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = planted_cover(&mut rng, n, m, opt);
+    let target = BitSet::full(n);
+    let lazy = greedy_cover_until(&w.system, usize::MAX, &target);
+    let eager = greedy_cover_until_eager(&w.system, usize::MAX, &target);
+    assert_eq!(lazy.ids, eager.ids, "lazy/eager divergence at n={n} m={m}");
+    let samples = 5;
+    GreedyRow {
+        n,
+        m,
+        opt,
+        lazy_ns: time_ns_per_op(1, samples, || {
+            greedy_cover_until(&w.system, usize::MAX, &target).ids.len() as u64
+        }),
+        eager_ns: time_ns_per_op(1, samples, || {
+            greedy_cover_until_eager(&w.system, usize::MAX, &target)
+                .ids
+                .len() as u64
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let seed: u64 = grab("--seed").and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let out_path = grab("--out").unwrap_or_else(|| "BENCH_substrate.json".into());
+
+    let kernel_scales: &[(&'static str, usize, usize)] = if smoke {
+        &[("small", 1 << 14, 128)]
+    } else {
+        &[
+            ("small", 1 << 14, 128),
+            ("medium", 1 << 15, 128),
+            ("large", 1 << 16, 128),
+        ]
+    };
+    let greedy_scales: &[(usize, usize, usize)] = if smoke {
+        &[(2048, 4096, 16)]
+    } else {
+        &[(2048, 1024, 16), (2048, 4096, 16), (4096, 8192, 16)]
+    };
+
+    eprintln!("substrate_bench: seed={seed} smoke={smoke}");
+    let kernels: Vec<KernelRow> = kernel_scales
+        .iter()
+        .map(|&(name, n, m)| {
+            let row = bench_kernels(name, n, m, seed);
+            eprintln!(
+                "  kernels/{name}: n={n} m={m} avg|S|={:.1} coverage {:.1}ns (sparse) vs {:.1}ns (dense) — {:.1}x",
+                row.avg_set_size,
+                row.coverage_sparse_ns,
+                row.coverage_dense_ns,
+                row.coverage_speedup()
+            );
+            row
+        })
+        .collect();
+    let greedy: Vec<GreedyRow> = greedy_scales
+        .iter()
+        .map(|&(n, m, opt)| {
+            let row = bench_greedy(n, m, opt, seed);
+            eprintln!(
+                "  greedy: n={n} m={m} lazy {:.0}ns vs eager {:.0}ns — {:.1}x",
+                row.lazy_ns,
+                row.eager_ns,
+                row.speedup()
+            );
+            row
+        })
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"streamcover/substrate-bench/v1\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, r) in kernels.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"avg_set_size\": {:.2},", r.avg_set_size);
+        let _ = writeln!(
+            json,
+            "      \"coverage_sparse_ns\": {:.2},",
+            r.coverage_sparse_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"coverage_dense_ns\": {:.2},",
+            r.coverage_dense_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"coverage_sparse_speedup\": {:.2},",
+            r.coverage_speedup()
+        );
+        let _ = writeln!(json, "      \"union_sparse_ns\": {:.2},", r.union_sparse_ns);
+        let _ = writeln!(json, "      \"union_dense_ns\": {:.2},", r.union_dense_ns);
+        let _ = writeln!(
+            json,
+            "      \"difference_sparse_ns\": {:.2},",
+            r.difference_sparse_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"difference_dense_ns\": {:.2},",
+            r.difference_dense_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"residual_gain_sparse_ns\": {:.2},",
+            r.residual_gain_sparse_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"residual_gain_dense_ns\": {:.2}",
+            r.residual_gain_dense_ns
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < kernels.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"greedy\": [");
+    for (i, r) in greedy.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"planted_opt\": {},", r.opt);
+        let _ = writeln!(json, "      \"lazy_ns\": {:.0},", r.lazy_ns);
+        let _ = writeln!(json, "      \"eager_ns\": {:.0},", r.eager_ns);
+        let _ = writeln!(json, "      \"lazy_speedup\": {:.2}", r.speedup());
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < greedy.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let mut failed = Vec::new();
+        for r in &kernels {
+            if r.coverage_speedup() < 2.0 {
+                failed.push(format!(
+                    "kernels/{}: sparse coverage speedup {:.2} < 2.0",
+                    r.name,
+                    r.coverage_speedup()
+                ));
+            }
+        }
+        for r in &greedy {
+            if r.m >= 4096 && r.speedup() <= 1.0 {
+                failed.push(format!(
+                    "greedy m={}: lazy speedup {:.2} ≤ 1.0",
+                    r.m,
+                    r.speedup()
+                ));
+            }
+        }
+        if !failed.is_empty() {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("all perf checks passed");
+    }
+}

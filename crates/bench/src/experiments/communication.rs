@@ -103,11 +103,11 @@ pub fn e3_communication(scale: Scale, seed: u64) -> Table {
             let (alice_sys, bob_sys) = {
                 let mut a = streamcover_core::SetSystem::new(p.n);
                 for (_, s) in &part.alice {
-                    a.push(s.clone());
+                    a.push_ref(s.as_set_ref());
                 }
                 let mut b = streamcover_core::SetSystem::new(p.n);
                 for (_, s) in &part.bob {
-                    b.push(s.clone());
+                    b.push_ref(s.as_set_ref());
                 }
                 (a, b)
             };

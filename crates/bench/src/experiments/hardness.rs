@@ -31,8 +31,7 @@ pub fn e2_hardness_gap(scale: Scale, seed: u64) -> Table {
         if exact_set_cover(&inst.combined()).size() == Some(2) {
             opt2 += 1;
         }
-        mean_size +=
-            inst.alice.sets().iter().map(|s| s.len()).sum::<usize>() as f64 / (m as f64 * n as f64);
+        mean_size += inst.alice.total_incidences() as f64 / (m as f64 * n as f64);
     }
     let mut big = 0usize;
     let mut unknown = 0usize;

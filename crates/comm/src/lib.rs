@@ -45,4 +45,4 @@ pub use protocols::{
     SketchedSetCover, ThresholdSetCover, TrivialDisj,
 };
 pub use reductions::{adapter_bound, DisjFromSetCover, GhdFromMaxCover, StreamingAsProtocol};
-pub use transcript::{decode_bitset, encode_bitset, Message, Player, Transcript};
+pub use transcript::{decode_bitset, encode_bitset, encode_set, Message, Player, Transcript};

@@ -10,7 +10,7 @@
 
 use crate::problems::MaxCoverProtocol;
 use crate::protocols::setcover::merge;
-use crate::transcript::{encode_bitset, Player, Transcript};
+use crate::transcript::{encode_bitset, encode_set, Player, Transcript};
 use rand::rngs::StdRng;
 use streamcover_core::{ceil_log2, exact_max_coverage, random_subset, SetSystem};
 
@@ -26,7 +26,7 @@ impl MaxCoverProtocol for SendAllMaxCover {
     fn run(&self, alice: &SetSystem, bob: &SetSystem, _rng: &mut StdRng) -> (usize, Transcript) {
         let mut tr = Transcript::new();
         for (_, s) in alice.iter() {
-            let (payload, bits) = encode_bitset(s);
+            let (payload, bits) = encode_set(s);
             tr.send(Player::Alice, payload, Some(bits));
         }
         let all = merge(alice, bob);

@@ -13,7 +13,7 @@
 //!   experiment for Lemma 3.4 (E5).
 
 use crate::problems::SetCoverProtocol;
-use crate::transcript::{encode_bitset, Player, Transcript};
+use crate::transcript::{encode_set, Player, Transcript};
 use rand::rngs::StdRng;
 use rand::Rng;
 use streamcover_core::{decide_opt_at_most, greedy_set_cover, Decision, SetSystem};
@@ -23,14 +23,14 @@ pub fn merge(alice: &SetSystem, bob: &SetSystem) -> SetSystem {
     assert_eq!(alice.universe(), bob.universe());
     let mut all = SetSystem::new(alice.universe());
     for (_, s) in alice.iter().chain(bob.iter()) {
-        all.push(s.clone());
+        all.push_ref(s);
     }
     all
 }
 
 fn ship_all_sets(alice: &SetSystem, tr: &mut Transcript) {
     for (_, s) in alice.iter() {
-        let (payload, bits) = encode_bitset(s);
+        let (payload, bits) = encode_set(s);
         tr.send(Player::Alice, payload, Some(bits));
     }
 }

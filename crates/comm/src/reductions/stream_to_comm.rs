@@ -73,8 +73,8 @@ mod tests {
         let w = planted_cover(&mut rng, 256, 24, 4);
         // Split the instance arbitrarily in half between the players.
         let half = 12;
-        let a = SetSystem::from_sets(256, w.system.sets()[..half].to_vec());
-        let b = SetSystem::from_sets(256, w.system.sets()[half..].to_vec());
+        let a = w.system.subsystem(0..half);
+        let b = w.system.subsystem(half..w.system.len());
         let proto = StreamingAsProtocol {
             algo: ThresholdGreedy,
         };
@@ -94,8 +94,8 @@ mod tests {
     fn algorithm_one_backed_protocol_is_cheap_and_correct() {
         let mut rng = StdRng::seed_from_u64(2);
         let w = planted_cover(&mut rng, 512, 32, 4);
-        let a = SetSystem::from_sets(512, w.system.sets()[..16].to_vec());
-        let b = SetSystem::from_sets(512, w.system.sets()[16..].to_vec());
+        let a = w.system.subsystem(0..16);
+        let b = w.system.subsystem(16..w.system.len());
         let proto = StreamingAsProtocol {
             algo: HarPeledAssadi::paper(3, 0.5),
         };

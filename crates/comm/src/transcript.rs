@@ -147,15 +147,21 @@ impl Transcript {
     }
 }
 
-/// Encodes a bitset as `⌈t/8⌉` payload bytes (the canonical dense encoding
-/// used by the concrete protocols), with its exact bit cost `t`.
-pub fn encode_bitset(s: &streamcover_core::BitSet) -> (Vec<u8>, u64) {
-    let t = s.capacity();
+/// Encodes a stored set view as `⌈t/8⌉` payload bytes (the canonical dense
+/// encoding used by the concrete protocols), with its exact bit cost `t`.
+/// Works for either storage backend.
+pub fn encode_set(s: streamcover_core::SetRef<'_>) -> (Vec<u8>, u64) {
+    let t = s.universe();
     let mut bytes = vec![0u8; t.div_ceil(8)];
     for e in s.iter() {
         bytes[e / 8] |= 1 << (e % 8);
     }
     (bytes, t as u64)
+}
+
+/// [`encode_set`] for an owned bitset.
+pub fn encode_bitset(s: &streamcover_core::BitSet) -> (Vec<u8>, u64) {
+    encode_set(s.as_set_ref())
 }
 
 /// Decodes [`encode_bitset`]'s payload back into a bitset over `[t]`.

@@ -213,7 +213,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng as _;
 
-    /// Sizes accepted by [`vec`]: an exact count or a half-open range.
+    /// Sizes accepted by [`vec()`]: an exact count or a half-open range.
     pub trait IntoSizeRange {
         /// Lower bound (inclusive) and upper bound (exclusive).
         fn bounds(&self) -> (usize, usize);

@@ -54,6 +54,39 @@ impl BitSet {
         s
     }
 
+    /// Creates a set over `[capacity]` from a pre-packed word slab (used by
+    /// the dense arena backend of `SetStore`).
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `⌈capacity/64⌉` long.
+    pub fn from_words(capacity: usize, words: &[u64]) -> Self {
+        assert_eq!(
+            words.len(),
+            capacity.div_ceil(WORD_BITS),
+            "word slab length mismatch for capacity {capacity}"
+        );
+        let mut s = BitSet {
+            words: words.to_vec(),
+            capacity,
+        };
+        s.trim();
+        s
+    }
+
+    /// The packed word slab (dense kernel interface).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable packed word slab, for in-place dense kernels.
+    ///
+    /// Bits at positions `>= capacity` must be left zero.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// The universe size this set lives in.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -351,11 +384,26 @@ impl fmt::Debug for BitSet {
 /// Samples a uniformly random `size`-subset of `{0,…,capacity-1}` using
 /// Floyd's algorithm (O(size) expected insertions).
 pub fn random_subset<R: rand::Rng + ?Sized>(rng: &mut R, capacity: usize, size: usize) -> BitSet {
+    BitSet::from_iter(
+        capacity,
+        random_subset_elems(rng, capacity, size)
+            .into_iter()
+            .map(|e| e as usize),
+    )
+}
+
+/// [`random_subset`] as a sorted `u32` element list — the allocation-light
+/// emitter the sparse arena builder consumes directly.
+pub fn random_subset_elems<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    capacity: usize,
+    size: usize,
+) -> Vec<u32> {
     assert!(
         size <= capacity,
         "cannot sample {size}-subset of [{capacity}]"
     );
-    let mut s = BitSet::new(capacity);
+    let mut s: std::collections::HashSet<usize> = std::collections::HashSet::with_capacity(size);
     // Floyd's sampling: for j = capacity-size .. capacity-1, insert a random
     // element of [0, j]; on collision insert j itself.
     for j in (capacity - size)..capacity {
@@ -364,26 +412,41 @@ pub fn random_subset<R: rand::Rng + ?Sized>(rng: &mut R, capacity: usize, size: 
             s.insert(j);
         }
     }
-    s
+    let mut v: Vec<u32> = s.into_iter().map(|e| e as u32).collect();
+    v.sort_unstable();
+    v
 }
 
 /// Samples a subset of `{0,…,capacity-1}` including each element
 /// independently with probability `p` (the element-sampling primitive of
 /// Algorithm 1, step 3a).
 pub fn bernoulli_subset<R: rand::Rng + ?Sized>(rng: &mut R, capacity: usize, p: f64) -> BitSet {
-    let mut s = BitSet::new(capacity);
-    if p <= 0.0 {
-        return s;
-    }
     if p >= 1.0 {
         return BitSet::full(capacity);
     }
+    BitSet::from_iter(
+        capacity,
+        bernoulli_elems(rng, capacity, p)
+            .into_iter()
+            .map(|e| e as usize),
+    )
+}
+
+/// [`bernoulli_subset`] as a sorted `u32` element list.
+pub fn bernoulli_elems<R: rand::Rng + ?Sized>(rng: &mut R, capacity: usize, p: f64) -> Vec<u32> {
+    if p <= 0.0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..capacity as u32).collect();
+    }
+    let mut v = Vec::new();
     for e in 0..capacity {
         if rng.gen_bool(p) {
-            s.insert(e);
+            v.push(e as u32);
         }
     }
-    s
+    v
 }
 
 #[cfg(test)]

@@ -118,12 +118,12 @@ impl<'a> Searcher<'a> {
         // (finds good solutions early ⇒ tighter pruning).
         let mut cands: Vec<(SetId, usize)> = self.sets_containing[elem]
             .iter()
-            .map(|&i| (i, self.sys.set(i).intersection_len(uncovered)))
+            .map(|&i| (i, self.sys.set(i).intersection_len(uncovered.as_set_ref())))
             .collect();
         cands.sort_by_key(|&(_, gain)| std::cmp::Reverse(gain));
         for (i, _) in cands {
             let mut next = uncovered.clone();
-            next.difference_with(self.sys.set(i));
+            next.difference_with_ref(self.sys.set(i));
             chosen.push(i);
             self.search(&next, chosen);
             chosen.pop();
@@ -149,7 +149,7 @@ fn run_search(
     }
     // Seed the incumbent with greedy (feasible by coverability).
     let greedy = greedy_cover_until(sys, usize::MAX, target);
-    let mut sizes_desc: Vec<usize> = sys.sets().iter().map(|s| s.len()).collect();
+    let mut sizes_desc: Vec<usize> = sys.iter().map(|(_, s)| s.len()).collect();
     sizes_desc.sort_unstable_by(|a, b| b.cmp(a));
     let mut sets_containing: Vec<Vec<SetId>> = vec![Vec::new(); sys.universe()];
     for (i, s) in sys.iter() {
@@ -279,7 +279,7 @@ pub fn exact_max_coverage(sys: &SetSystem, k: usize) -> (Vec<SetId>, usize) {
         }
         // Branch: include order[j] or skip it.
         let mut with = covered.clone();
-        with.union_with(sys.set(order[j]));
+        with.union_with_ref(sys.set(order[j]));
         chosen.push(order[j]);
         dfs(
             sys,

@@ -34,7 +34,7 @@ impl DualBound {
         if self.y.len() != sys.universe() || self.y.iter().any(|&v| v < -tol) {
             return false;
         }
-        sys.sets().iter().all(|s| {
+        sys.iter().all(|(_, s)| {
             let load: f64 = s.iter().map(|e| self.y[e]).sum();
             load <= 1.0 + tol
         })
@@ -59,16 +59,18 @@ pub fn dual_fitting_bound(sys: &SetSystem) -> Option<DualBound> {
     while !uncovered.is_empty() {
         let (best, gain) = sys
             .iter()
-            .map(|(i, s)| (i, s.intersection_len(&uncovered)))
+            .map(|(i, s)| (i, s.intersection_len(uncovered.as_set_ref())))
             .max_by_key(|&(_, g)| g)
             .expect("coverable ⇒ progress");
         debug_assert!(gain > 0);
-        for e in sys.set(best).intersection(&uncovered).iter() {
-            price[e] = 1.0 / gain as f64;
+        for e in sys.set(best).iter() {
+            if uncovered.contains(e) {
+                price[e] = 1.0 / gain as f64;
+            }
         }
-        uncovered.difference_with(sys.set(best));
+        uncovered.difference_with_ref(sys.set(best));
     }
-    let h = harmonic(sys.sets().iter().map(|s| s.len()).max().unwrap_or(1).max(1));
+    let h = harmonic(sys.iter().map(|(_, s)| s.len()).max().unwrap_or(1).max(1));
     let y: Vec<f64> = price.iter().map(|p| p / h).collect();
     let value = y.iter().sum();
     let bound = DualBound { y, value };

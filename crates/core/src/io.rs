@@ -8,8 +8,11 @@
 //! ```
 //!
 //! Empty sets are written as a bare `s`.
+//!
+//! The parser is strict: element ids must lie in `[0, n)` and appear at
+//! most once per set line — duplicates and out-of-range ids are input
+//! corruption and get a positioned error, never silent canonicalization.
 
-use crate::bitset::BitSet;
 use crate::system::SetSystem;
 use std::fmt::Write as _;
 
@@ -24,6 +27,13 @@ pub enum ParseError {
         line: usize,
         /// Description.
         reason: String,
+    },
+    /// A set line listed the same element twice.
+    DuplicateElement {
+        /// 1-based line number.
+        line: usize,
+        /// The repeated element.
+        element: usize,
     },
     /// Number of set lines didn't match the header's `m`.
     WrongSetCount {
@@ -40,6 +50,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadHeader(s) => write!(f, "bad header: {s}"),
             ParseError::BadSetLine { line, reason } => {
                 write!(f, "bad set line {line}: {reason}")
+            }
+            ParseError::DuplicateElement { line, element } => {
+                write!(f, "bad set line {line}: duplicate element {element}")
             }
             ParseError::WrongSetCount { expected, found } => {
                 write!(f, "expected {expected} sets, found {found}")
@@ -103,7 +116,7 @@ pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
                 reason: format!("expected 's', got: {line}"),
             });
         }
-        let mut set = BitSet::new(n);
+        let mut elems: Vec<u32> = Vec::new();
         for tok in toks {
             let e: usize = tok.parse().map_err(|_| ParseError::BadSetLine {
                 line: lineno,
@@ -115,9 +128,16 @@ pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
                     reason: format!("element {e} out of universe [{n}]"),
                 });
             }
-            set.insert(e);
+            elems.push(e as u32);
         }
-        sys.push(set);
+        elems.sort_unstable();
+        if let Some(w) = elems.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ParseError::DuplicateElement {
+                line: lineno,
+                element: w[0] as usize,
+            });
+        }
+        sys.push_sorted(&elems);
         count += 1;
     }
     if count != m {
@@ -180,6 +200,55 @@ mod tests {
             read_instance("p setcover 3 1 junk\ns 0\n"),
             Err(ParseError::BadHeader(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_elements_are_rejected() {
+        let err = read_instance("p setcover 8 1\ns 3 1 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::DuplicateElement {
+                line: 2,
+                element: 3
+            }
+        );
+        assert!(err.to_string().contains("duplicate element 3"), "{err}");
+        // Duplicates on a later line carry that line's number.
+        let err2 = read_instance("p setcover 8 2\ns 0\ns 5 5\n").unwrap_err();
+        assert!(matches!(
+            err2,
+            ParseError::DuplicateElement {
+                line: 3,
+                element: 5
+            }
+        ));
+    }
+
+    fn arb_system() -> impl proptest::Strategy<Value = SetSystem> {
+        use proptest::prelude::*;
+        (1usize..40, 0usize..12).prop_flat_map(|(n, m)| {
+            proptest::collection::vec(proptest::collection::vec(0usize..n, 0..n), m)
+                .prop_map(move |lists| SetSystem::from_elements(n, &lists))
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn write_then_parse_roundtrips_random_systems(sys in arb_system()) {
+            let text = write_instance(&sys);
+            let back = match read_instance(&text) {
+                Ok(b) => b,
+                Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                    "canonical output failed to parse: {e}"
+                ))),
+            };
+            proptest::prop_assert_eq!(&back, &sys);
+            // The canonical writer never emits duplicates, so a second
+            // roundtrip is byte-identical.
+            proptest::prop_assert_eq!(write_instance(&back), text);
+        }
     }
 
     #[test]

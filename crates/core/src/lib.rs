@@ -6,13 +6,25 @@
 //!
 //! This crate holds everything the rest of the workspace builds on:
 //!
-//! * [`bitset::BitSet`] — packed subsets of a fixed universe `[n]`, with the
-//!   full set algebra the paper's constructions use (union, difference,
-//!   hamming distance for GHD, disjointness for Disj, …) and the random
-//!   sampling primitives (`random_subset`, `bernoulli_subset`).
-//! * [`system::SetSystem`] — an indexed collection `S_1, …, S_m ⊆ [n]`.
+//! * [`store`] — the **hybrid set storage engine**: [`store::SetStore`], a
+//!   contiguous CSR-style arena holding every set of a system in one of two
+//!   backends ([`store::SetRepr`]) — sorted `u32` element lists (sparse) or
+//!   word-packed bitmaps (dense) — selected per set by a
+//!   [`store::ReprPolicy`] whose `Auto` cutover matches the paper's bit
+//!   accounting (`|S|·⌈log₂ n⌉` vs `n` bits). Reads go through the `Copy`
+//!   view [`store::SetRef`], whose binary ops dispatch to kernels
+//!   specialized per representation pair (merge-walk for sparse×sparse,
+//!   word ops for dense×dense, probes for the mixed cases).
+//! * [`bitset::BitSet`] — owned, mutable packed subsets of a fixed universe
+//!   `[n]` — the working-set type solvers mutate (residuals, coverage
+//!   accumulators) — with the full set algebra the paper's constructions
+//!   use and the random sampling primitives (`random_subset`,
+//!   `bernoulli_subset`, and their sorted-list emitters).
+//! * [`system::SetSystem`] — an indexed collection `S_1, …, S_m ⊆ [n]`
+//!   backed by a [`store::SetStore`] arena.
 //! * [`greedy`] — offline greedy set cover (`ln n`-approximation) and greedy
-//!   maximum coverage (`1-1/e`), the classical baselines of §1.
+//!   maximum coverage (`1-1/e`), the classical baselines of §1, implemented
+//!   lazily (CELF-style max-heap with stale-bound re-evaluation).
 //! * [`exact`] — branch-and-bound exact set cover, the bounded decision
 //!   procedure `opt ≤ B` needed by the Lemma 3.2 experiments, and exact
 //!   max-`k`-coverage for the `k = 2` hard instances of §4.
@@ -46,17 +58,22 @@ pub mod fractional;
 pub mod greedy;
 pub mod io;
 pub mod stats;
+pub mod store;
 pub mod system;
 
-pub use bitset::{bernoulli_subset, random_subset, BitSet};
+pub use bitset::{bernoulli_elems, bernoulli_subset, random_subset, random_subset_elems, BitSet};
 pub use exact::{
     budgeted_cover_of, decide_opt_at_most, exact_cover_of, exact_max_coverage, exact_set_cover,
     Decision, ExactCover,
 };
 pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
-pub use greedy::{greedy_cover_until, greedy_max_coverage, greedy_set_cover, CoverResult};
+pub use greedy::{
+    greedy_cover_until, greedy_cover_until_eager, greedy_max_coverage, greedy_set_cover,
+    CoverResult,
+};
 pub use io::{read_instance, write_instance, ParseError};
 pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
+pub use store::{ReprPolicy, SetRef, SetRepr, SetStore};
 pub use system::{SetId, SetSystem};
 
 /// `⌈log₂ x⌉` for `x ≥ 1`, the bit width used across the space accounting.

@@ -25,7 +25,7 @@ pub struct SystemStats {
 
 /// Computes [`SystemStats`] for a system.
 pub fn system_stats(sys: &SetSystem) -> SystemStats {
-    let sizes: Vec<usize> = sys.sets().iter().map(|s| s.len()).collect();
+    let sizes: Vec<usize> = sys.iter().map(|(_, s)| s.len()).collect();
     let total: usize = sizes.iter().sum();
     let coverable = sys.universe() - sys.uncoverable_elements().len();
     SystemStats {

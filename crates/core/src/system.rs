@@ -1,6 +1,8 @@
-//! Set systems: an indexed collection of subsets of a shared universe `[n]`.
+//! Set systems: an indexed collection of subsets of a shared universe `[n]`,
+//! backed by the hybrid sparse/dense arena of [`crate::store`].
 
 use crate::bitset::BitSet;
+use crate::store::{ReprPolicy, SetRef, SetStore};
 use std::fmt;
 
 /// Identifier of a set within a [`SetSystem`] (its stream position).
@@ -11,18 +13,30 @@ pub type SetId = usize;
 /// This is the static, offline representation of an instance; streaming
 /// algorithms consume it through the `streamcover-stream` substrate which
 /// controls arrival order and pass counting.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Storage lives in a contiguous CSR-style [`SetStore`]: each set is kept
+/// either as a sorted `u32` element list or as a word-packed bitmap,
+/// selected per set by the system's [`ReprPolicy`] (the default `Auto`
+/// cutover picks whichever is cheaper under the paper's bit accounting).
+/// Reads go through the `Copy` view type [`SetRef`].
+#[derive(Clone)]
 pub struct SetSystem {
-    universe: usize,
-    sets: Vec<BitSet>,
+    store: SetStore,
 }
 
 impl SetSystem {
-    /// Creates an empty system over `[universe]`.
+    /// Creates an empty system over `[universe]` with the automatic
+    /// sparse/dense cutover.
     pub fn new(universe: usize) -> Self {
         SetSystem {
-            universe,
-            sets: Vec::new(),
+            store: SetStore::new(universe),
+        }
+    }
+
+    /// Creates an empty system with an explicit representation policy.
+    pub fn with_policy(universe: usize, policy: ReprPolicy) -> Self {
+        SetSystem {
+            store: SetStore::with_policy(universe, policy),
         }
     }
 
@@ -31,71 +45,98 @@ impl SetSystem {
     /// # Panics
     /// Panics if any set's capacity differs from `universe`.
     pub fn from_sets(universe: usize, sets: Vec<BitSet>) -> Self {
-        for (i, s) in sets.iter().enumerate() {
-            assert_eq!(
-                s.capacity(),
-                universe,
-                "set {i} has capacity {} but universe is {universe}",
-                s.capacity()
-            );
+        let mut sys = SetSystem::new(universe);
+        for s in &sets {
+            sys.store.push_bitset(s);
         }
-        SetSystem { universe, sets }
+        sys
     }
 
     /// Creates a system from element lists.
     pub fn from_elements(universe: usize, lists: &[Vec<usize>]) -> Self {
-        let sets = lists
-            .iter()
-            .map(|l| BitSet::from_iter(universe, l.iter().copied()))
-            .collect();
-        SetSystem { universe, sets }
+        let mut sys = SetSystem::new(universe);
+        for l in lists {
+            sys.store.push_elems(l.iter().copied());
+        }
+        sys
     }
 
     /// Appends a set, returning its id.
     pub fn push(&mut self, set: BitSet) -> SetId {
-        assert_eq!(set.capacity(), self.universe, "set universe mismatch");
-        self.sets.push(set);
-        self.sets.len() - 1
+        self.store.push_bitset(&set)
+    }
+
+    /// Appends a set given as a strictly increasing element list — the
+    /// zero-copy emitter path for the `dist` generators.
+    ///
+    /// # Panics
+    /// Panics if any element is `>= universe` or the list is not strictly
+    /// increasing.
+    pub fn push_sorted(&mut self, elems: &[u32]) -> SetId {
+        self.store.push_sorted(elems)
+    }
+
+    /// Appends a set from an arbitrary element iterator (sorted and
+    /// deduplicated internally).
+    pub fn push_elems(&mut self, elems: impl IntoIterator<Item = usize>) -> SetId {
+        self.store.push_elems(elems)
+    }
+
+    /// Appends a copy of an existing view, preserving its representation
+    /// (cheap cross-system clone).
+    pub fn push_ref(&mut self, set: SetRef<'_>) -> SetId {
+        self.store.push_ref(set)
     }
 
     /// Universe size `n`.
     #[inline]
     pub fn universe(&self) -> usize {
-        self.universe
+        self.store.universe()
     }
 
     /// Number of sets `m`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.store.len()
     }
 
     /// Whether the system holds no sets.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.store.is_empty()
     }
 
     /// The set with id `i`.
     #[inline]
-    pub fn set(&self, i: SetId) -> &BitSet {
-        &self.sets[i]
-    }
-
-    /// All sets, in id order.
-    pub fn sets(&self) -> &[BitSet] {
-        &self.sets
+    pub fn set(&self, i: SetId) -> SetRef<'_> {
+        self.store.get(i)
     }
 
     /// Iterates `(id, set)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (SetId, &BitSet)> {
-        self.sets.iter().enumerate()
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, SetRef<'_>)> {
+        (0..self.store.len()).map(|i| (i, self.store.get(i)))
+    }
+
+    /// The backing arena (diagnostics, benchmarking).
+    pub fn store(&self) -> &SetStore {
+        &self.store
+    }
+
+    /// `(sparse, dense)` counts of stored representations.
+    pub fn repr_counts(&self) -> (usize, usize) {
+        self.store.repr_counts()
+    }
+
+    /// Sum over sets of the bits the actual representation costs under the
+    /// paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense).
+    pub fn stored_bits(&self) -> u64 {
+        self.store.stored_bits()
     }
 
     /// Union of the sets with the given ids.
     pub fn coverage(&self, ids: &[SetId]) -> BitSet {
-        let mut c = BitSet::new(self.universe);
+        let mut c = BitSet::new(self.universe());
         for &i in ids {
-            c.union_with(&self.sets[i]);
+            c.union_with_ref(self.store.get(i));
         }
         c
     }
@@ -127,31 +168,61 @@ impl SetSystem {
     ///
     /// The projected sets keep the original universe capacity so ids and
     /// element labels stay stable; only membership outside `domain` is
-    /// dropped.
+    /// dropped. Projections are re-homed by the policy's cutover, so a
+    /// dense set projected onto a thin sample lands in the sparse backend.
     pub fn project(&self, domain: &BitSet) -> SetSystem {
-        let sets = self.sets.iter().map(|s| s.intersection(domain)).collect();
-        SetSystem {
-            universe: self.universe,
-            sets,
+        let mut out = SetSystem::with_policy(self.universe(), self.store.policy());
+        for (_, s) in self.iter() {
+            out.store.push_sorted(&s.intersection_elems(domain));
         }
+        out
+    }
+
+    /// The subsystem holding copies of the sets with the given ids, in the
+    /// given order (ids are re-numbered from 0).
+    pub fn subsystem(&self, ids: impl IntoIterator<Item = SetId>) -> SetSystem {
+        let mut out = SetSystem::with_policy(self.universe(), self.store.policy());
+        for i in ids {
+            out.store.push_ref(self.store.get(i));
+        }
+        out
     }
 
     /// Total number of (set, element) incidences, `Σ|S_i|` — the input size
     /// `O(mn)` that streaming algorithms must be sublinear in.
     pub fn total_incidences(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.store.total_incidences()
     }
 }
 
+impl PartialEq for SetSystem {
+    /// Semantic equality: same universe and the same sequence of sets,
+    /// regardless of each set's representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.universe() == other.universe()
+            && self.len() == other.len()
+            && (0..self.len()).all(|i| self.set(i) == other.set(i))
+    }
+}
+
+impl Eq for SetSystem {}
+
 impl fmt::Debug for SetSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SetSystem{{n={}, m={}}}", self.universe, self.sets.len())
+        let (sp, de) = self.repr_counts();
+        write!(
+            f,
+            "SetSystem{{n={}, m={}, sparse={sp}, dense={de}}}",
+            self.universe(),
+            self.len()
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::SetRepr;
 
     fn demo() -> SetSystem {
         SetSystem::from_elements(
@@ -216,8 +287,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "universe is")]
+    #[should_panic(expected = "universe mismatch")]
     fn mismatched_set_panics() {
         SetSystem::from_sets(5, vec![BitSet::new(6)]);
+    }
+
+    #[test]
+    fn policy_controls_representation() {
+        let lists = vec![vec![0usize, 1, 2], (0..60).collect::<Vec<usize>>()];
+        let mut auto = SetSystem::new(64);
+        let mut sparse = SetSystem::with_policy(64, ReprPolicy::ForceSparse);
+        for l in &lists {
+            auto.push_elems(l.iter().copied());
+            sparse.push_elems(l.iter().copied());
+        }
+        // Auto: ⌈log₂ 64⌉ = 6 ⇒ size-3 set sparse (18 ≤ 64), size-60 dense.
+        assert_eq!(auto.set(0).repr(), SetRepr::Sparse);
+        assert_eq!(auto.set(1).repr(), SetRepr::Dense);
+        assert_eq!(sparse.repr_counts(), (2, 0));
+        // Semantic equality holds across policies.
+        assert_eq!(auto, sparse);
+    }
+
+    #[test]
+    fn subsystem_selects_and_renumbers() {
+        let s = demo();
+        let sub = s.subsystem([2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.set(0), s.set(2));
+        assert_eq!(sub.set(1), s.set(0));
+    }
+
+    #[test]
+    fn clone_is_deep_and_semantic_eq() {
+        let s = demo();
+        let mut c = s.clone();
+        assert_eq!(s, c);
+        c.push_elems([0usize]);
+        assert_ne!(s, c);
+        assert_eq!(s.len() + 1, c.len());
     }
 }

@@ -1,0 +1,228 @@
+//! Representation-equivalence property tests: every set-algebra operation
+//! must agree bit-for-bit across the storage backends.
+//!
+//! Strategy: generate random element lists over random universes, build the
+//! same system three ways — forced-sparse arena, forced-dense arena, and
+//! the auto-cutover arena — plus reference `BitSet`s, and check that every
+//! operation ([`SetRef`] kernels, system-level aggregates, the `BitSet`
+//! mutation kernels) produces identical results no matter which backend
+//! either operand lives in.
+//!
+//! The check bodies live in plain helper functions returning
+//! `Result<_, TestCaseError>`, and each `proptest!` argument is a single
+//! binding (the offline `proptest!` stand-in supports only bare-ident
+//! arguments).
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use streamcover_core::{BitSet, ReprPolicy, SetSystem};
+
+/// A universe plus random element lists (possibly with duplicates — the
+/// construction paths must canonicalize identically).
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (1usize..160, 2usize..8).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(proptest::collection::vec(0usize..n, 0..n), m)
+            .prop_map(move |lists| (n, lists))
+    })
+}
+
+fn build(n: usize, lists: &[Vec<usize>], policy: ReprPolicy) -> SetSystem {
+    let mut sys = SetSystem::with_policy(n, policy);
+    for l in lists {
+        sys.push_elems(l.iter().copied());
+    }
+    sys
+}
+
+fn reference_bitsets(n: usize, lists: &[Vec<usize>]) -> Vec<BitSet> {
+    lists
+        .iter()
+        .map(|l| BitSet::from_iter(n, l.iter().copied()))
+        .collect()
+}
+
+fn check_pairwise_algebra(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
+    {
+        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
+        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let auto = build(n, &lists, ReprPolicy::Auto);
+        let refs = reference_bitsets(n, &lists);
+        let systems = [&sparse, &dense, &auto];
+
+        for i in 0..lists.len() {
+            for j in 0..lists.len() {
+                let expect_inter = refs[i].intersection_len(&refs[j]);
+                let expect_union = refs[i].union_len(&refs[j]);
+                let expect_diff = refs[i].difference_len(&refs[j]);
+                let expect_ham = refs[i].hamming_distance(&refs[j]);
+                let expect_disj = refs[i].is_disjoint(&refs[j]);
+                let expect_sub = refs[i].is_subset_of(&refs[j]);
+                // Every backend pairing, including mixed sparse×dense.
+                for sa in systems {
+                    for sb in systems {
+                        let (a, b) = (sa.set(i), sb.set(j));
+                        prop_assert_eq!(a.intersection_len(b), expect_inter);
+                        prop_assert_eq!(a.union_len(b), expect_union);
+                        prop_assert_eq!(a.difference_len(b), expect_diff);
+                        prop_assert_eq!(a.hamming_distance(b), expect_ham);
+                        prop_assert_eq!(a.is_disjoint(b), expect_disj);
+                        prop_assert_eq!(a.is_subset_of(b), expect_sub);
+                        prop_assert_eq!(a.union(b), refs[i].union(&refs[j]));
+                        prop_assert_eq!(a.intersection(b), refs[i].intersection(&refs[j]));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn check_views_and_aggregates(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
+    {
+        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
+        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let auto = build(n, &lists, ReprPolicy::Auto);
+        let refs = reference_bitsets(n, &lists);
+
+        prop_assert_eq!(&sparse, &dense);
+        prop_assert_eq!(&sparse, &auto);
+        for sys in [&sparse, &dense, &auto] {
+            for (i, s) in sys.iter() {
+                prop_assert_eq!(s.len(), refs[i].len());
+                prop_assert_eq!(s.is_empty(), refs[i].is_empty());
+                prop_assert_eq!(s.to_vec(), refs[i].to_vec());
+                prop_assert_eq!(s.to_bitset(), refs[i].clone());
+                prop_assert_eq!(s, &refs[i]);
+                for e in [0, n / 2, n - 1, n, n + 7] {
+                    prop_assert_eq!(s.contains(e), refs[i].contains(e));
+                }
+                // Paper-accounting figures are representation-independent…
+                prop_assert_eq!(s.stored_bits_sparse(), refs[i].stored_bits_sparse());
+                prop_assert_eq!(s.stored_bits_dense(), refs[i].stored_bits_dense());
+                // …and the actual charge is whichever the backend holds.
+                prop_assert!(
+                    s.stored_bits() == s.stored_bits_sparse()
+                        || s.stored_bits() == s.stored_bits_dense()
+                );
+            }
+            prop_assert_eq!(
+                sys.total_incidences(),
+                refs.iter().map(|r| r.len()).sum::<usize>()
+            );
+            let all: Vec<usize> = (0..lists.len()).collect();
+            let mut cov = BitSet::new(n);
+            for r in &refs {
+                cov.union_with(r);
+            }
+            prop_assert_eq!(sys.coverage(&all), cov.clone());
+            prop_assert_eq!(sys.coverage_len(&all), cov.len());
+            prop_assert_eq!(sys.is_coverable(), cov.is_full());
+        }
+        // Auto stores each set at its cheaper accounting cost.
+        prop_assert!(auto.stored_bits() <= sparse.stored_bits());
+        prop_assert!(auto.stored_bits() <= dense.stored_bits());
+    }
+
+    Ok(())
+}
+
+#[allow(clippy::needless_range_loop)] // `i` indexes `refs` and two systems
+fn check_mutation_kernels(
+    n: usize,
+    lists: Vec<Vec<usize>>,
+    acc_elems: Vec<usize>,
+) -> Result<(), TestCaseError> {
+    {
+        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
+        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let acc0 = BitSet::from_iter(n, acc_elems.into_iter().filter(|&e| e < n));
+        let refs = reference_bitsets(n, &lists);
+
+        for i in 0..lists.len() {
+            // union into an accumulator
+            let mut expect = acc0.clone();
+            expect.union_with(&refs[i]);
+            for sys in [&sparse, &dense] {
+                let mut got = acc0.clone();
+                got.union_with_ref(sys.set(i));
+                prop_assert_eq!(&got, &expect);
+            }
+            // difference out of an accumulator
+            let mut expect = acc0.clone();
+            expect.difference_with(&refs[i]);
+            for sys in [&sparse, &dense] {
+                let mut got = acc0.clone();
+                got.difference_with_ref(sys.set(i));
+                prop_assert_eq!(&got, &expect);
+            }
+            // SetRef × BitSet-view kernels
+            for sys in [&sparse, &dense] {
+                let s = sys.set(i);
+                prop_assert_eq!(
+                    s.intersection_len(acc0.as_set_ref()),
+                    refs[i].intersection_len(&acc0)
+                );
+                prop_assert_eq!(
+                    s.difference_len(acc0.as_set_ref()),
+                    refs[i].difference_len(&acc0)
+                );
+                prop_assert_eq!(
+                    s.intersection_elems(&acc0)
+                        .into_iter()
+                        .map(|e| e as usize)
+                        .collect::<Vec<_>>(),
+                    refs[i].intersection(&acc0).to_vec()
+                );
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn check_projection_and_subsystem(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
+    {
+        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
+        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let dom = BitSet::from_iter(n, (0..n).filter(|e| e % 3 != 1));
+        prop_assert_eq!(sparse.project(&dom), dense.project(&dom));
+        let pick: Vec<usize> = (0..lists.len()).rev().collect();
+        prop_assert_eq!(
+            sparse.subsystem(pick.iter().copied()),
+            dense.subsystem(pick.iter().copied())
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pairwise_algebra_agrees_across_backends(case in arb_instance()) {
+        let (n, lists) = case;
+        check_pairwise_algebra(n, lists)?;
+    }
+
+    #[test]
+    fn views_and_aggregates_agree_across_backends(case in arb_instance()) {
+        let (n, lists) = case;
+        check_views_and_aggregates(n, lists)?;
+    }
+
+    #[test]
+    fn bitset_mutation_kernels_agree_across_backends(
+        case in arb_instance(),
+        acc_elems in proptest::collection::vec(0usize..160, 0..160),
+    ) {
+        let (n, lists) = case;
+        check_mutation_kernels(n, lists, acc_elems)?;
+    }
+
+    #[test]
+    fn projection_and_subsystem_agree_across_backends(case in arb_instance()) {
+        let (n, lists) = case;
+        check_projection_and_subsystem(n, lists)?;
+    }
+}

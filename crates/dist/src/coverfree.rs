@@ -38,7 +38,8 @@ pub fn check_cover_free(sys: &SetSystem, r: usize) -> CoverFreeness {
             };
         }
         let others: Vec<SetId> = (0..m).filter(|&j| j != i).collect();
-        if let Some(by) = cover_with(sys, target, &others, r, &mut Vec::new()) {
+        let target = target.to_bitset();
+        if let Some(by) = cover_with(sys, &target, &others, r, &mut Vec::new()) {
             return CoverFreeness::Violated { covered: i, by };
         }
     }
@@ -70,7 +71,8 @@ fn cover_with(
         if chosen.contains(&j) || !sys.set(j).contains(e) {
             continue;
         }
-        let rest = target.difference(sys.set(j));
+        let mut rest = target.clone();
+        rest.difference_with_ref(sys.set(j));
         chosen.push(j);
         if let Some(hit) = cover_with(sys, &rest, candidates, r - 1, chosen) {
             return Some(hit);
@@ -113,7 +115,9 @@ mod tests {
             CoverFreeness::Violated { covered, by } => {
                 assert_eq!(covered, 0);
                 assert_eq!(by.len(), 2);
-                assert!(sys.set(covered).is_subset_of(&sys.coverage(&by)));
+                assert!(sys
+                    .set(covered)
+                    .is_subset_of(sys.coverage(&by).as_set_ref()));
             }
             CoverFreeness::CoverFree => panic!("union cover not detected"),
         }

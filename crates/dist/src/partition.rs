@@ -71,9 +71,9 @@ pub fn random_partition<R: Rng + ?Sized>(
     let pool = alice.iter().chain(bob.iter().map(|(i, s)| (m + i, s)));
     for (id, s) in pool {
         if rng.gen_bool(0.5) {
-            out.alice.push((id, s.clone()));
+            out.alice.push((id, s.to_bitset()));
         } else {
-            out.bob.push((id, s.clone()));
+            out.bob.push((id, s.to_bitset()));
         }
     }
     out
@@ -108,7 +108,7 @@ mod tests {
             assert_eq!(ids, vec![0, 1, 2, 3]);
             for (id, s) in part.alice.iter().chain(part.bob.iter()) {
                 let original = if *id < 2 { a.set(*id) } else { b.set(*id - 2) };
-                assert_eq!(s, original, "id {id} payload mismatch");
+                assert_eq!(original, s, "id {id} payload mismatch");
             }
         }
     }

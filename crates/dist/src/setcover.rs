@@ -70,7 +70,7 @@ impl DscInstance {
     pub fn combined(&self) -> SetSystem {
         let mut all = SetSystem::new(self.params.n);
         for (_, s) in self.alice.iter().chain(self.bob.iter()) {
-            all.push(s.clone());
+            all.push_ref(s);
         }
         all
     }

@@ -4,7 +4,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use streamcover_core::{bernoulli_subset, random_subset, BitSet, SetId, SetSystem};
+use streamcover_core::{bernoulli_elems, random_subset_elems, BitSet, SetId, SetSystem};
 
 /// A coverable instance with a known planted cover.
 #[derive(Clone, Debug)]
@@ -43,7 +43,8 @@ pub fn planted_cover<R: Rng + ?Sized>(
         "universe [{n}] cannot split into {opt} nonempty parts"
     );
 
-    // Random partition of [n] into opt near-equal parts.
+    // Random partition of [n] into opt near-equal parts, emitted as sorted
+    // element lists straight into the arena (no per-set bitmap temporaries).
     let mut perm: Vec<usize> = (0..n).collect();
     perm.shuffle(rng);
     let (base, extra) = (n / opt, n % opt);
@@ -51,13 +52,18 @@ pub fn planted_cover<R: Rng + ?Sized>(
     let mut pos = 0;
     for i in 0..opt {
         let size = base + usize::from(i < extra);
-        parts.push(BitSet::from_iter(n, perm[pos..pos + size].iter().copied()));
+        let mut part: Vec<u32> = perm[pos..pos + size].iter().map(|&e| e as u32).collect();
+        part.sort_unstable();
+        parts.push(part);
         pos += size;
     }
 
     // Random positions for the planted sets among the m slots.
-    let planted_pos = random_subset(rng, m, opt).to_vec();
-    let mut sets: Vec<Option<BitSet>> = vec![None; m];
+    let planted_pos: Vec<usize> = random_subset_elems(rng, m, opt)
+        .into_iter()
+        .map(|e| e as usize)
+        .collect();
+    let mut sets: Vec<Option<Vec<u32>>> = vec![None; m];
     for (part, &slot) in parts.into_iter().zip(&planted_pos) {
         sets[slot] = Some(part);
     }
@@ -67,14 +73,14 @@ pub fn planted_cover<R: Rng + ?Sized>(
     let lo = (n / (4 * opt)).max(1);
     let mut system = SetSystem::new(n);
     for slot in sets {
-        let set = match slot {
+        let elems = match slot {
             Some(part) => part,
             None => {
                 let size = rng.gen_range(lo..=hi);
-                random_subset(rng, n, size)
+                random_subset_elems(rng, n, size)
             }
         };
-        system.push(set);
+        system.push_sorted(&elems);
     }
     PlantedWorkload {
         system,
@@ -100,17 +106,31 @@ pub fn uniform_random<R: Rng + ?Sized>(
 ) -> SetSystem {
     assert!(m >= 1, "need at least one set");
     assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-    let mut sets: Vec<BitSet> = (0..m).map(|_| bernoulli_subset(rng, n, p)).collect();
+    let mut sets: Vec<Vec<u32>> = (0..m).map(|_| bernoulli_elems(rng, n, p)).collect();
     if coverable {
         let mut covered = BitSet::new(n);
         for s in &sets {
-            covered.union_with(s);
+            for &e in s {
+                covered.insert(e as usize);
+            }
         }
+        let mut patched = vec![false; m];
         for e in covered.complement().iter() {
-            sets[rng.gen_range(0..m)].insert(e);
+            let slot = rng.gen_range(0..m);
+            sets[slot].push(e as u32);
+            patched[slot] = true;
+        }
+        for (s, p) in sets.iter_mut().zip(&patched) {
+            if *p {
+                s.sort_unstable();
+            }
         }
     }
-    SetSystem::from_sets(n, sets)
+    let mut system = SetSystem::new(n);
+    for s in &sets {
+        system.push_sorted(s);
+    }
+    system
 }
 
 /// A blog/topic catalogue in the spirit of Saha–Getoor's blog-monitoring

@@ -32,12 +32,12 @@ impl SetCoverStreamer for OnlinePrune {
         meter.charge(covered.stored_bits_dense().max(1));
 
         // Accept pass: keep any set with positive marginal coverage.
-        let mut kept: Vec<(SetId, BitSet)> = Vec::new();
+        let mut kept: Vec<(SetId, BitSet, u64)> = Vec::new();
         for (i, s) in stream.pass() {
-            if s.difference_len(&covered) > 0 {
-                covered.union_with(s);
-                meter.charge(s.stored_bits_sparse() + logm);
-                kept.push((i, s.clone()));
+            if s.difference_len(covered.as_set_ref()) > 0 {
+                covered.union_with_ref(s);
+                meter.charge(s.stored_bits() + logm);
+                kept.push((i, s.to_bitset(), s.stored_bits()));
             }
         }
         let feasible = covered.is_full();
@@ -48,21 +48,21 @@ impl SetCoverStreamer for OnlinePrune {
         let mut alive: Vec<bool> = vec![true; kept.len()];
         for idx in (0..kept.len()).rev() {
             let mut without = BitSet::new(n);
-            for (j, (_, s)) in kept.iter().enumerate() {
+            for (j, (_, s, _)) in kept.iter().enumerate() {
                 if j != idx && alive[j] {
                     without.union_with(s);
                 }
             }
             if covered.is_subset_of(&without) {
                 alive[idx] = false;
-                meter.release(kept[idx].1.stored_bits_sparse() + logm);
+                meter.release(kept[idx].2 + logm);
             }
         }
         let solution: Vec<SetId> = kept
             .iter()
             .zip(&alive)
             .filter(|(_, &a)| a)
-            .map(|((i, _), _)| *i)
+            .map(|((i, _, _), _)| *i)
             .collect();
         CoverRun {
             algorithm: self.name(),

@@ -37,9 +37,9 @@ impl SetCoverStreamer for StoreAll {
         let mut stored = SetSystem::new(n);
         let mut order = Vec::new();
         for (i, s) in stream.pass() {
-            meter.charge(s.stored_bits_sparse().max(1));
+            meter.charge(s.stored_bits().max(1));
             order.push(i);
-            stored.push(s.clone());
+            stored.push_ref(s);
         }
         // Offline exact solve on the stored copy.
         let target = BitSet::full(n);
@@ -85,12 +85,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = planted_cover(&mut rng, 128, 24, 4);
         let run = StoreAll::default().run(&w.system, Arrival::Adversarial, &mut rng);
-        let expected: u64 = w
-            .system
-            .sets()
-            .iter()
-            .map(|s| s.stored_bits_sparse().max(1))
-            .sum();
+        let expected: u64 = w.system.iter().map(|(_, s)| s.stored_bits().max(1)).sum();
         assert_eq!(run.peak_bits, expected);
     }
 

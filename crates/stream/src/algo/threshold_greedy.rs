@@ -46,8 +46,8 @@ impl SetCoverStreamer for ThresholdGreedy {
         let mut threshold = n;
         while !u.is_empty() && threshold >= 1 {
             for (i, s) in stream.pass() {
-                if s.intersection_len(&u) >= threshold {
-                    u.difference_with(s);
+                if s.intersection_len(u.as_set_ref()) >= threshold {
+                    u.difference_with_ref(s);
                     sol.push(i);
                     meter.charge(logm);
                 }

@@ -93,9 +93,8 @@ impl MaxCoverStreamer for ElementSampling {
             let mut order = Vec::new();
             let mut stored = 0u64;
             for (i, s) in stream.pass() {
-                let proj = s.intersection(&u_smpl);
-                stored += proj.stored_bits_sparse() + logm;
-                projected.push(proj);
+                let j = projected.push_sorted(&s.intersection_elems(&u_smpl));
+                stored += projected.set(j).stored_bits() + logm;
                 order.push(i);
             }
             meter.charge(stored);

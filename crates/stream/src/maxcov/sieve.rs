@@ -84,11 +84,11 @@ impl MaxCoverStreamer for SieveStream {
                 if sv.chosen.len() >= k {
                     continue;
                 }
-                let marginal = s.difference_len(&sv.covered) as f64;
+                let marginal = s.difference_len(sv.covered.as_set_ref()) as f64;
                 let need =
                     (sv.threshold / 2.0 - sv.covered.len() as f64) / (k - sv.chosen.len()) as f64;
                 if marginal >= need && marginal > 0.0 {
-                    sv.covered.union_with(s);
+                    sv.covered.union_with_ref(s);
                     sv.chosen.push(i);
                     meter.charge(logm);
                 }

@@ -17,9 +17,9 @@ use streamcover_core::{ceil_log2, BitSet, SetId, SetSystem};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SahaGetoorSwap;
 
-fn coverage_of(held: &[(SetId, BitSet)], n: usize) -> BitSet {
+fn coverage_of(held: &[(SetId, BitSet, u64)], n: usize) -> BitSet {
     let mut c = BitSet::new(n);
-    for (_, s) in held {
+    for (_, s, _) in held {
         c.union_with(s);
     }
     c
@@ -35,15 +35,15 @@ impl MaxCoverStreamer for SahaGetoorSwap {
         let logm = u64::from(ceil_log2(sys.len().max(2)));
         let mut stream = SetStream::new(sys, arrival);
         let mut meter = SpaceMeter::new();
-        let mut held: Vec<(SetId, BitSet)> = Vec::new();
+        let mut held: Vec<(SetId, BitSet, u64)> = Vec::new();
 
         for (i, s) in stream.pass() {
             if k == 0 {
                 break;
             }
             if held.len() < k {
-                meter.charge(s.stored_bits_sparse() + logm);
-                held.push((i, s.clone()));
+                meter.charge(s.stored_bits() + logm);
+                held.push((i, s.to_bitset(), s.stored_bits()));
                 continue;
             }
             let current = coverage_of(&held, n).len();
@@ -51,12 +51,12 @@ impl MaxCoverStreamer for SahaGetoorSwap {
             let mut best: Option<(usize, usize)> = None; // (slot, new coverage)
             for slot in 0..held.len() {
                 let mut cov = BitSet::new(n);
-                for (j, (_, t)) in held.iter().enumerate() {
+                for (j, (_, t, _)) in held.iter().enumerate() {
                     if j != slot {
                         cov.union_with(t);
                     }
                 }
-                cov.union_with(s);
+                cov.union_with_ref(s);
                 let c = cov.len();
                 match best {
                     Some((_, b)) if b >= c => {}
@@ -65,14 +65,14 @@ impl MaxCoverStreamer for SahaGetoorSwap {
             }
             if let Some((slot, c)) = best {
                 if c as f64 >= current as f64 + (current as f64) / (2.0 * k as f64) {
-                    meter.release(held[slot].1.stored_bits_sparse() + logm);
-                    meter.charge(s.stored_bits_sparse() + logm);
-                    held[slot] = (i, s.clone());
+                    meter.release(held[slot].2 + logm);
+                    meter.charge(s.stored_bits() + logm);
+                    held[slot] = (i, s.to_bitset(), s.stored_bits());
                 }
             }
         }
 
-        let chosen: Vec<SetId> = held.iter().map(|(i, _)| *i).collect();
+        let chosen: Vec<SetId> = held.iter().map(|(i, _, _)| *i).collect();
         let coverage = sys.coverage_len(&chosen);
         MaxCoverRun {
             algorithm: self.name(),

@@ -8,13 +8,40 @@
 //! Conventions (matching the paper's accounting):
 //! * an element id costs `⌈log₂ n⌉` bits, a set id `⌈log₂ m⌉` bits;
 //! * a subset stored as a member list costs `|S| · ⌈log₂ n⌉` bits
-//!   ([`streamcover_core::BitSet::stored_bits_sparse`]);
-//! * a subset stored as a bitmap costs `n` bits (`stored_bits_dense`) —
-//!   algorithms charge whichever representation they conceptually use;
+//!   ([`streamcover_core::SetRef::stored_bits_sparse`]);
+//! * a subset stored as a bitmap costs `n` bits (`stored_bits_dense`);
+//! * a retained set is charged for the representation its store *actually*
+//!   chose ([`streamcover_core::SetRef::stored_bits`]) — sparse member
+//!   lists for thin projections, bitmaps past the density cutover — so the
+//!   measured curves track the paper's cost model instead of a worst-case
+//!   convention (see [`Accounting`]);
 //! * counters and thresholds cost one word (64 bits).
 
 /// Bits in one machine word, charged for counters/thresholds.
 pub const WORD: u64 = 64;
+
+/// How retained sets are charged to the meter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Accounting {
+    /// Charge the representation the store actually picked:
+    /// `|S|·⌈log₂ n⌉` bits for sparse sets, `n` bits for dense ones.
+    #[default]
+    ActualRepr,
+    /// Charge every retained set as a member list (`|S|·⌈log₂ n⌉` bits)
+    /// regardless of representation — the pre-refactor convention, kept as
+    /// a comparison arm for the accounting regression tests.
+    AlwaysSparse,
+}
+
+impl Accounting {
+    /// Bits to charge for retaining `set` under this accounting rule.
+    pub fn bits_for(self, set: streamcover_core::SetRef<'_>) -> u64 {
+        match self {
+            Accounting::ActualRepr => set.stored_bits(),
+            Accounting::AlwaysSparse => set.stored_bits_sparse(),
+        }
+    }
+}
 
 /// A live/peak bit counter.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

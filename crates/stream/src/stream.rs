@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use streamcover_core::{BitSet, SetId, SetSystem};
+use streamcover_core::{SetId, SetRef, SetSystem};
 
 /// Arrival order of a stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,7 +113,7 @@ pub struct Pass<'a> {
 }
 
 impl<'a> Iterator for Pass<'a> {
-    type Item = (SetId, &'a BitSet);
+    type Item = (SetId, SetRef<'a>);
 
     fn next(&mut self) -> Option<Self::Item> {
         let &id = self.order.get(self.pos)?;
