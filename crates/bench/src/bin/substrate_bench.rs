@@ -1,19 +1,27 @@
 //! Machine-readable substrate benchmarks: ns/op for the hybrid-store
-//! kernels (coverage/union/difference, sparse vs dense backend) and for
-//! lazy vs eager greedy set cover, at three instance scales.
+//! kernels (coverage/union/difference, sparse vs dense backend), the
+//! batched columnar sweep vs the per-set kernel loop, lazy vs eager greedy
+//! set cover, and thread-scaling of the parallel pass engine.
 //!
 //! Usage: `substrate_bench [--smoke] [--check] [--seed N] [--out PATH]`
 //!
 //! * `--smoke` — smallest scale only (CI's release-mode regression job);
 //! * `--check` — exit nonzero unless the perf acceptance criteria hold
 //!   (sparse coverage kernel ≥ 2× dense on the `D_SC`-regime instance;
-//!   lazy greedy beats eager at `m ≥ 4096`);
+//!   batched sweep ≥ 2× the per-set loop; lazy greedy beats eager at
+//!   `m ≥ 4096`);
 //! * `--out` — output path (default `BENCH_substrate.json`).
 //!
 //! The kernel scales model the paper's own regime: `m` sets of average
 //! size `n^{1/3}` (α = 3) over universes `n = 2^14 … 2^16`, where a dense
 //! word-scan pays `n/64` word ops per pair while the sparse merge-walk
 //! pays `O(n^{1/3})`.
+//!
+//! The thread arm is correctness-gated, not speed-gated: worker counts
+//! 1/2/4/8 must produce identical picks and identical merged peaks
+//! (asserted unconditionally); wall-clock per worker count is recorded for
+//! the curious but CI machines (often 1–2 cores) make a speedup gate
+//! meaningless there.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,10 +29,11 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 use streamcover_core::{
-    bernoulli_elems, greedy_cover_until, greedy_cover_until_eager, BitSet, ReprPolicy, SetRef,
-    SetSystem,
+    bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager, BatchedSweep,
+    BitSet, ReprPolicy, SetRef, SetSystem,
 };
-use streamcover_dist::planted_cover;
+use streamcover_dist::{planted_cover, stress_cover};
+use streamcover_stream::{Arrival, SetCoverStreamer, ThresholdGreedy};
 
 /// Median-of-samples ns/op for `f`, which must return a checksum (kept
 /// opaque via `black_box` so the work is not optimized away).
@@ -121,6 +130,116 @@ fn bench_kernels(name: &'static str, n: usize, m: usize, seed: u64) -> KernelRow
     }
 }
 
+struct SweepRow {
+    name: &'static str,
+    n: usize,
+    m: usize,
+    avg_set_size: f64,
+    per_set_ns: f64,
+    batched_ns: f64,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        self.per_set_ns / self.batched_ns
+    }
+}
+
+/// Benchmarks the batched columnar sweep against the per-set kernel loop:
+/// gains of all `m` sets vs one residual, paper-regime sets (`Auto` policy,
+/// `|S| ≈ n^{1/3}` ⇒ sparse backend) and a Bernoulli(½) residual whose
+/// membership bits defeat the branch predictor in the per-set probe loop.
+fn bench_sweep(name: &'static str, n: usize, m: usize, seed: u64) -> SweepRow {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
+    let target_size = (n as f64).powf(1.0 / 3.0);
+    let p = target_size / n as f64;
+    let mut sys = SetSystem::new(n);
+    for _ in 0..m {
+        sys.push_sorted(&bernoulli_elems(&mut rng, n, p));
+    }
+    let avg = sys.total_incidences() as f64 / m as f64;
+    let residual = bernoulli_subset(&mut rng, n, 0.5);
+
+    let per_set = || -> u64 {
+        let mut acc = 0u64;
+        for (_, s) in sys.iter() {
+            acc = acc.wrapping_add(s.intersection_len(residual.as_set_ref()) as u64);
+        }
+        acc
+    };
+    let mut sweep = BatchedSweep::new();
+    let mut batched = || -> u64 {
+        sweep
+            .gains(sys.store(), &residual)
+            .iter()
+            .fold(0u64, |a, &g| a.wrapping_add(g as u64))
+    };
+    assert_eq!(per_set(), batched(), "sweep checksum diverged at n={n}");
+
+    let samples = 9;
+    SweepRow {
+        name,
+        n,
+        m,
+        avg_set_size: avg,
+        per_set_ns: time_ns_per_op(m as u64, samples, per_set),
+        batched_ns: time_ns_per_op(m as u64, samples, batched),
+    }
+}
+
+struct ThreadRow {
+    workers: usize,
+    n: usize,
+    m: usize,
+    run_ns: f64,
+    speedup_vs_1: f64,
+}
+
+/// Benchmarks `ParallelPass` thread scaling through threshold greedy on a
+/// `stress_cover` workload (≥ 1024 sets per chunk at 4 workers), asserting
+/// pick/peak identity across worker counts — the determinism contract is
+/// gated here even when the host has too few cores for a speedup.
+fn bench_threads(seed: u64, smoke: bool) -> Vec<ThreadRow> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a11);
+    let w = if smoke {
+        planted_cover(&mut rng, 2048, 2048, 16)
+    } else {
+        stress_cover(&mut rng, 4)
+    };
+    let (n, m) = (w.system.universe(), w.system.len());
+    let base = ThresholdGreedy::with_workers(1).run(&w.system, Arrival::Adversarial, &mut rng);
+    assert!(base.feasible, "thread-arm workload must be coverable");
+    let samples = 5;
+    let mut rows = Vec::new();
+    let mut base_ns = 0.0f64;
+    for workers in [1usize, 2, 4, 8] {
+        let algo = ThresholdGreedy::with_workers(workers);
+        let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+        assert_eq!(
+            run.solution, base.solution,
+            "ParallelPass picks diverged at {workers} workers"
+        );
+        assert_eq!(
+            run.peak_bits, base.peak_bits,
+            "ParallelPass merged peaks diverged at {workers} workers"
+        );
+        let ns = time_ns_per_op(1, samples, || {
+            algo.run(&w.system, Arrival::Adversarial, &mut rng).size() as u64
+        });
+        if workers == 1 {
+            base_ns = ns;
+        }
+        rows.push(ThreadRow {
+            workers,
+            n,
+            m,
+            run_ns: ns,
+            speedup_vs_1: base_ns / ns,
+        });
+    }
+    rows
+}
+
 struct GreedyRow {
     n: usize,
     m: usize,
@@ -185,6 +304,15 @@ fn main() {
     } else {
         &[(2048, 1024, 16), (2048, 4096, 16), (4096, 8192, 16)]
     };
+    let sweep_scales: &[(&'static str, usize, usize)] = if smoke {
+        &[("small", 1 << 14, 1024)]
+    } else {
+        &[
+            ("small", 1 << 14, 1024),
+            ("medium", 1 << 15, 1024),
+            ("large", 1 << 16, 1024),
+        ]
+    };
 
     eprintln!("substrate_bench: seed={seed} smoke={smoke}");
     let kernels: Vec<KernelRow> = kernel_scales
@@ -197,6 +325,20 @@ fn main() {
                 row.coverage_sparse_ns,
                 row.coverage_dense_ns,
                 row.coverage_speedup()
+            );
+            row
+        })
+        .collect();
+    let sweeps: Vec<SweepRow> = sweep_scales
+        .iter()
+        .map(|&(name, n, m)| {
+            let row = bench_sweep(name, n, m, seed);
+            eprintln!(
+                "  sweep/{name}: n={n} m={m} avg|S|={:.1} per-set {:.1}ns vs batched {:.1}ns — {:.1}x",
+                row.avg_set_size,
+                row.per_set_ns,
+                row.batched_ns,
+                row.speedup()
             );
             row
         })
@@ -214,6 +356,17 @@ fn main() {
             row
         })
         .collect();
+    let threads = bench_threads(seed, smoke);
+    for r in &threads {
+        eprintln!(
+            "  threads: n={} m={} workers={} run {:.2}ms — {:.2}x vs 1 worker (picks identical)",
+            r.n,
+            r.m,
+            r.workers,
+            r.run_ns / 1e6,
+            r.speedup_vs_1
+        );
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -271,6 +424,39 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, r) in sweeps.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"avg_set_size\": {:.2},", r.avg_set_size);
+        let _ = writeln!(json, "      \"per_set_ns\": {:.2},", r.per_set_ns);
+        let _ = writeln!(json, "      \"batched_ns\": {:.2},", r.batched_ns);
+        let _ = writeln!(json, "      \"batched_speedup\": {:.2}", r.speedup());
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < sweeps.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"threads\": [");
+    for (i, r) in threads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workers\": {},", r.workers);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"run_ns\": {:.0},", r.run_ns);
+        let _ = writeln!(json, "      \"speedup_vs_1\": {:.2},", r.speedup_vs_1);
+        let _ = writeln!(json, "      \"picks_identical\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < threads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"greedy\": [");
     for (i, r) in greedy.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -299,6 +485,15 @@ fn main() {
                     "kernels/{}: sparse coverage speedup {:.2} < 2.0",
                     r.name,
                     r.coverage_speedup()
+                ));
+            }
+        }
+        for r in &sweeps {
+            if r.speedup() < 2.0 {
+                failed.push(format!(
+                    "sweep/{}: batched speedup {:.2} < 2.0",
+                    r.name,
+                    r.speedup()
                 ));
             }
         }

@@ -28,7 +28,7 @@ pub fn e2_hardness_gap(scale: Scale, seed: u64) -> Table {
     let mut mean_size = 0.0;
     for _ in 0..trials {
         let inst = sample_dsc_with_theta(&mut rng, p, true);
-        if exact_set_cover(&inst.combined()).size() == Some(2) {
+        if exact_set_cover(&inst.combined()).is_ok_and(|c| c.size() == 2) {
             opt2 += 1;
         }
         mean_size += inst.alice.total_incidences() as f64 / (m as f64 * n as f64);

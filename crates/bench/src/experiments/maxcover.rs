@@ -107,7 +107,7 @@ pub fn e7_element_sampling(scale: Scale, seed: u64) -> Table {
             let (u_smpl, _) = element_sample_for(&mut rng, 4096, 24, 4, rho);
             let proj = w.system.project(&u_smpl);
             let (ids, complete) = streamcover_core::budgeted_cover_of(&proj, &u_smpl, 500_000);
-            let Some(ids) = ids else { continue };
+            let Ok(ids) = ids else { continue };
             if complete && ids.len() <= 4 {
                 applicable += 1;
                 if w.system.coverage_len(&ids) as f64 >= (1.0 - rho) * 4096.0 {

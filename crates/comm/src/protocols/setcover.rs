@@ -66,8 +66,8 @@ impl SetCoverProtocol for SendAllSetCover {
             self.node_budget,
         );
         let est = match (ids, complete) {
-            (Some(ids), _) => ids.len(),
-            (None, _) => {
+            (Ok(ids), _) => ids.len(),
+            (Err(_), _) => {
                 // Infeasible instance: report m+1 as the sentinel "no cover".
                 all.len() + 1
             }

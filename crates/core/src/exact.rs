@@ -14,27 +14,48 @@
 
 use crate::bitset::BitSet;
 use crate::greedy::greedy_cover_until;
+use crate::store::BatchedSweep;
 use crate::system::{SetId, SetSystem};
+use std::fmt;
 
-/// Outcome of an exact set cover computation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ExactCover {
-    /// A minimum cover was found.
-    Optimal {
-        /// Ids of one minimum cover.
-        ids: Vec<SetId>,
+/// Typed failure of a cover computation — the panic-free solver surface.
+///
+/// Callers used to unwrap `Option<usize>` sizes, which panicked without
+/// context whenever some universe element was uncoverable; the error now
+/// names a witness element instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoverError {
+    /// No cover exists: `element` belongs to no set (the smallest such
+    /// element of the requested target).
+    Infeasible {
+        /// A witness element outside `⋃_i S_i`.
+        element: usize,
     },
-    /// The union of all sets does not cover the universe.
-    Infeasible,
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Infeasible { element } => {
+                write!(f, "no cover exists: element {element} belongs to no set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// A minimum set cover found by the exact solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactCover {
+    /// Ids of one minimum cover.
+    pub ids: Vec<SetId>,
 }
 
 impl ExactCover {
-    /// Minimum cover size, or `None` if infeasible.
-    pub fn size(&self) -> Option<usize> {
-        match self {
-            ExactCover::Optimal { ids } => Some(ids.len()),
-            ExactCover::Infeasible => None,
-        }
+    /// Minimum cover size.
+    pub fn size(&self) -> usize {
+        self.ids.len()
     }
 }
 
@@ -51,6 +72,8 @@ struct Searcher<'a> {
     /// `sets_containing[e]` = ids of the sets containing element `e`
     /// (static: picking sets never changes which sets exist).
     sets_containing: Vec<Vec<SetId>>,
+    /// Scratch buffer for batched candidate-gain sweeps.
+    sweep: BatchedSweep,
     nodes: u64,
     node_budget: u64,
     budget_hit: bool,
@@ -115,11 +138,11 @@ impl<'a> Searcher<'a> {
         }
         let (elem, _) = pivot.expect("uncovered nonempty");
         // Candidate sets containing the pivot, largest marginal gain first
-        // (finds good solutions early ⇒ tighter pruning).
-        let mut cands: Vec<(SetId, usize)> = self.sets_containing[elem]
-            .iter()
-            .map(|&i| (i, self.sys.set(i).intersection_len(uncovered.as_set_ref())))
-            .collect();
+        // (finds good solutions early ⇒ tighter pruning). Gains come from
+        // one batched sweep over the candidates' arena slices.
+        let ids = &self.sets_containing[elem];
+        let gains = self.sweep.gains_for(self.sys.store(), ids, uncovered);
+        let mut cands: Vec<(SetId, usize)> = ids.iter().zip(gains).map(|(&i, &g)| (i, g)).collect();
         cands.sort_by_key(|&(_, gain)| std::cmp::Reverse(gain));
         for (i, _) in cands {
             let mut next = uncovered.clone();
@@ -139,13 +162,18 @@ fn run_search(
     target: &BitSet,
     cap: usize,
     node_budget: u64,
-) -> (Option<Vec<SetId>>, bool) {
+) -> (Result<Vec<SetId>, CoverError>, bool) {
     if target.is_empty() {
-        return (Some(Vec::new()), false);
+        return (Ok(Vec::new()), false);
     }
     let all: Vec<SetId> = (0..sys.len()).collect();
-    if !target.is_subset_of(&sys.coverage(&all)) {
-        return (None, false);
+    let coverable = sys.coverage(&all);
+    if !target.is_subset_of(&coverable) {
+        let element = target
+            .iter()
+            .find(|&e| !coverable.contains(e))
+            .expect("a witness element exists when target ⊄ coverage");
+        return (Err(CoverError::Infeasible { element }), false);
     }
     // Seed the incumbent with greedy (feasible by coverability).
     let greedy = greedy_cover_until(sys, usize::MAX, target);
@@ -164,30 +192,32 @@ fn run_search(
         cap,
         sizes_desc,
         sets_containing,
+        sweep: BatchedSweep::new(),
         nodes: 0,
         node_budget,
         budget_hit: false,
     };
     s.search(target, &mut Vec::new());
-    (Some(s.best), s.budget_hit)
+    (Ok(s.best), s.budget_hit)
 }
 
 /// Computes a minimum set cover exactly by branch and bound.
 ///
+/// Returns [`CoverError::Infeasible`] (naming a witness element) instead of
+/// panicking when the union of all sets does not cover the universe.
 /// Worst-case exponential; intended for the small instances used to ground
 /// the hard-distribution experiments and tests.
-pub fn exact_set_cover(sys: &SetSystem) -> ExactCover {
+pub fn exact_set_cover(sys: &SetSystem) -> Result<ExactCover, CoverError> {
     exact_cover_of(sys, &BitSet::full(sys.universe()))
 }
 
 /// Computes a minimum collection of sets covering `target ⊆ [n]` exactly —
 /// the oracle Algorithm 1 invokes on the sampled sub-universe `U_smpl`
 /// (step 3c; computation time is unrestricted in the streaming model).
-pub fn exact_cover_of(sys: &SetSystem, target: &BitSet) -> ExactCover {
-    match run_search(sys, target, usize::MAX, u64::MAX).0 {
-        Some(ids) => ExactCover::Optimal { ids },
-        None => ExactCover::Infeasible,
-    }
+pub fn exact_cover_of(sys: &SetSystem, target: &BitSet) -> Result<ExactCover, CoverError> {
+    run_search(sys, target, usize::MAX, u64::MAX)
+        .0
+        .map(|ids| ExactCover { ids })
 }
 
 /// Budgeted variant of [`exact_cover_of`]: returns the best cover of
@@ -197,7 +227,7 @@ pub fn budgeted_cover_of(
     sys: &SetSystem,
     target: &BitSet,
     node_budget: u64,
-) -> (Option<Vec<SetId>>, bool) {
+) -> (Result<Vec<SetId>, CoverError>, bool) {
     let (best, budget_hit) = run_search(sys, target, usize::MAX, node_budget);
     (best, !budget_hit)
 }
@@ -226,7 +256,7 @@ pub fn decide_opt_at_most(sys: &SetSystem, bound: usize, node_budget: u64) -> De
     }
     let (best, budget_hit) = run_search(sys, &BitSet::full(sys.universe()), bound, node_budget);
     match best {
-        Some(ids) if ids.len() <= bound && sys.is_cover(&ids) => Decision::Yes,
+        Ok(ids) if ids.len() <= bound && sys.is_cover(&ids) => Decision::Yes,
         _ if budget_hit => Decision::Unknown,
         _ => Decision::No,
     }
@@ -332,11 +362,9 @@ mod tests {
 
     #[test]
     fn exact_matches_known_opt() {
-        let r = exact_set_cover(&demo());
-        assert_eq!(r.size(), Some(2));
-        if let ExactCover::Optimal { ids } = r {
-            assert!(demo().is_cover(&ids));
-        }
+        let r = exact_set_cover(&demo()).expect("demo is coverable");
+        assert_eq!(r.size(), 2);
+        assert!(demo().is_cover(&r.ids));
     }
 
     #[test]
@@ -355,26 +383,27 @@ mod tests {
             ],
         );
         let g = greedy_set_cover(&sys);
-        let e = exact_set_cover(&sys);
-        assert_eq!(e.size(), Some(2));
+        let e = exact_set_cover(&sys).expect("coverable");
+        assert_eq!(e.size(), 2);
         assert!(g.size() >= 3, "greedy should take the bait: {:?}", g.ids);
     }
 
     #[test]
-    fn exact_infeasible() {
+    fn exact_infeasible_names_a_witness() {
         let sys = SetSystem::from_elements(3, &[vec![0]]);
-        assert_eq!(exact_set_cover(&sys), ExactCover::Infeasible);
-        assert_eq!(exact_set_cover(&sys).size(), None);
+        let err = exact_set_cover(&sys).unwrap_err();
+        assert_eq!(err, CoverError::Infeasible { element: 1 });
+        assert!(err.to_string().contains("element 1"), "{err}");
     }
 
     #[test]
     fn exact_trivial_cases() {
         // Single full set.
         let sys = SetSystem::from_elements(4, &[vec![0, 1, 2, 3]]);
-        assert_eq!(exact_set_cover(&sys).size(), Some(1));
+        assert_eq!(exact_set_cover(&sys).map(|c| c.size()), Ok(1));
         // Zero universe: empty cover is optimal.
         let sys0 = SetSystem::new(0);
-        assert_eq!(exact_set_cover(&sys0).size(), Some(0));
+        assert_eq!(exact_set_cover(&sys0).map(|c| c.size()), Ok(0));
     }
 
     #[test]
@@ -409,15 +438,18 @@ mod tests {
         let sys = demo();
         // Target {4,5}: one set suffices.
         let t = crate::bitset::BitSet::from_iter(6, [4, 5]);
-        let r = exact_cover_of(&sys, &t);
-        assert_eq!(r.size(), Some(1));
+        assert_eq!(exact_cover_of(&sys, &t).map(|c| c.size()), Ok(1));
         // Empty target: empty cover.
         let r0 = exact_cover_of(&sys, &crate::bitset::BitSet::new(6));
-        assert_eq!(r0.size(), Some(0));
-        // Target containing an uncoverable element.
+        assert_eq!(r0.map(|c| c.size()), Ok(0));
+        // Target containing an uncoverable element: the witness is the
+        // smallest uncoverable element *of the target*.
         let sys2 = SetSystem::from_elements(3, &[vec![0]]);
         let t2 = crate::bitset::BitSet::from_iter(3, [0, 2]);
-        assert_eq!(exact_cover_of(&sys2, &t2), ExactCover::Infeasible);
+        assert_eq!(
+            exact_cover_of(&sys2, &t2),
+            Err(CoverError::Infeasible { element: 2 })
+        );
     }
 
     #[test]
@@ -488,7 +520,11 @@ mod tests {
                     brute = Some(brute.map_or(ids.len(), |b: usize| b.min(ids.len())));
                 }
             }
-            assert_eq!(exact_set_cover(&sys).size(), brute, "trial {trial}");
+            assert_eq!(
+                exact_set_cover(&sys).ok().map(|c| c.size()),
+                brute,
+                "trial {trial}"
+            );
         }
     }
 }

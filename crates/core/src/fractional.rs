@@ -172,7 +172,7 @@ mod tests {
         let sys = demo();
         let b = dual_fitting_bound(&sys).unwrap();
         assert!(b.is_feasible_for(&sys, 1e-9));
-        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        let opt = exact_set_cover(&sys).expect("coverable").size() as f64;
         assert!(b.value <= opt + 1e-9, "bound {} > opt {opt}", b.value);
         assert!(b.value > 0.5, "bound {} uselessly small", b.value);
     }
@@ -197,7 +197,7 @@ mod tests {
             }
             let b = dual_fitting_bound(&sys).unwrap();
             assert!(b.is_feasible_for(&sys, 1e-9), "trial {trial}");
-            let opt = exact_set_cover(&sys).size().unwrap() as f64;
+            let opt = exact_set_cover(&sys).expect("coverable").size() as f64;
             assert!(b.value <= opt + 1e-9, "trial {trial}: {} > {opt}", b.value);
             // Dual fitting is greedy/H(d): never catastrophically loose.
             let h = harmonic(n);
@@ -223,7 +223,7 @@ mod tests {
             assert!(cov >= 1.0 - 1e-9, "element {e} covered {cov}");
         }
         // Fractional value ≤ integral opt·(1+slack) and ≥ trivial bound.
-        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        let opt = exact_set_cover(&sys).expect("coverable").size() as f64;
         assert!(
             f.value <= opt * 1.6,
             "value {} too loose vs opt {opt}",
@@ -251,7 +251,7 @@ mod tests {
         if !sys.is_coverable() {
             sys.push(crate::bitset::BitSet::full(n));
         }
-        let opt = exact_set_cover(&sys).size().unwrap() as f64;
+        let opt = exact_set_cover(&sys).expect("coverable").size() as f64;
         let lo = dual_fitting_bound(&sys).unwrap().value;
         let hi = mwu_fractional_cover(&sys, 600).unwrap().value;
         assert!(lo <= opt + 1e-9);

@@ -16,6 +16,7 @@
 //! ties to the smallest id).
 
 use crate::bitset::BitSet;
+use crate::store::BatchedSweep;
 use crate::system::{SetId, SetSystem};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -83,13 +84,15 @@ pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) ->
     let mut ids = Vec::new();
 
     // (gain bound, Reverse(id)): the heap order is "largest gain first,
-    // smallest id among equals" — the eager scan's selection rule.
-    let mut heap: BinaryHeap<(usize, Reverse<SetId>)> = sys
+    // smallest id among equals" — the eager scan's selection rule. The
+    // initial bounds come from one batched sweep over the whole arena
+    // rather than m per-set kernel calls.
+    let mut sweep = BatchedSweep::new();
+    let mut heap: BinaryHeap<(usize, Reverse<SetId>)> = sweep
+        .gains(sys.store(), &uncovered)
         .iter()
-        .filter_map(|(i, s)| {
-            let g = s.intersection_len(uncovered.as_set_ref());
-            (g > 0).then_some((g, Reverse(i)))
-        })
+        .enumerate()
+        .filter_map(|(i, &g)| (g > 0).then_some((g, Reverse(i))))
         .collect();
 
     while !uncovered.is_empty() && ids.len() < max_picks {
@@ -131,17 +134,15 @@ pub fn greedy_cover_until_eager(sys: &SetSystem, max_picks: usize, target: &BitS
     let mut covered = BitSet::new(sys.universe());
     let mut ids = Vec::new();
 
+    // One batched sweep per pick replaces the m per-set kernel calls; the
+    // selection rule (largest gain, ties to the smallest id) is the sweep's
+    // `best()`.
+    let mut sweep = BatchedSweep::new();
     while !uncovered.is_empty() && ids.len() < max_picks {
-        let mut best: Option<(SetId, usize)> = None;
-        for (i, s) in sys.iter() {
-            let gain = s.intersection_len(uncovered.as_set_ref());
-            match best {
-                Some((_, g)) if g >= gain => {}
-                _ if gain > 0 => best = Some((i, gain)),
-                _ => {}
-            }
-        }
-        let Some((pick, _)) = best else { break }; // no set makes progress
+        sweep.gains(sys.store(), &uncovered);
+        let Some((pick, _)) = sweep.best() else {
+            break; // no set makes progress
+        };
         uncovered.difference_with_ref(sys.set(pick));
         covered.union_with_ref(sys.set(pick));
         ids.push(pick);

@@ -78,11 +78,18 @@ pub fn write_instance(sys: &SetSystem) -> String {
 }
 
 /// Parses the text format back into a system.
+///
+/// Line endings may be `\n` or `\r\n` (instances written on Windows or
+/// shipped through a CRLF-normalizing transport parse identically). The
+/// trailing `\r` is stripped explicitly so CRLF tolerance is a stated
+/// contract of the splitter rather than an incidental effect of
+/// tokenization, and the roundtrip tests pin it. Error positions count
+/// physical lines either way.
 pub fn read_instance(text: &str) -> Result<SetSystem, ParseError> {
     let mut lines = text
-        .lines()
+        .split('\n')
         .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
+        .map(|(i, l)| (i + 1, l.strip_suffix('\r').unwrap_or(l).trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('c'));
 
     let (_, header) = lines
@@ -167,6 +174,27 @@ mod tests {
     }
 
     #[test]
+    fn crlf_roundtrip() {
+        // A CRLF rendering of the canonical output parses to the same
+        // system, and the trailing `\r` never becomes part of a token.
+        let sys = demo();
+        let crlf = write_instance(&sys).replace('\n', "\r\n");
+        assert_eq!(read_instance(&crlf).unwrap(), sys);
+        // Explicit regression: the last element of a set line followed by
+        // `\r\n` must parse as that element, not as `element\r`.
+        let text = "p setcover 4 2\r\ns 0 1\r\ns 2 3\r\n";
+        let parsed = read_instance(text).unwrap();
+        assert_eq!(parsed.set(0).to_vec(), vec![0, 1]);
+        assert_eq!(parsed.set(1).to_vec(), vec![2, 3]);
+        // Error positions still count physical lines under CRLF.
+        let err = read_instance("p setcover 3 1\r\ns 9\r\n").unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadSetLine { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn comments_and_blanks_ignored() {
         let text = "c hello\n\np setcover 4 2\nc mid\ns 0 1\n\ns 2 3\n";
         let sys = read_instance(text).unwrap();
@@ -247,7 +275,15 @@ mod tests {
             proptest::prop_assert_eq!(&back, &sys);
             // The canonical writer never emits duplicates, so a second
             // roundtrip is byte-identical.
-            proptest::prop_assert_eq!(write_instance(&back), text);
+            proptest::prop_assert_eq!(write_instance(&back), text.clone());
+            // CRLF rendering parses to the same system.
+            let crlf = text.replace('\n', "\r\n");
+            match read_instance(&crlf) {
+                Ok(b) => proptest::prop_assert_eq!(&b, &sys),
+                Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                    "CRLF rendering failed to parse: {e}"
+                ))),
+            }
         }
     }
 

@@ -14,7 +14,10 @@
 //!   accounting (`|S|·⌈log₂ n⌉` vs `n` bits). Reads go through the `Copy`
 //!   view [`store::SetRef`], whose binary ops dispatch to kernels
 //!   specialized per representation pair (merge-walk for sparse×sparse,
-//!   word ops for dense×dense, probes for the mixed cases).
+//!   word ops for dense×dense, probes for the mixed cases). The
+//!   many-vs-one companion is [`store::BatchedSweep`]: the gain of *every*
+//!   set against one residual in a single columnar arena walk — the kernel
+//!   under the greedy solvers and the streaming candidate filters.
 //! * [`bitset::BitSet`] — owned, mutable packed subsets of a fixed universe
 //!   `[n]` — the working-set type solvers mutate (residuals, coverage
 //!   accumulators) — with the full set algebra the paper's constructions
@@ -45,8 +48,8 @@
 //!     6,
 //!     &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
 //! );
-//! let exact = exact_set_cover(&sys);
-//! assert_eq!(exact.size(), Some(2));
+//! let exact = exact_set_cover(&sys).expect("coverable");
+//! assert_eq!(exact.size(), 2);
 //! let greedy = greedy_set_cover(&sys);
 //! assert!(greedy.is_feasible());
 //! assert!(greedy.size() >= 2);
@@ -64,7 +67,7 @@ pub mod system;
 pub use bitset::{bernoulli_elems, bernoulli_subset, random_subset, random_subset_elems, BitSet};
 pub use exact::{
     budgeted_cover_of, decide_opt_at_most, exact_cover_of, exact_max_coverage, exact_set_cover,
-    Decision, ExactCover,
+    CoverError, Decision, ExactCover,
 };
 pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
 pub use greedy::{
@@ -73,7 +76,7 @@ pub use greedy::{
 };
 pub use io::{read_instance, write_instance, ParseError};
 pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
-pub use store::{ReprPolicy, SetRef, SetRepr, SetStore};
+pub use store::{BatchedSweep, ReprPolicy, SetRef, SetRepr, SetStore};
 pub use system::{SetId, SetSystem};
 
 /// `⌈log₂ x⌉` for `x ≥ 1`, the bit width used across the space accounting.

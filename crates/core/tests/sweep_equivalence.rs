@@ -1,0 +1,80 @@
+//! Property tests: `BatchedSweep` gains must match the per-set
+//! `intersection_len` kernel bit-for-bit across every pairing of stored
+//! representation (sparse arena / dense arena) and residual representation
+//! (dense bitmap view / sparse list view), on arbitrary systems.
+
+use proptest::prelude::*;
+use streamcover_core::{BatchedSweep, BitSet, ReprPolicy, SetStore};
+
+/// Strategy: `(universe, element lists, residual elements)`.
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<usize>)> {
+    (1usize..160, 0usize..14).prop_flat_map(|(n, m)| {
+        (
+            Just(n),
+            proptest::collection::vec(proptest::collection::vec(0usize..n, 0..n), m),
+            proptest::collection::vec(0usize..n, 0..n),
+        )
+    })
+}
+
+fn store_of(policy: ReprPolicy, n: usize, lists: &[Vec<usize>]) -> SetStore {
+    let mut st = SetStore::with_policy(n, policy);
+    for l in lists {
+        st.push_elems(l.iter().copied());
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sweep_matches_per_set_kernel_across_all_repr_pairings(inst in arb_instance()) {
+        let (n, lists, resid) = inst;
+        let residual = BitSet::from_iter(n, resid.iter().copied());
+        // Residual as a sparse list view, via a one-set ForceSparse store.
+        let mut rstore = SetStore::with_policy(n, ReprPolicy::ForceSparse);
+        rstore.push_elems(residual.iter());
+        let rsparse = rstore.get(0);
+
+        for policy in [ReprPolicy::ForceSparse, ReprPolicy::ForceDense, ReprPolicy::Auto] {
+            let st = store_of(policy, n, &lists);
+            let expect: Vec<usize> = (0..st.len())
+                .map(|i| st.get(i).intersection_len(residual.as_set_ref()))
+                .collect();
+            let mut sweep = BatchedSweep::new();
+            // Dense residual: the columnar arena walk.
+            prop_assert_eq!(sweep.gains(&st, &residual), &expect[..]);
+            // Dense residual as a SetRef view.
+            prop_assert_eq!(sweep.gains_vs_ref(&st, residual.as_set_ref()), &expect[..]);
+            // Sparse residual view: dispatches to the pairwise kernels
+            // (SSE2 block merge on the sparse×sparse pairs).
+            prop_assert_eq!(sweep.gains_vs_ref(&st, rsparse), &expect[..]);
+            // Subset sweep over the reversed id order.
+            let ids: Vec<usize> = (0..st.len()).rev().collect();
+            let expect_rev: Vec<usize> = ids.iter().map(|&i| expect[i]).collect();
+            prop_assert_eq!(sweep.gains_for(&st, &ids, &residual), &expect_rev[..]);
+        }
+    }
+
+    #[test]
+    fn sweep_best_matches_eager_argmax(inst in arb_instance()) {
+        let (n, lists, resid) = inst;
+        let residual = BitSet::from_iter(n, resid.iter().copied());
+        let st = store_of(ReprPolicy::Auto, n, &lists);
+        let mut sweep = BatchedSweep::new();
+        sweep.gains(&st, &residual);
+        // Reference argmax with the greedy tie-break (largest gain, then
+        // smallest id), None when every gain is zero.
+        let mut expect: Option<(usize, usize)> = None;
+        for i in 0..st.len() {
+            let g = st.get(i).intersection_len(residual.as_set_ref());
+            match expect {
+                Some((_, b)) if b >= g => {}
+                _ if g > 0 => expect = Some((i, g)),
+                _ => {}
+            }
+        }
+        prop_assert_eq!(sweep.best(), expect);
+    }
+}

@@ -89,6 +89,21 @@ pub fn planted_cover<R: Rng + ?Sized>(
     }
 }
 
+/// A planted workload sized for thread-parallel passes: with `threads`
+/// workers, every chunk of the arrival order still holds at least 1024
+/// sets, so a `ParallelPass` fan-out of up to `threads` workers has real
+/// work per thread (and the candidate filter dominates the spawn cost).
+///
+/// Concretely: `n = 4096`, `m = max(4, threads) · 1024`, planted optimum 32.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn stress_cover<R: Rng + ?Sized>(rng: &mut R, threads: usize) -> PlantedWorkload {
+    assert!(threads >= 1, "need at least one thread");
+    let m = threads.max(4) * 1024;
+    planted_cover(rng, 4096, m, 32)
+}
+
 /// `m` independent Bernoulli(`p`) subsets of `[n]`. With `coverable =
 /// true`, any element left uncovered is patched into a uniformly random
 /// set, guaranteeing `⋃ S_i = [n]`; with `false` the system is left as
@@ -199,7 +214,9 @@ mod tests {
     fn planted_optimum_is_tight_for_solvers() {
         let mut rng = StdRng::seed_from_u64(2);
         let w = planted_cover(&mut rng, 256, 24, 4);
-        let exact = exact_set_cover(&w.system).size().unwrap();
+        let exact = exact_set_cover(&w.system)
+            .expect("planted instance is coverable")
+            .size();
         assert!(exact <= 4);
         assert!(exact >= 2, "decoys are too powerful: opt = {exact}");
         assert!(greedy_set_cover(&w.system).is_feasible());

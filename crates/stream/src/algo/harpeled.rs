@@ -28,6 +28,7 @@
 
 use crate::guessing::GuessDriver;
 use crate::meter::{Accounting, SpaceMeter, WORD};
+use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
@@ -103,6 +104,10 @@ pub struct HarPeledAssadi {
     /// `n`-bit maps above); [`Accounting::AlwaysSparse`] reproduces the
     /// pre-refactor always-a-member-list convention for comparisons.
     pub accounting: Accounting,
+    /// Worker threads fanned out over the pruning and storing passes
+    /// (1 = single-worker engine; picks and peaks are identical for every
+    /// value — see [`crate::parallel`]).
+    pub workers: usize,
 }
 
 impl HarPeledAssadi {
@@ -121,6 +126,7 @@ impl HarPeledAssadi {
             },
             rate_constant: 16.0,
             accounting: Accounting::ActualRepr,
+            workers: 1,
         }
     }
 
@@ -158,11 +164,15 @@ impl HarPeledAssadi {
     /// nonempty after the rounds); the guessing driver then moves on.
     ///
     /// Space charged: `U` as a dense `n`-bit map, the solution ids, the
-    /// sampled universe and every stored projection `S'_i` as member lists.
+    /// sampled universe and every stored projection `S'_i` under the
+    /// configured [`Accounting`]. All retained state is held through RAII
+    /// `ChargeGuard`s, so the early `return None` below (and any future
+    /// one) releases exactly what is live — nothing leaks, nothing is
+    /// force-reset.
     pub fn run_guess(
         &self,
         stream: &mut SetStream<'_>,
-        meter: &mut SpaceMeter,
+        meter: &SpaceMeter,
         rng: &mut StdRng,
         k: usize,
     ) -> Option<Vec<SetId>> {
@@ -172,32 +182,31 @@ impl HarPeledAssadi {
         if n == 0 {
             return Some(Vec::new());
         }
+        let engine = ParallelPass::new(self.workers);
 
-        // U as a dense bitmap, live for the whole run.
+        // U as a dense bitmap, live for the whole run; the solution ids
+        // accrete into their own guard (`logm` bits each).
         let mut u = BitSet::full(n);
-        meter.charge(u.stored_bits_dense());
+        let _u_guard = meter.guard(u.stored_bits_dense());
+        let mut sol_guard = meter.guard(0);
         let mut sol: Vec<SetId> = Vec::new();
 
         // Pruning threshold n/(ε·k); each accepted set covers that many new
-        // elements, so at most ε·k sets are accepted per pruning pass.
+        // elements, so at most ε·k sets are accepted per pruning pass. The
+        // pass fans out through the engine; accepted ids come back live on
+        // the meter and are adopted into the solution guard.
         let threshold = ((n as f64) / (self.eps * k as f64)).ceil().max(1.0) as usize;
         let prune_pass = |u: &mut BitSet,
                           sol: &mut Vec<SetId>,
-                          stream: &mut SetStream<'_>,
-                          meter: &mut SpaceMeter| {
-            meter.charge(WORD); // the running threshold/counter
-            for (i, s) in stream.pass() {
-                if s.intersection_len(u.as_set_ref()) >= threshold {
-                    sol.push(i);
-                    meter.charge(logm);
-                    u.difference_with_ref(s);
-                }
-            }
-            meter.release(WORD);
+                          sol_guard: &mut crate::meter::ChargeGuard<'_>,
+                          stream: &mut SetStream<'_>| {
+            let _threshold_word = meter.guard(WORD);
+            let picks = engine.threshold_pass(stream, u, threshold, meter, |i, _| sol.push(i));
+            sol_guard.adopt(picks as u64 * logm);
         };
 
         if self.pruning == Pruning::OneShot {
-            prune_pass(&mut u, &mut sol, stream, meter);
+            prune_pass(&mut u, &mut sol, &mut sol_guard, stream);
         }
 
         let p = self.sample_rate(n, m, k);
@@ -206,7 +215,7 @@ impl HarPeledAssadi {
                 break;
             }
             if self.pruning == Pruning::PerRound {
-                prune_pass(&mut u, &mut sol, stream, meter);
+                prune_pass(&mut u, &mut sol, &mut sol_guard, stream);
                 if u.is_empty() {
                     break;
                 }
@@ -219,32 +228,24 @@ impl HarPeledAssadi {
                     u_smpl.insert(e);
                 }
             }
-            let smpl_bits = u_smpl.stored_bits_sparse();
-            meter.charge(smpl_bits);
+            let _smpl_guard = meter.guard(u_smpl.stored_bits_sparse());
 
-            // Storing pass: S'_i = S_i ∩ U_smpl for all i. The projected
-            // system is indexed by arrival position, so keep the position →
-            // instance-id map (the `logm` per stored set charged below is
-            // exactly this id).
-            let mut projected = SetSystem::new(n);
-            let mut arrival_ids: Vec<SetId> = Vec::new();
-            let mut stored_bits = 0u64;
-            for (i, s) in stream.pass() {
-                let j = projected.push_sorted(&s.intersection_elems(&u_smpl));
-                stored_bits += self.accounting.bits_for(projected.set(j)) + logm;
-                arrival_ids.push(i);
-            }
-            meter.charge(stored_bits);
+            // Storing pass: S'_i = S_i ∩ U_smpl for all i, fanned out over
+            // the workers (each stores its chunk of the arrival order; the
+            // merge is in arrival order, so the projected system is indexed
+            // by arrival position and `arrival_ids` maps positions back to
+            // instance ids — the `logm` per stored set is exactly that id).
+            let mut stored_guard = meter.guard(0);
+            let (arrival_ids, projected, stored_bits) =
+                engine.store_pass(stream, meter, Some((&u_smpl, self.accounting)));
+            stored_guard.adopt(stored_bits);
 
             // Offline oracle on the sample, capped at k picks; map its
             // position-indexed answer back to instance ids.
             let picks = self.solve_sample(&projected, &u_smpl, k);
-            meter.release(stored_bits);
-            meter.release(smpl_bits);
-            let Some(picks) = picks else {
-                meter.release(u.stored_bits_dense() + sol.len() as u64 * logm);
-                return None; // guess too small
-            };
+            drop(stored_guard);
+            drop(_smpl_guard);
+            let picks = picks?; // guess too small — guards release U + sol
             let picks: Vec<SetId> = picks.into_iter().map(|j| arrival_ids[j]).collect();
 
             // Update pass: U ← U \ ⋃ S_i over the chosen ids.
@@ -255,12 +256,11 @@ impl HarPeledAssadi {
             }
             for i in picks {
                 sol.push(i);
-                meter.charge(logm);
+                sol_guard.add(logm);
             }
         }
 
         let feasible = u.is_empty();
-        meter.release(u.stored_bits_dense() + sol.len() as u64 * logm);
         feasible.then_some(sol)
     }
 
@@ -270,7 +270,7 @@ impl HarPeledAssadi {
         match self.solver {
             InnerSolver::Exact { node_budget } => {
                 let (ids, _complete) = budgeted_cover_of(projected, target, node_budget);
-                let ids = ids?;
+                let ids = ids.ok()?;
                 (ids.len() <= k && target.is_subset_of(&projected.coverage(&ids))).then_some(ids)
             }
             InnerSolver::Greedy => {

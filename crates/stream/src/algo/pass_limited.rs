@@ -65,7 +65,7 @@ mod tests {
         let w = planted_cover(&mut rng, 1024, 32, 4);
         // Threshold greedy needs ~log n passes; 2 is not enough.
         let wrapped = PassLimited {
-            inner: ThresholdGreedy,
+            inner: ThresholdGreedy::default(),
             max_passes: 2,
         };
         let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);

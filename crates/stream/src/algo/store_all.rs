@@ -4,6 +4,7 @@
 //! than `n^{1-1/α}` while keeping `α`-approximation.
 
 use crate::meter::SpaceMeter;
+use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
@@ -15,12 +16,27 @@ pub struct StoreAll {
     /// Node budget for the offline exact solve (falls back to the greedy
     /// incumbent when exceeded).
     pub node_budget: u64,
+    /// Worker threads fanned out over the storing pass (1 = single-worker
+    /// engine; the stored system and peaks are identical for every value).
+    pub workers: usize,
 }
 
 impl Default for StoreAll {
     fn default() -> Self {
         StoreAll {
             node_budget: 5_000_000,
+            workers: 1,
+        }
+    }
+}
+
+impl StoreAll {
+    /// The default node budget with the storing pass fanned out over
+    /// `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        StoreAll {
+            workers,
+            ..Self::default()
         }
     }
 }
@@ -32,26 +48,23 @@ impl SetCoverStreamer for StoreAll {
 
     fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
         let mut stream = SetStream::new(sys, arrival);
-        let mut meter = SpaceMeter::new();
+        let meter = SpaceMeter::new();
         let n = stream.universe();
-        let mut stored = SetSystem::new(n);
-        let mut order = Vec::new();
-        for (i, s) in stream.pass() {
-            meter.charge(s.stored_bits().max(1));
-            order.push(i);
-            stored.push_ref(s);
-        }
+        // Storing pass: per-worker arenas merged in arrival order; every
+        // copy's bits stay live for the offline solve.
+        let (order, stored, _stored_bits) =
+            ParallelPass::new(self.workers).store_pass(&mut stream, &meter, None);
         // Offline exact solve on the stored copy.
         let target = BitSet::full(n);
         let (ids, _complete) = budgeted_cover_of(&stored, &target, self.node_budget);
         let (solution, feasible) = match ids {
-            Some(local) => {
+            Ok(local) => {
                 // Map stored positions back to instance ids.
                 let mapped: Vec<usize> = local.into_iter().map(|j| order[j]).collect();
                 let ok = sys.is_cover(&mapped);
                 (mapped, ok)
             }
-            None => (Vec::new(), n == 0),
+            Err(_) => (Vec::new(), false),
         };
         CoverRun {
             algorithm: self.name(),
@@ -77,7 +90,10 @@ mod tests {
         let run = StoreAll::default().run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
         assert_eq!(run.passes, 1);
-        assert_eq!(run.size(), exact_set_cover(&w.system).size().unwrap());
+        assert_eq!(
+            run.size(),
+            exact_set_cover(&w.system).expect("coverable").size()
+        );
     }
 
     #[test]
@@ -104,5 +120,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let run = StoreAll::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert!(!run.feasible);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_run() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = planted_cover(&mut rng, 128, 40, 5);
+        for arrival in [Arrival::Adversarial, Arrival::Random { seed: 9 }] {
+            let base = StoreAll::with_workers(1).run(&w.system, arrival, &mut rng);
+            for workers in [2, 8] {
+                let run = StoreAll::with_workers(workers).run(&w.system, arrival, &mut rng);
+                assert_eq!(run.solution, base.solution, "workers={workers}");
+                assert_eq!(run.peak_bits, base.peak_bits, "workers={workers}");
+            }
+        }
     }
 }

@@ -9,16 +9,39 @@
 //! instance is coverable). Every pick at threshold `τ` covers ≥ τ new
 //! elements while the optimum must cover the remaining elements too —
 //! the standard charging gives an `O(log n)` ratio.
+//!
+//! Passes execute through [`ParallelPass`]: workers filter candidates
+//! against the pass-start residual in parallel, and the deterministic
+//! chunk-merge re-evaluation makes the picks identical to the sequential
+//! loop for every worker count (see `crate::parallel` for the argument).
 
 use crate::meter::{SpaceMeter, WORD};
+use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
-use streamcover_core::{ceil_log2, BitSet, SetSystem};
+use streamcover_core::{BitSet, SetSystem};
 
 /// The threshold-greedy streaming set cover algorithm.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ThresholdGreedy;
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThresholdGreedy {
+    /// Worker threads fanned out per pass (1 = single-worker engine; the
+    /// picks are identical for every value).
+    pub workers: usize,
+}
+
+impl Default for ThresholdGreedy {
+    fn default() -> Self {
+        ThresholdGreedy { workers: 1 }
+    }
+}
+
+impl ThresholdGreedy {
+    /// An instance fanning each pass out over `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        ThresholdGreedy { workers }
+    }
+}
 
 impl SetCoverStreamer for ThresholdGreedy {
     fn name(&self) -> &'static str {
@@ -28,7 +51,7 @@ impl SetCoverStreamer for ThresholdGreedy {
     fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
         let n = sys.universe();
         let mut stream = SetStream::new(sys, arrival);
-        let mut meter = SpaceMeter::new();
+        let meter = SpaceMeter::new();
         if n == 0 {
             return CoverRun {
                 algorithm: self.name(),
@@ -38,20 +61,16 @@ impl SetCoverStreamer for ThresholdGreedy {
                 peak_bits: 0,
             };
         }
-        let logm = u64::from(ceil_log2(sys.len().max(2)));
+        let engine = ParallelPass::new(self.workers);
         let mut u = BitSet::full(n);
-        meter.charge(u.stored_bits_dense() + WORD); // U bitmap + threshold word
+        // U bitmap + threshold word, live for the whole run; pick ids stay
+        // live on the meter (charged by the engine's accept path).
+        let _state = meter.guard(u.stored_bits_dense() + WORD);
 
         let mut sol = Vec::new();
         let mut threshold = n;
         while !u.is_empty() && threshold >= 1 {
-            for (i, s) in stream.pass() {
-                if s.intersection_len(u.as_set_ref()) >= threshold {
-                    u.difference_with_ref(s);
-                    sol.push(i);
-                    meter.charge(logm);
-                }
-            }
+            engine.threshold_pass(&mut stream, &mut u, threshold, &meter, |i, _| sol.push(i));
             if threshold == 1 {
                 break;
             }
@@ -79,9 +98,9 @@ mod tests {
     fn covers_planted_instances() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = planted_cover(&mut rng, 256, 32, 5);
-        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy::default().run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
-        let opt = exact_set_cover(&w.system).size().unwrap();
+        let opt = exact_set_cover(&w.system).expect("coverable").size();
         // O(log n) guarantee: H(n) ≈ 5.5 for n=256; allow the full bound.
         assert!(
             (run.size() as f64) <= (2.0 * (256f64).ln() + 1.0) * opt as f64,
@@ -94,7 +113,7 @@ mod tests {
     fn pass_budget_is_logarithmic() {
         let mut rng = StdRng::seed_from_u64(2);
         let w = planted_cover(&mut rng, 1024, 32, 4);
-        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy::default().run(&w.system, Arrival::Adversarial, &mut rng);
         assert!(run.passes <= 11, "{} passes > log₂(1024)+1", run.passes);
         assert!(run.feasible);
     }
@@ -103,8 +122,9 @@ mod tests {
     fn space_is_linear_in_n_not_mn() {
         let mut rng = StdRng::seed_from_u64(3);
         let w = planted_cover(&mut rng, 512, 64, 4);
-        let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
-        // Dense U (512 bits) + word + solution ids; far below m·n = 32768.
+        let run = ThresholdGreedy::default().run(&w.system, Arrival::Adversarial, &mut rng);
+        // Dense U (512 bits) + word + solution/candidate ids; far below
+        // m·n = 32768.
         assert!(run.peak_bits < 2_000, "peak {} bits", run.peak_bits);
     }
 
@@ -112,7 +132,7 @@ mod tests {
     fn infeasible_instance_reported() {
         let sys = SetSystem::from_elements(4, &[vec![0], vec![1]]);
         let mut rng = StdRng::seed_from_u64(4);
-        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert!(!run.feasible);
         assert_eq!(run.size(), 2, "picks what it can");
     }
@@ -121,7 +141,7 @@ mod tests {
     fn empty_universe() {
         let sys = SetSystem::new(0);
         let mut rng = StdRng::seed_from_u64(5);
-        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
         assert_eq!(run.passes, 0);
     }
@@ -130,8 +150,26 @@ mod tests {
     fn random_arrival_same_guarantees() {
         let mut rng = StdRng::seed_from_u64(6);
         let w = planted_cover(&mut rng, 256, 32, 5);
-        let run = ThresholdGreedy.run(&w.system, Arrival::Random { seed: 1 }, &mut rng);
+        let run = ThresholdGreedy::default().run(&w.system, Arrival::Random { seed: 1 }, &mut rng);
         assert!(run.feasible);
         assert!(run.passes <= 9);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_run() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, m, opt) in &[(256usize, 32usize, 5usize), (512, 96, 8)] {
+            let w = planted_cover(&mut rng, n, m, opt);
+            for arrival in [Arrival::Adversarial, Arrival::Random { seed: 11 }] {
+                let base = ThresholdGreedy::with_workers(1).run(&w.system, arrival, &mut rng);
+                for workers in [2, 4, 8] {
+                    let run =
+                        ThresholdGreedy::with_workers(workers).run(&w.system, arrival, &mut rng);
+                    assert_eq!(run.solution, base.solution, "workers={workers}");
+                    assert_eq!(run.passes, base.passes);
+                    assert_eq!(run.peak_bits, base.peak_bits, "workers={workers}");
+                }
+            }
+        }
     }
 }

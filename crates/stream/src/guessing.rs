@@ -58,20 +58,15 @@ impl GuessDriver {
         sys: &SetSystem,
         arrival: Arrival,
         rng: &mut StdRng,
-        per_guess: impl Fn(
-            &mut SetStream<'_>,
-            &mut SpaceMeter,
-            &mut StdRng,
-            usize,
-        ) -> Option<Vec<SetId>>,
+        per_guess: impl Fn(&mut SetStream<'_>, &SpaceMeter, &mut StdRng, usize) -> Option<Vec<SetId>>,
     ) -> CoverRun {
         let mut best: Option<Vec<SetId>> = None;
         let mut max_passes = 0usize;
         let mut total_peak = 0u64;
         for k in self.guesses(sys.universe()) {
             let mut stream = SetStream::new(sys, arrival);
-            let mut meter = SpaceMeter::new();
-            let sol = per_guess(&mut stream, &mut meter, rng, k);
+            let meter = SpaceMeter::new();
+            let sol = per_guess(&mut stream, &meter, rng, k);
             max_passes = max_passes.max(stream.passes_made());
             total_peak += meter.peak_bits();
             if let Some(sol) = sol {

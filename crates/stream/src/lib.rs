@@ -7,7 +7,13 @@
 //! * [`stream::SetStream`] — multi-pass set streams with enforced pass
 //!   counting; adversarial and random-arrival orders ([`stream::Arrival`]).
 //! * [`meter::SpaceMeter`] — bit-exact working-memory accounting (the
-//!   paper's cost model).
+//!   paper's cost model), with RAII [`meter::ChargeGuard`]s so early
+//!   returns can never leak live bits.
+//! * [`parallel::ParallelPass`] — `std::thread::scope` fan-out of one pass
+//!   over chunks of the arrival order; workers own private meters joined
+//!   via `absorb_join` (side-by-side within the pass, max across passes),
+//!   and the deterministic chunk-merge guarantees picks identical to the
+//!   sequential pass for every worker count.
 //! * [`report`] — uniform run reports and the [`report::SetCoverStreamer`] /
 //!   [`report::MaxCoverStreamer`] traits the bench harness sweeps.
 //!
@@ -38,7 +44,9 @@
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let w = planted_cover(&mut rng, 256, 24, 4);
-//! let run = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+//! // `with_workers(4)` would fan each pass out over 4 threads — with
+//! // picks and peaks guaranteed identical to this single-worker run.
+//! let run = ThresholdGreedy::default().run(&w.system, Arrival::Adversarial, &mut rng);
 //! assert!(run.feasible);
 //! assert!(w.system.is_cover(&run.solution));
 //! assert!(run.passes <= 9); // ⌈log₂ 256⌉ + 1
@@ -48,6 +56,7 @@ pub mod algo;
 pub mod guessing;
 pub mod maxcov;
 pub mod meter;
+pub mod parallel;
 pub mod report;
 pub mod stream;
 
@@ -57,6 +66,7 @@ pub use algo::{
 };
 pub use guessing::GuessDriver;
 pub use maxcov::{ElementSampling, McOracle, SahaGetoorSwap, SieveStream};
-pub use meter::SpaceMeter;
+pub use meter::{Accounting, ChargeGuard, SpaceMeter};
+pub use parallel::ParallelPass;
 pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
 pub use stream::{Arrival, SetStream};

@@ -85,7 +85,7 @@ impl MaxCoverStreamer for ElementSampling {
         loop {
             let p = self.rate(sys.len(), k, v);
             let mut stream = SetStream::new(sys, arrival);
-            let mut meter = SpaceMeter::new();
+            let meter = SpaceMeter::new();
             let u_smpl = bernoulli_subset(rng, n, p);
             meter.charge(u_smpl.stored_bits_sparse());
 

@@ -46,7 +46,7 @@ impl MaxCoverStreamer for SieveStream {
         let n = sys.universe();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
         let mut stream = SetStream::new(sys, arrival);
-        let mut meter = SpaceMeter::new();
+        let meter = SpaceMeter::new();
         let mut sieves: Vec<Sieve> = Vec::new();
         let mut delta = 0usize; // max singleton coverage so far
 

@@ -34,7 +34,7 @@ impl MaxCoverStreamer for SahaGetoorSwap {
         let n = sys.universe();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
         let mut stream = SetStream::new(sys, arrival);
-        let mut meter = SpaceMeter::new();
+        let meter = SpaceMeter::new();
         let mut held: Vec<(SetId, BitSet, u64)> = Vec::new();
 
         for (i, s) in stream.pass() {

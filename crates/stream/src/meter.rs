@@ -5,6 +5,13 @@
 //! [`SpaceMeter`]: `charge` on acquisition, `release` on drop, and the meter
 //! tracks the live total and the high-water mark. Reports quote the peak.
 //!
+//! Retained state with a clear lifetime should be held through a
+//! [`ChargeGuard`] (from [`SpaceMeter::guard`]): the guard releases its bits
+//! on drop, so early returns cannot leak live charges — the bug class that
+//! used to be patched over with a raw `set_live` override, which could
+//! silently erase outstanding charges and corrupt the peak audit (that
+//! method is gone).
+//!
 //! Conventions (matching the paper's accounting):
 //! * an element id costs `⌈log₂ n⌉` bits, a set id `⌈log₂ m⌉` bits;
 //! * a subset stored as a member list costs `|S| · ⌈log₂ n⌉` bits
@@ -16,6 +23,8 @@
 //!   measured curves track the paper's cost model instead of a worst-case
 //!   convention (see [`Accounting`]);
 //! * counters and thresholds cost one word (64 bits).
+
+use std::cell::Cell;
 
 /// Bits in one machine word, charged for counters/thresholds.
 pub const WORD: u64 = 64;
@@ -44,10 +53,16 @@ impl Accounting {
 }
 
 /// A live/peak bit counter.
+///
+/// Counters live in `Cell`s so charging needs only a shared reference —
+/// that is what lets [`ChargeGuard`]s coexist (each holds `&SpaceMeter`)
+/// and worker threads own private meters that the caller later folds in
+/// with [`SpaceMeter::absorb_parallel`]. The type is deliberately not
+/// `Sync`: a meter belongs to exactly one thread.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpaceMeter {
-    live: u64,
-    peak: u64,
+    live: Cell<u64>,
+    peak: Cell<u64>,
 }
 
 impl SpaceMeter {
@@ -57,9 +72,9 @@ impl SpaceMeter {
     }
 
     /// Registers `bits` of newly retained state.
-    pub fn charge(&mut self, bits: u64) {
-        self.live += bits;
-        self.peak = self.peak.max(self.live);
+    pub fn charge(&self, bits: u64) {
+        self.live.set(self.live.get() + bits);
+        self.peak.set(self.peak.get().max(self.live.get()));
     }
 
     /// Releases `bits` of previously charged state.
@@ -67,39 +82,105 @@ impl SpaceMeter {
     /// # Panics
     /// Panics if releasing more than is live — that is always an accounting
     /// bug in the calling algorithm.
-    pub fn release(&mut self, bits: u64) {
+    pub fn release(&self, bits: u64) {
         assert!(
-            bits <= self.live,
+            bits <= self.live.get(),
             "releasing {bits} bits with only {} live — accounting bug",
-            self.live
+            self.live.get()
         );
-        self.live -= bits;
+        self.live.set(self.live.get() - bits);
     }
 
-    /// Adjusts the live amount to an absolutely known figure (useful when an
-    /// algorithm re-derives its footprint wholesale, e.g. after rebuilding a
-    /// projected system).
-    pub fn set_live(&mut self, bits: u64) {
-        self.live = bits;
-        self.peak = self.peak.max(self.live);
+    /// Charges `bits` and returns an RAII guard that releases them on drop,
+    /// so early returns cannot leak live state.
+    #[must_use = "dropping the guard immediately releases the charge"]
+    pub fn guard(&self, bits: u64) -> ChargeGuard<'_> {
+        self.charge(bits);
+        ChargeGuard { meter: self, bits }
     }
 
     /// Currently live bits.
     pub fn live_bits(&self) -> u64 {
-        self.live
+        self.live.get()
     }
 
     /// High-water mark.
     pub fn peak_bits(&self) -> u64 {
-        self.peak
+        self.peak.get()
     }
 
-    /// Folds another meter's peak in as if it ran *in parallel* with this
-    /// one (peaks add; used by the o͂pt-guessing driver which conceptually
-    /// runs `O(log n / ε)` copies side by side).
-    pub fn absorb_parallel(&mut self, other: &SpaceMeter) {
-        self.peak += other.peak;
-        self.live += other.live;
+    /// Folds another meter's usage in as if it ran *in parallel* with this
+    /// one for this meter's whole lifetime (peaks and live totals add) —
+    /// the o͂pt-guessing driver's side-by-side copies.
+    pub fn absorb_parallel(&self, other: &SpaceMeter) {
+        self.peak.set(self.peak.get() + other.peak.get());
+        self.live.set(self.live.get() + other.live.get());
+    }
+
+    /// Joins worker meters that ran side by side *within the current
+    /// scope* and have finished — [`crate::parallel::ParallelPass`]'s
+    /// fan-out. The workers' peaks coexisted with this meter's *current*
+    /// live total (not with its historical peak), so the high-water mark
+    /// is `max(peak, live + Σ worker peaks)` — unlike
+    /// [`absorb_parallel`](Self::absorb_parallel), successive scopes do
+    /// not sum. The workers' live bits transfer to this meter.
+    pub fn absorb_join<'a>(&self, workers: impl IntoIterator<Item = &'a SpaceMeter>) {
+        let (mut peaks, mut lives) = (0u64, 0u64);
+        for w in workers {
+            peaks += w.peak.get();
+            lives += w.live.get();
+        }
+        self.peak.set(self.peak.get().max(self.live.get() + peaks));
+        self.live.set(self.live.get() + lives);
+    }
+}
+
+/// RAII ownership of a block of charged bits: releases them on drop.
+///
+/// Guards may grow ([`add`](ChargeGuard::add)) as their object accretes
+/// state, and may [`adopt`](ChargeGuard::adopt) bits that were already
+/// charged elsewhere (e.g. by parallel workers whose meters were absorbed)
+/// so one owner is responsible for the release.
+#[must_use = "dropping the guard immediately releases the charge"]
+#[derive(Debug)]
+pub struct ChargeGuard<'a> {
+    meter: &'a SpaceMeter,
+    bits: u64,
+}
+
+impl ChargeGuard<'_> {
+    /// Charges `bits` more into this guard's ownership.
+    pub fn add(&mut self, bits: u64) {
+        self.meter.charge(bits);
+        self.bits += bits;
+    }
+
+    /// Takes ownership of `bits` that are *already live* on the meter
+    /// (charged by an absorbed worker meter); no new charge is made, but
+    /// the guard will release them on drop.
+    ///
+    /// # Panics
+    /// Panics if adopting more than is live — like
+    /// [`SpaceMeter::release`], a hard assert so an over-adoption fails at
+    /// the cause instead of corrupting the audit at some later drop.
+    pub fn adopt(&mut self, bits: u64) {
+        assert!(
+            bits <= self.meter.live_bits(),
+            "adopting {bits} bits with only {} live — accounting bug",
+            self.meter.live_bits()
+        );
+        self.bits += bits;
+    }
+
+    /// Bits currently owned by this guard.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl Drop for ChargeGuard<'_> {
+    fn drop(&mut self) {
+        self.meter.release(self.bits);
     }
 }
 
@@ -109,7 +190,7 @@ mod tests {
 
     #[test]
     fn charge_release_tracks_peak() {
-        let mut m = SpaceMeter::new();
+        let m = SpaceMeter::new();
         m.charge(100);
         m.charge(50);
         assert_eq!(m.live_bits(), 150);
@@ -124,29 +205,83 @@ mod tests {
     #[test]
     #[should_panic(expected = "accounting bug")]
     fn over_release_panics() {
-        let mut m = SpaceMeter::new();
+        let m = SpaceMeter::new();
         m.charge(10);
         m.release(11);
     }
 
     #[test]
-    fn set_live_can_move_both_ways() {
-        let mut m = SpaceMeter::new();
-        m.set_live(500);
-        assert_eq!(m.peak_bits(), 500);
-        m.set_live(10);
-        assert_eq!(m.live_bits(), 10);
-        assert_eq!(m.peak_bits(), 500);
-        m.set_live(600);
-        assert_eq!(m.peak_bits(), 600);
+    fn guard_releases_on_drop_and_on_early_return() {
+        let m = SpaceMeter::new();
+        {
+            let mut g = m.guard(100);
+            g.add(20);
+            assert_eq!(g.bits(), 120);
+            assert_eq!(m.live_bits(), 120);
+        }
+        assert_eq!(m.live_bits(), 0, "drop released everything");
+        assert_eq!(m.peak_bits(), 120);
+
+        // An early return (here: `?` out of a closure) cannot leak.
+        let attempt = |fail: bool| -> Option<u64> {
+            let _g = m.guard(64);
+            if fail {
+                return None; // _g drops, releasing the 64 bits
+            }
+            Some(m.live_bits())
+        };
+        assert_eq!(attempt(false), Some(64));
+        assert_eq!(attempt(true), None);
+        assert_eq!(m.live_bits(), 0, "early return leaked live bits");
+    }
+
+    #[test]
+    fn guard_adopts_absorbed_worker_bits() {
+        let m = SpaceMeter::new();
+        let worker = SpaceMeter::new();
+        worker.charge(40);
+        m.absorb_parallel(&worker);
+        assert_eq!(m.live_bits(), 40);
+        let mut g = m.guard(0);
+        g.adopt(40);
+        drop(g);
+        assert_eq!(m.live_bits(), 0, "adopted bits released by the guard");
+    }
+
+    #[test]
+    fn join_takes_max_over_scopes_not_sum() {
+        let m = SpaceMeter::new();
+        m.charge(100); // long-lived state
+                       // Scope 1: workers hold 30 transient bits, all released after.
+        let w1 = SpaceMeter::new();
+        w1.charge(30);
+        m.absorb_join([&w1]);
+        assert_eq!(m.peak_bits(), 130);
+        assert_eq!(m.live_bits(), 130);
+        m.release(30); // scope 1 transients gone
+                       // Scope 2: a *smaller* transient must not raise (or re-add to) the
+                       // peak — scopes max, they do not sum.
+        let w2 = SpaceMeter::new();
+        w2.charge(10);
+        m.absorb_join([&w2]);
+        assert_eq!(m.peak_bits(), 130, "scopes must not sum");
+        assert_eq!(m.live_bits(), 110);
+        m.release(10);
+        // A bigger scope raises the mark to live + workers.
+        let w3 = SpaceMeter::new();
+        w3.charge(50);
+        let w4 = SpaceMeter::new();
+        w4.charge(25);
+        m.absorb_join([&w3, &w4]);
+        assert_eq!(m.peak_bits(), 175);
     }
 
     #[test]
     fn parallel_absorb_adds_peaks() {
-        let mut a = SpaceMeter::new();
+        let a = SpaceMeter::new();
         a.charge(100);
         a.release(100);
-        let mut b = SpaceMeter::new();
+        let b = SpaceMeter::new();
         b.charge(70);
         a.absorb_parallel(&b);
         assert_eq!(a.peak_bits(), 170);

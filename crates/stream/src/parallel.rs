@@ -1,0 +1,381 @@
+//! Thread-parallel execution of one stream pass.
+//!
+//! A [`ParallelPass`] fans a pass out over chunks of the arrival order with
+//! `std::thread::scope` (no external dependencies). Each worker reads sets
+//! through the `Copy` view `SetRef` — borrowed data, no cloning — and owns
+//! a **private [`SpaceMeter`]**; the caller's meter joins the workers via
+//! [`SpaceMeter::absorb_join`], which models their side-by-side residency
+//! within one pass (peak = `max(peak, live + Σ worker peaks)`).
+//!
+//! Note on accounting: the engine is a *simulator* for the sequential
+//! pass — it provably reproduces the sequential picks, and the measured
+//! cost is the sequential algorithm's. Engine scaffolding (the candidate
+//! work-queue, the per-chunk sweeps) is never metered, exactly as the
+//! exact solver's inverted index and the greedy heap are not; worker
+//! meters carry charges only for *model state* the pass genuinely
+//! retains (the copies made by [`ParallelPass::store_pass`]). Reported
+//! peaks are therefore identical to the plain sequential implementation,
+//! at every worker count.
+//!
+//! Picks are guaranteed **identical to the sequential pass** by a
+//! filter-then-refine chunk merge:
+//!
+//! 1. *Filter (parallel)* — every worker computes, with one columnar
+//!    [`BatchedSweep`] over its chunk, each set's gain against the
+//!    **pass-start residual snapshot** and keeps the sets at or above the
+//!    acceptance threshold. Gains against a shrinking residual only
+//!    decrease (submodularity), so every set the sequential pass would
+//!    accept is necessarily a candidate.
+//! 2. *Refine (deterministic merge)* — candidates are concatenated in chunk
+//!    order (= arrival order) and re-evaluated against the *evolving*
+//!    residual, exactly as the sequential pass would; accepted sets update
+//!    the residual in arrival order.
+//!
+//! Worker accounting is worker-count-invariant by construction: workers
+//! only ever *charge* (monotone meters), so the sum of worker peaks is a
+//! property of the pass, not of how the chunks were cut — 1, 2 or 8
+//! workers report identical merged peaks. Workers are folded in with
+//! [`SpaceMeter::absorb_join`]: their state coexists with the caller's
+//! *current* live bits, so across successive passes the reported peak is
+//! a true high-water mark (max over scopes), not a sum of every pass's
+//! transients.
+
+use crate::meter::SpaceMeter;
+use crate::stream::SetStream;
+use streamcover_core::{ceil_log2, BatchedSweep, BitSet, SetId, SetRef, SetSystem};
+
+/// A pass-execution engine fanning work out over `workers` threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelPass {
+    workers: usize,
+}
+
+impl ParallelPass {
+    /// An engine with the given fan-out (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ParallelPass {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured fan-out.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one threshold-accept pass: any arriving set covering at least
+    /// `threshold ≥ 1` still-uncovered elements of `residual` is accepted,
+    /// immediately removing its elements. Calls `on_pick(id, set)` per
+    /// accepted set in arrival order and returns the number of picks.
+    ///
+    /// Accounting: the *measured algorithm* is the sequential pass (the
+    /// engine provably reproduces its picks), so the engine charges
+    /// exactly what that algorithm retains — one `⌈log₂ m⌉`-bit id per
+    /// accepted set, left live on `meter` for the caller to own (typically
+    /// via `ChargeGuard::adopt`). The candidate work-queue is simulator
+    /// scaffolding — uncharged, like the exact solver's inverted index and
+    /// the sweep's gains buffer. Worker meters carry model state only in
+    /// passes that genuinely retain per-arrival data ([`store_pass`]).
+    ///
+    /// This is the pass shape of threshold greedy (every pass), Algorithm
+    /// 1's pruning pass, and online-prune's accept pass (`threshold = 1`).
+    ///
+    /// [`store_pass`]: Self::store_pass
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0` (a zero threshold would accept
+    /// non-progressing sets and the submodular candidate filter would be
+    /// vacuous) or if the residual's capacity differs from the universe.
+    pub fn threshold_pass<'s>(
+        &self,
+        stream: &mut SetStream<'s>,
+        residual: &mut BitSet,
+        threshold: usize,
+        meter: &SpaceMeter,
+        mut on_pick: impl FnMut(SetId, SetRef<'s>),
+    ) -> usize {
+        assert!(threshold >= 1, "threshold-accept pass needs threshold ≥ 1");
+        let _ = stream.pass(); // start (and count) the shared pass
+        let sys = stream.system();
+        let order = stream.order();
+        let logm = u64::from(ceil_log2(sys.len().max(2)));
+
+        // Phase 1 — parallel candidate filter against the snapshot. The
+        // worker meters stay empty here (candidates are simulator state,
+        // see above); they exist so every pass joins workers uniformly.
+        let filter = |ids: &[SetId], snapshot: &BitSet| -> (Vec<SetId>, SpaceMeter) {
+            let mut sweep = BatchedSweep::new();
+            let gains = sweep.gains_for(sys.store(), ids, snapshot);
+            let cands: Vec<SetId> = ids
+                .iter()
+                .zip(gains)
+                .filter(|&(_, &g)| g >= threshold)
+                .map(|(&i, _)| i)
+                .collect();
+            (cands, SpaceMeter::new())
+        };
+        let chunked = self.run_chunks(order, residual, filter);
+
+        // Phase 2 — deterministic merge: re-evaluate candidates in arrival
+        // order against the evolving residual, charging each accepted pick
+        // exactly as the sequential pass would.
+        meter.absorb_join(chunked.iter().map(|(_, w)| w));
+        let mut picks = 0usize;
+        for i in chunked.iter().flat_map(|(c, _)| c.iter().copied()) {
+            let s = sys.set(i);
+            if s.intersection_len(residual.as_set_ref()) >= threshold {
+                residual.difference_with_ref(s);
+                meter.charge(logm);
+                on_pick(i, s);
+                picks += 1;
+            }
+        }
+        picks
+    }
+
+    /// Runs one storing pass: every arriving set is copied verbatim into a
+    /// per-worker arena, charged at `max(stored_bits, 1)` on the worker's
+    /// meter; chunks are merged in arrival order. Returns the arrival-order
+    /// id map, the stored system (positions follow the id map), and the
+    /// total bits charged, which stay live on `meter` for the caller to
+    /// own (typically via `ChargeGuard::adopt` of exactly that total).
+    ///
+    /// This is store-all's pass, and — via `domain` — Algorithm 1's
+    /// projection-storing pass (`S'_i = S_i ∩ U_smpl`): with
+    /// `Some((domain, cost))`, each stored set is the projection onto
+    /// `domain` and is charged `cost(projection) + ⌈log₂ m⌉` (projection
+    /// bits plus the retained instance id).
+    pub fn store_pass<'s>(
+        &self,
+        stream: &mut SetStream<'s>,
+        meter: &SpaceMeter,
+        domain: Option<(&BitSet, crate::meter::Accounting)>,
+    ) -> (Vec<SetId>, SetSystem, u64) {
+        let _ = stream.pass(); // start (and count) the shared pass
+        let sys = stream.system();
+        let order = stream.order();
+        let n = sys.universe();
+        let logm = u64::from(ceil_log2(sys.len().max(2)));
+
+        let store_chunk = |ids: &[SetId], _snap: &BitSet| -> (Vec<SetId>, SetSystem, SpaceMeter) {
+            let worker_meter = SpaceMeter::new();
+            let mut stored = SetSystem::new(n);
+            for &i in ids {
+                match domain {
+                    None => {
+                        let s = sys.set(i);
+                        stored.push_ref(s);
+                        worker_meter.charge(s.stored_bits().max(1));
+                    }
+                    Some((dom, accounting)) => {
+                        let j = stored.push_sorted(&sys.set(i).intersection_elems(dom));
+                        worker_meter.charge(accounting.bits_for(stored.set(j)) + logm);
+                    }
+                }
+            }
+            (ids.to_vec(), stored, worker_meter)
+        };
+        // `run_chunks` wants a residual argument; storing needs none.
+        let empty = BitSet::new(0);
+        let chunked = self.run_chunks3(order, &empty, store_chunk);
+
+        // The charged total is derived once, here, from the same worker
+        // meters whose bits transfer to the caller — callers adopt this
+        // figure instead of re-deriving it.
+        let charged: u64 = chunked.iter().map(|(_, _, w)| w.live_bits()).sum();
+        meter.absorb_join(chunked.iter().map(|(_, _, w)| w));
+        // Single chunk (workers=1, or a short order): the worker's system
+        // already *is* the merged result — move it out instead of copying.
+        if chunked.len() == 1 {
+            let (ids, stored, _) = chunked.into_iter().next().expect("one chunk");
+            return (ids, stored, charged);
+        }
+        let mut arrival_ids: Vec<SetId> = Vec::with_capacity(order.len());
+        let mut merged = SetSystem::new(n);
+        for (ids, stored, _) in &chunked {
+            arrival_ids.extend_from_slice(ids);
+            for k in 0..stored.len() {
+                merged.push_ref(stored.set(k));
+            }
+        }
+        (arrival_ids, merged, charged)
+    }
+
+    /// Fans `work` out over contiguous chunks of `order`, returning results
+    /// in chunk (= arrival) order. With one worker (or a tiny order) the
+    /// work runs inline — same code path, no spawn.
+    fn run_chunks<T: Send>(
+        &self,
+        order: &[SetId],
+        snapshot: &BitSet,
+        work: impl Fn(&[SetId], &BitSet) -> (Vec<SetId>, T) + Sync,
+    ) -> Vec<(Vec<SetId>, T)> {
+        self.run_chunks3(order, snapshot, |ids, snap| {
+            let (a, b) = work(ids, snap);
+            (a, (), b)
+        })
+        .into_iter()
+        .map(|(a, (), b)| (a, b))
+        .collect()
+    }
+
+    fn run_chunks3<T: Send, U: Send>(
+        &self,
+        order: &[SetId],
+        snapshot: &BitSet,
+        work: impl Fn(&[SetId], &BitSet) -> (Vec<SetId>, U, T) + Sync,
+    ) -> Vec<(Vec<SetId>, U, T)> {
+        let workers = self.workers.min(order.len()).max(1);
+        let chunk_len = order.len().div_ceil(workers).max(1);
+        if workers == 1 {
+            return vec![work(order, snapshot)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = order
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(|| work(chunk, snapshot)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel pass worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Arrival;
+    use streamcover_core::ReprPolicy;
+
+    fn sys() -> SetSystem {
+        SetSystem::from_elements(
+            8,
+            &[
+                vec![0, 1, 2, 3],
+                vec![2, 3],
+                vec![3, 4, 5, 6],
+                vec![6, 7],
+                vec![],
+                vec![0, 7],
+            ],
+        )
+    }
+
+    /// The plain sequential threshold loop every engine run must match.
+    fn sequential_reference(
+        sys: &SetSystem,
+        arrival: Arrival,
+        threshold: usize,
+    ) -> (Vec<SetId>, BitSet) {
+        let mut stream = SetStream::new(sys, arrival);
+        let mut residual = BitSet::full(sys.universe());
+        let mut picks = Vec::new();
+        for (i, s) in stream.pass() {
+            if s.intersection_len(residual.as_set_ref()) >= threshold {
+                residual.difference_with_ref(s);
+                picks.push(i);
+            }
+        }
+        (picks, residual)
+    }
+
+    #[test]
+    fn threshold_pass_matches_sequential_for_any_worker_count() {
+        let s = sys();
+        for threshold in [1, 2, 3, 5] {
+            for arrival in [Arrival::Adversarial, Arrival::Random { seed: 3 }] {
+                let (expect_picks, expect_residual) = sequential_reference(&s, arrival, threshold);
+                let mut peaks = Vec::new();
+                for workers in [1, 2, 3, 8] {
+                    let mut stream = SetStream::new(&s, arrival);
+                    let mut residual = BitSet::full(8);
+                    let meter = SpaceMeter::new();
+                    let mut picks = Vec::new();
+                    let n_picks = ParallelPass::new(workers).threshold_pass(
+                        &mut stream,
+                        &mut residual,
+                        threshold,
+                        &meter,
+                        |i, _| picks.push(i),
+                    );
+                    assert_eq!(picks, expect_picks, "w={workers} τ={threshold}");
+                    assert_eq!(n_picks, picks.len());
+                    assert_eq!(residual, expect_residual);
+                    assert_eq!(stream.passes_made(), 1, "one shared pass");
+                    peaks.push(meter.peak_bits());
+                }
+                assert!(
+                    peaks.windows(2).all(|w| w[0] == w[1]),
+                    "merged peaks must not depend on worker count: {peaks:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_pass_leaves_only_pick_ids_live() {
+        let s = sys();
+        let logm = u64::from(ceil_log2(s.len().max(2)));
+        let mut stream = SetStream::new(&s, Arrival::Adversarial);
+        let mut residual = BitSet::full(8);
+        let meter = SpaceMeter::new();
+        let picks =
+            ParallelPass::new(4).threshold_pass(&mut stream, &mut residual, 2, &meter, |_, _| {});
+        assert_eq!(meter.live_bits(), picks as u64 * logm);
+    }
+
+    #[test]
+    fn store_pass_preserves_arrival_order_and_total_charge() {
+        let s = sys();
+        let expect: u64 = s.iter().map(|(_, r)| r.stored_bits().max(1)).sum();
+        for workers in [1, 2, 8] {
+            let mut stream = SetStream::new(&s, Arrival::Random { seed: 7 });
+            let meter = SpaceMeter::new();
+            let (ids, stored, charged) =
+                ParallelPass::new(workers).store_pass(&mut stream, &meter, None);
+            assert_eq!(ids, stream.order(), "w={workers}");
+            for (pos, &i) in ids.iter().enumerate() {
+                assert_eq!(stored.set(pos), s.set(i));
+            }
+            assert_eq!(meter.peak_bits(), expect, "w={workers}");
+            assert_eq!(charged, expect, "charged total is derived once");
+            assert_eq!(stream.passes_made(), 1);
+        }
+    }
+
+    #[test]
+    fn store_pass_projects_onto_domain() {
+        let mut s = SetSystem::with_policy(8, ReprPolicy::ForceSparse);
+        s.push_elems([0usize, 1, 2]);
+        s.push_elems([2usize, 3, 4]);
+        s.push_elems([5usize]);
+        let dom = BitSet::from_iter(8, [2, 3]);
+        let mut stream = SetStream::new(&s, Arrival::Adversarial);
+        let meter = SpaceMeter::new();
+        let (_, stored, _) = ParallelPass::new(2).store_pass(
+            &mut stream,
+            &meter,
+            Some((&dom, crate::meter::Accounting::ActualRepr)),
+        );
+        assert_eq!(stored.set(0).to_vec(), vec![2]);
+        assert_eq!(stored.set(1).to_vec(), vec![2, 3]);
+        assert!(stored.set(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold ≥ 1")]
+    fn zero_threshold_panics() {
+        let s = sys();
+        let mut stream = SetStream::new(&s, Arrival::Adversarial);
+        let meter = SpaceMeter::new();
+        ParallelPass::new(2).threshold_pass(
+            &mut stream,
+            &mut BitSet::full(8),
+            0,
+            &meter,
+            |_, _| {},
+        );
+    }
+}

@@ -99,6 +99,17 @@ impl<'a> SetStream<'a> {
         self.passes
     }
 
+    /// The underlying instance, at the stream's own lifetime — this is what
+    /// lets [`crate::parallel::ParallelPass`] workers read sets side by
+    /// side during one shared pass (the borrow is not tied to `&self`, so
+    /// it coexists with the arrival-order borrow). Crate-private on
+    /// purpose: data must stay reachable only through [`SetStream::pass`]
+    /// so a reported pass count cannot lie; the engine calls `pass()`
+    /// exactly once per fan-out.
+    pub(crate) fn system(&self) -> &'a SetSystem {
+        self.sys
+    }
+
     /// The current arrival permutation (exposed for tests/diagnostics).
     pub fn order(&self) -> &[SetId] {
         &self.order

@@ -30,7 +30,9 @@ fn main() {
     println!("parsed back: n={}, m={} ✓\n", back.universe(), back.len());
 
     // 2. Bracket opt three ways.
-    let exact = exact_set_cover(&sys).size().unwrap();
+    let exact = exact_set_cover(&sys)
+        .expect("planted instance is coverable")
+        .size();
     let dual = dual_fitting_bound(&sys).expect("coverable");
     assert!(
         dual.is_feasible_for(&sys, 1e-9),

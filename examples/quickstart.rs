@@ -22,9 +22,9 @@ fn main() {
     );
 
     // Offline ground truth.
-    let exact = exact_set_cover(sys);
+    let exact = exact_set_cover(sys).expect("planted instance is coverable");
     let greedy = greedy_set_cover(sys);
-    println!("offline exact opt      : {:?}", exact.size());
+    println!("offline exact opt      : {}", exact.size());
     println!("offline greedy (ln n)  : {} sets", greedy.size());
 
     // Algorithm 1 (Assadi PODS'17): (α+ε)-approximation in ≤ 2α+1 passes
@@ -45,7 +45,7 @@ fn main() {
 
     // The trivial baselines for contrast.
     let store = StoreAll::default().run(sys, Arrival::Adversarial, &mut rng);
-    let greedy_stream = ThresholdGreedy.run(sys, Arrival::Adversarial, &mut rng);
+    let greedy_stream = ThresholdGreedy::default().run(sys, Arrival::Adversarial, &mut rng);
     println!(
         "store-all: {} sets, 1 pass, {} peak bits (the Θ(mn) strawman)",
         store.size(),

@@ -51,15 +51,17 @@ pub mod prelude {
         Transcript,
     };
     pub use streamcover_core::{
-        exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BitSet, SetId,
-        SetSystem,
+        exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BatchedSweep,
+        BitSet, CoverError, ExactCover, SetId, SetSystem,
     };
     pub use streamcover_dist::{
-        blog_watch, planted_cover, sample_dmc, sample_dsc, uniform_random, McParams, ScParams,
+        blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, uniform_random, McParams,
+        ScParams,
     };
     pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
     pub use streamcover_stream::{
         Arrival, CoverRun, ElementSampling, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer,
-        SahaGetoorSwap, SetCoverStreamer, SieveStream, SpaceMeter, StoreAll, ThresholdGreedy,
+        OnlinePrune, ParallelPass, SahaGetoorSwap, SetCoverStreamer, SieveStream, SpaceMeter,
+        StoreAll, ThresholdGreedy,
     };
 }

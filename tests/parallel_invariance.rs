@@ -1,0 +1,91 @@
+//! Integration: `ParallelPass` determinism across worker counts — for every
+//! workload family the experiment tables run on, fanning a streaming
+//! algorithm out over 1/2/4/8 workers must produce *identical* picks,
+//! passes and merged peak bits (the 4-worker acceptance bar of the batched
+//! sweep / parallel pass PR, checked across `dist` + `stream`).
+
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::dist::sample_dsc_with_theta;
+use streamcover::prelude::*;
+
+/// The workload families the e-tables sweep (kept at test-friendly sizes).
+fn workloads() -> Vec<(&'static str, SetSystem)> {
+    let mut rng = StdRng::seed_from_u64(2017);
+    let mut out: Vec<(&'static str, SetSystem)> = vec![
+        ("planted", planted_cover(&mut rng, 512, 64, 6).system),
+        (
+            "uniform-coverable",
+            uniform_random(&mut rng, 512, 48, 0.05, true),
+        ),
+        (
+            "uniform-uncoverable",
+            uniform_random(&mut rng, 512, 24, 0.02, false),
+        ),
+        ("blog-watch", blog_watch(&mut rng, 128, 160)),
+    ];
+    let dsc = sample_dsc_with_theta(&mut rng, ScParams::explicit(384, 6, 12), true);
+    out.push(("dsc", dsc.combined()));
+    out
+}
+
+fn runs_match(name: &str, algo_name: &str, base: &CoverRun, run: &CoverRun, workers: usize) {
+    assert_eq!(
+        run.solution, base.solution,
+        "{algo_name} on {name}: picks changed at {workers} workers"
+    );
+    assert_eq!(run.feasible, base.feasible, "{algo_name} on {name}");
+    assert_eq!(run.passes, base.passes, "{algo_name} on {name}");
+    assert_eq!(
+        run.peak_bits, base.peak_bits,
+        "{algo_name} on {name}: merged peak changed at {workers} workers"
+    );
+}
+
+#[test]
+fn four_workers_match_sequential_on_every_workload() {
+    for (name, sys) in &workloads() {
+        for arrival in [Arrival::Adversarial, Arrival::Random { seed: 5 }] {
+            // Threshold greedy.
+            let mut rng = StdRng::seed_from_u64(1);
+            let base = ThresholdGreedy::with_workers(1).run(sys, arrival, &mut rng);
+            for workers in [2, 4, 8] {
+                let run = ThresholdGreedy::with_workers(workers).run(sys, arrival, &mut rng);
+                runs_match(name, "threshold-greedy", &base, &run, workers);
+            }
+            // Online prune.
+            let base = OnlinePrune::with_workers(1).run(sys, arrival, &mut rng);
+            for workers in [2, 4, 8] {
+                let run = OnlinePrune::with_workers(workers).run(sys, arrival, &mut rng);
+                runs_match(name, "online-prune", &base, &run, workers);
+            }
+            // Store-all.
+            let base = StoreAll::with_workers(1).run(sys, arrival, &mut rng);
+            for workers in [2, 4, 8] {
+                let run = StoreAll::with_workers(workers).run(sys, arrival, &mut rng);
+                runs_match(name, "store-all", &base, &run, workers);
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm_one_is_worker_invariant() {
+    // Algorithm 1 additionally consumes randomness (element sampling), so
+    // each run gets the same fresh rng seed; worker count must not touch
+    // the random stream or the outcome.
+    for (name, sys) in &workloads() {
+        let run_with = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let algo = HarPeledAssadi {
+                workers,
+                ..HarPeledAssadi::scaled(3, 0.5)
+            };
+            algo.run(sys, Arrival::Adversarial, &mut rng)
+        };
+        let base = run_with(1);
+        for workers in [2, 4, 8] {
+            let run = run_with(workers);
+            runs_match(name, "assadi-alg1", &base, &run, workers);
+        }
+    }
+}

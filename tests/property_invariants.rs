@@ -28,16 +28,20 @@ proptest! {
     #[test]
     fn exact_never_exceeds_greedy(sys in arb_system()) {
         let g = greedy_set_cover(&sys);
-        let e = exact_set_cover(&sys);
-        match e.size() {
-            Some(opt) => {
+        match exact_set_cover(&sys) {
+            Ok(e) => {
+                let opt = e.size();
                 prop_assert!(g.is_feasible());
                 prop_assert!(opt <= g.size());
                 // Greedy's H(n) guarantee.
                 let h: f64 = (1..=sys.universe().max(1)).map(|i| 1.0 / i as f64).sum();
                 prop_assert!((g.size() as f64) <= h * opt as f64 + 1e-9);
             }
-            None => prop_assert!(!g.is_feasible()),
+            Err(CoverError::Infeasible { element }) => {
+                prop_assert!(!g.is_feasible());
+                // The witness element really is uncoverable.
+                prop_assert!(sys.uncoverable_elements().contains(element));
+            }
         }
     }
 
@@ -58,7 +62,7 @@ proptest! {
     #[test]
     fn threshold_greedy_streaming_matches_offline_feasibility(sys in arb_system()) {
         let mut rng = StdRng::seed_from_u64(0);
-        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
         prop_assert_eq!(run.feasible, sys.is_coverable());
         if run.feasible {
             prop_assert!(sys.is_cover(&run.solution));

@@ -9,7 +9,7 @@ fn algorithm_one_respects_all_three_budgets() {
     let mut rng = StdRng::seed_from_u64(1);
     for (n, m, opt) in [(512, 32, 4), (1024, 64, 8), (2048, 48, 6)] {
         let w = planted_cover(&mut rng, n, m, opt);
-        let true_opt = exact_set_cover(&w.system).size().unwrap();
+        let true_opt = exact_set_cover(&w.system).expect("coverable").size();
         for alpha in [2, 3] {
             let run =
                 HarPeledAssadi::scaled(alpha, 0.5).run(&w.system, Arrival::Adversarial, &mut rng);
@@ -80,7 +80,7 @@ fn streaming_baselines_agree_with_offline_on_feasibility() {
         let coverable = trial % 2 == 0;
         let sys = uniform_random(&mut rng, 256, 20, 0.08, coverable);
         let offline_feasible = sys.is_coverable();
-        let tg = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
+        let tg = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert_eq!(
             tg.feasible, offline_feasible,
             "trial {trial} threshold-greedy"
@@ -88,7 +88,7 @@ fn streaming_baselines_agree_with_offline_on_feasibility() {
         let sa = StoreAll::default().run(&sys, Arrival::Adversarial, &mut rng);
         assert_eq!(sa.feasible, offline_feasible, "trial {trial} store-all");
         if offline_feasible {
-            let opt = exact_set_cover(&sys).size().unwrap();
+            let opt = exact_set_cover(&sys).expect("coverable").size();
             assert_eq!(sa.size(), opt, "store-all must be optimal");
             assert!(tg.size() >= opt);
         }
