@@ -17,10 +17,15 @@
 //! word-scan pays `n/64` word ops per pair while the sparse merge-walk
 //! pays `O(n^{1/3})`.
 //!
-//! The thread arm is correctness-gated, not speed-gated: worker counts
-//! 1/2/4/8 must produce identical picks and identical merged peaks
-//! (asserted unconditionally); wall-clock per worker count is recorded for
-//! the curious but CI machines (often 1–2 cores) make a speedup gate
+//! The thread, shard and guess-grid arms are correctness-gated, not
+//! speed-gated: worker counts 1/2/4/8 must produce identical picks and
+//! identical merged peaks, sharded stores must round-trip and their
+//! per-shard sweeps must reproduce the flat gains at every shard count,
+//! and the thread-parallel o͂pt-guess grid must report the sequential
+//! driver's solution/passes/peaks at every fan-out (all asserted
+//! unconditionally, so `--smoke --check` is a shard-invariance and
+//! guess-grid gate too); wall-clock per worker count is recorded for the
+//! curious but CI machines (often 1–2 cores) make a speedup gate
 //! meaningless there.
 
 use rand::rngs::StdRng;
@@ -30,10 +35,10 @@ use std::hint::black_box;
 use std::time::Instant;
 use streamcover_core::{
     bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager, BatchedSweep,
-    BitSet, ReprPolicy, SetRef, SetSystem,
+    BitSet, ReprPolicy, SetRef, SetSystem, ShardPlan, ShardedStore,
 };
-use streamcover_dist::{planted_cover, stress_cover};
-use streamcover_stream::{Arrival, SetCoverStreamer, ThresholdGreedy};
+use streamcover_dist::{planted_cover, stress_cover, stress_cover_shards};
+use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer, ThresholdGreedy};
 
 /// Median-of-samples ns/op for `f`, which must return a checksum (kept
 /// opaque via `black_box` so the work is not optimized away).
@@ -240,6 +245,166 @@ fn bench_threads(seed: u64, smoke: bool) -> Vec<ThreadRow> {
     rows
 }
 
+struct ShardRow {
+    shards: usize,
+    n: usize,
+    m: usize,
+    build_flat_ns: f64,
+    build_sharded_ns: f64,
+    sweep_flat_ns: f64,
+    sweep_sharded_ns: f64,
+}
+
+/// Benchmarks shard scaling on a `stress_cover_shards` workload: parallel
+/// `ShardedStore::from_sorted_lists` construction vs the flat single-arena
+/// build, and the summed per-shard `gains_sharded` sweeps vs the flat
+/// `BatchedSweep`. Equivalence (round-trip + gains identity) is asserted
+/// unconditionally at every shard count — the correctness gate of the
+/// `release-smoke` job — while wall-clock is recorded for the curious
+/// (1–2-core CI machines make a speedup gate meaningless).
+fn bench_shards(seed: u64, smoke: bool) -> Vec<ShardRow> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a4d);
+    let max_shards = if smoke { 4 } else { 8 };
+    let w = stress_cover_shards(&mut rng, max_shards);
+    let sys = &w.system;
+    let (n, m) = (sys.universe(), sys.len());
+    let lists: Vec<Vec<u32>> = (0..m)
+        .map(|i| sys.set(i).iter().map(|e| e as u32).collect())
+        .collect();
+    let residual = bernoulli_subset(&mut rng, n, 0.5);
+    let mut sweep = BatchedSweep::new();
+    let flat_gains = sweep.gains(sys.store(), &residual).to_vec();
+    let flat_sum: u64 = flat_gains.iter().map(|&g| g as u64).sum();
+
+    let samples = 5;
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        if shards > max_shards {
+            break;
+        }
+        let plan = ShardPlan::BySetRange { shards };
+        // Correctness gates: round-trip + per-shard sweep identity.
+        let sharded = ShardedStore::from_sorted_lists(n, ReprPolicy::Auto, plan, &lists);
+        assert_eq!(
+            &SetSystem::from_shards(&sharded),
+            sys,
+            "shard round-trip diverged at {shards} shards"
+        );
+        let mut cat = Vec::new();
+        for s in 0..sharded.num_shards() {
+            cat.extend_from_slice(sweep.gains_sharded(&sharded, s, &residual));
+        }
+        assert_eq!(
+            cat, flat_gains,
+            "sharded sweep gains diverged at {shards} shards"
+        );
+
+        let build_sharded_ns = time_ns_per_op(1, samples, || {
+            ShardedStore::from_sorted_lists(n, ReprPolicy::Auto, plan, &lists).len() as u64
+        });
+        let build_flat_ns = time_ns_per_op(1, samples, || {
+            let mut st = SetSystem::new(n);
+            for l in &lists {
+                st.push_sorted(l);
+            }
+            st.len() as u64
+        });
+        let sweep_sharded_ns = time_ns_per_op(m as u64, samples, || {
+            let mut acc = 0u64;
+            for s in 0..sharded.num_shards() {
+                acc += sweep
+                    .gains_sharded(&sharded, s, &residual)
+                    .iter()
+                    .map(|&g| g as u64)
+                    .sum::<u64>();
+            }
+            assert_eq!(acc, flat_sum);
+            acc
+        });
+        let sweep_flat_ns = time_ns_per_op(m as u64, samples, || {
+            sweep
+                .gains(sys.store(), &residual)
+                .iter()
+                .map(|&g| g as u64)
+                .sum()
+        });
+        rows.push(ShardRow {
+            shards,
+            n,
+            m,
+            build_flat_ns,
+            build_sharded_ns,
+            sweep_flat_ns,
+            sweep_sharded_ns,
+        });
+    }
+    rows
+}
+
+struct GuessGridRow {
+    guess_workers: usize,
+    n: usize,
+    m: usize,
+    grid_len: usize,
+    run_ns: f64,
+    speedup_vs_1: f64,
+}
+
+/// Benchmarks the thread-parallel o͂pt-guess grid: the full Algorithm 1
+/// composition at 1/2/4/8 grid workers, asserting solution/pass/peak
+/// identity with the sequential driver at every worker count (the
+/// correctness gate) and recording wall-clock per worker count.
+fn bench_guess_grid(seed: u64, smoke: bool) -> Vec<GuessGridRow> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e55);
+    let (n, m, opt) = if smoke {
+        (1024, 96, 8)
+    } else {
+        (4096, 256, 16)
+    };
+    let w = planted_cover(&mut rng, n, m, opt);
+    let run_with = |guess_workers: usize| {
+        let mut r = StdRng::seed_from_u64(seed ^ 0xd21f);
+        let algo = HarPeledAssadi {
+            guess_workers,
+            ..HarPeledAssadi::scaled(3, 0.5)
+        };
+        algo.run(&w.system, Arrival::Adversarial, &mut r)
+    };
+    let base = run_with(1);
+    assert!(base.feasible, "guess-grid workload must be coverable");
+    let grid_len = streamcover_stream::GuessDriver::new(0.5)
+        .guesses(n, m)
+        .len();
+    let samples = 5;
+    let mut rows = Vec::new();
+    let mut base_ns = 0.0f64;
+    for guess_workers in [1usize, 2, 4, 8] {
+        let run = run_with(guess_workers);
+        assert_eq!(
+            run.solution, base.solution,
+            "guess grid picks diverged at {guess_workers} workers"
+        );
+        assert_eq!(run.passes, base.passes);
+        assert_eq!(
+            run.peak_bits, base.peak_bits,
+            "guess grid peaks diverged at {guess_workers} workers"
+        );
+        let ns = time_ns_per_op(1, samples, || run_with(guess_workers).size() as u64);
+        if guess_workers == 1 {
+            base_ns = ns;
+        }
+        rows.push(GuessGridRow {
+            guess_workers,
+            n,
+            m,
+            grid_len,
+            run_ns: ns,
+            speedup_vs_1: base_ns / ns,
+        });
+    }
+    rows
+}
+
 struct GreedyRow {
     n: usize,
     m: usize,
@@ -367,6 +532,31 @@ fn main() {
             r.speedup_vs_1
         );
     }
+    let shard_rows = bench_shards(seed, smoke);
+    for r in &shard_rows {
+        eprintln!(
+            "  shards: n={} m={} shards={} build {:.2}ms (flat {:.2}ms) sweep {:.0}ns/set (flat {:.0}ns/set) — gains identical",
+            r.n,
+            r.m,
+            r.shards,
+            r.build_sharded_ns / 1e6,
+            r.build_flat_ns / 1e6,
+            r.sweep_sharded_ns,
+            r.sweep_flat_ns
+        );
+    }
+    let guess_rows = bench_guess_grid(seed, smoke);
+    for r in &guess_rows {
+        eprintln!(
+            "  guess-grid: n={} m={} grid={} workers={} run {:.2}ms — {:.2}x vs 1 worker (report identical)",
+            r.n,
+            r.m,
+            r.grid_len,
+            r.guess_workers,
+            r.run_ns / 1e6,
+            r.speedup_vs_1
+        );
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -454,6 +644,49 @@ fn main() {
             json,
             "    }}{}",
             if i + 1 < threads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"shards\": [");
+    for (i, r) in shard_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"shards\": {},", r.shards);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"build_flat_ns\": {:.0},", r.build_flat_ns);
+        let _ = writeln!(
+            json,
+            "      \"build_sharded_ns\": {:.0},",
+            r.build_sharded_ns
+        );
+        let _ = writeln!(json, "      \"sweep_flat_ns\": {:.2},", r.sweep_flat_ns);
+        let _ = writeln!(
+            json,
+            "      \"sweep_sharded_ns\": {:.2},",
+            r.sweep_sharded_ns
+        );
+        let _ = writeln!(json, "      \"gains_identical\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < shard_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"guess_grid\": [");
+    for (i, r) in guess_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"guess_workers\": {},", r.guess_workers);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"grid_len\": {},", r.grid_len);
+        let _ = writeln!(json, "      \"run_ns\": {:.0},", r.run_ns);
+        let _ = writeln!(json, "      \"speedup_vs_1\": {:.2},", r.speedup_vs_1);
+        let _ = writeln!(json, "      \"report_identical\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < guess_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ],");

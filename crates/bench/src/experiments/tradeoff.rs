@@ -80,7 +80,9 @@ pub fn e1_tradeoff(scale: Scale, seed: u64) -> Table {
     for &nn in &ns {
         let w = planted_cover(&mut rng, nn, m, opt);
         let run = HarPeledAssadi::scaled(alpha, eps).run(&w.system, Arrival::Adversarial, &mut rng);
-        let guesses = streamcover_stream::GuessDriver::new(eps).guesses(nn).len() as u64;
+        let guesses = streamcover_stream::GuessDriver::new(eps)
+            .guesses(nn, m)
+            .len() as u64;
         let corrected = run.peak_bits.saturating_sub(guesses * nn as u64).max(1);
         xs.push(nn as f64);
         ys.push(corrected as f64);

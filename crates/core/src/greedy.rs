@@ -79,22 +79,66 @@ pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) ->
         sys.universe(),
         "target universe mismatch"
     );
-    let mut uncovered = target.clone();
-    let mut covered = BitSet::new(sys.universe());
-    let mut ids = Vec::new();
-
     // (gain bound, Reverse(id)): the heap order is "largest gain first,
     // smallest id among equals" — the eager scan's selection rule. The
     // initial bounds come from one batched sweep over the whole arena
     // rather than m per-set kernel calls.
     let mut sweep = BatchedSweep::new();
-    let mut heap: BinaryHeap<(usize, Reverse<SetId>)> = sweep
-        .gains(sys.store(), &uncovered)
+    let heap: BinaryHeap<(usize, Reverse<SetId>)> = sweep
+        .gains(sys.store(), target)
         .iter()
         .enumerate()
         .filter_map(|(i, &g)| (g > 0).then_some((g, Reverse(i))))
         .collect();
+    celf_from_heap(sys, heap, max_picks, target)
+}
 
+/// [`greedy_cover_until`] with the heap-seeding sweep fanned out over
+/// `workers` scoped threads, each walking its own zero-copy arena shard
+/// ([`SetSystem::shards`]) — the `O(Σ|S|)` up-front sweep is the scan that
+/// dominates lazy greedy on wide systems, and it is embarrassingly
+/// parallel over set ranges. The CELF loop itself is untouched, so the
+/// picks are identical to [`greedy_cover_until`] for every worker count.
+pub fn greedy_cover_until_sharded(
+    sys: &SetSystem,
+    workers: usize,
+    max_picks: usize,
+    target: &BitSet,
+) -> CoverResult {
+    assert_eq!(
+        target.capacity(),
+        sys.universe(),
+        "target universe mismatch"
+    );
+    let shards = sys.shards(workers);
+    let per_shard: Vec<Vec<usize>> = crate::shard::map_parts(&shards, |sh| {
+        let mut sweep = BatchedSweep::new();
+        sh.gains(&mut sweep, target).to_vec()
+    });
+    let heap: BinaryHeap<(usize, Reverse<SetId>)> = shards
+        .iter()
+        .zip(&per_shard)
+        .flat_map(|(sh, gains)| {
+            let start = sh.ids().start;
+            gains
+                .iter()
+                .enumerate()
+                .filter_map(move |(j, &g)| (g > 0).then_some((g, Reverse(start + j))))
+        })
+        .collect();
+    celf_from_heap(sys, heap, max_picks, target)
+}
+
+/// The CELF selection loop over an already-seeded bound heap.
+fn celf_from_heap(
+    sys: &SetSystem,
+    mut heap: BinaryHeap<(usize, Reverse<SetId>)>,
+    max_picks: usize,
+    target: &BitSet,
+) -> CoverResult {
+    let mut uncovered = target.clone();
+    let mut covered = BitSet::new(sys.universe());
+    let mut ids = Vec::new();
     while !uncovered.is_empty() && ids.len() < max_picks {
         let Some((_, Reverse(i))) = heap.pop() else {
             break; // no set makes progress
@@ -260,6 +304,27 @@ mod tests {
                 let eager = greedy_cover_until_eager(&sys, max_picks, &target);
                 assert_eq!(lazy.ids, eager.ids, "trial {trial} max_picks {max_picks}");
                 assert_eq!(lazy.covered, eager.covered, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_seeding_matches_flat_for_any_worker_count() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..20 {
+            let n = 1 + rng.gen_range(0usize..80);
+            let m = rng.gen_range(0usize..30);
+            let lists: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.2)).collect())
+                .collect();
+            let sys = SetSystem::from_elements(n, &lists);
+            let target = BitSet::full(n);
+            let base = greedy_cover_until(&sys, usize::MAX, &target);
+            for workers in [1, 2, 4, 8] {
+                let r = greedy_cover_until_sharded(&sys, workers, usize::MAX, &target);
+                assert_eq!(r.ids, base.ids, "trial {trial} workers {workers}");
+                assert_eq!(r.covered, base.covered, "trial {trial}");
             }
         }
     }

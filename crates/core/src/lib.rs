@@ -18,6 +18,12 @@
 //!   many-vs-one companion is [`store::BatchedSweep`]: the gain of *every*
 //!   set against one residual in a single columnar arena walk — the kernel
 //!   under the greedy solvers and the streaming candidate filters.
+//! * [`shard`] — **sharded arena storage**: [`shard::ShardedStore`] splits a
+//!   system into per-shard [`store::SetStore`] arenas under a
+//!   [`shard::ShardPlan`] (contiguous set-id ranges or universe blocks),
+//!   with parallel construction from sorted element lists and per-shard
+//!   sweeps; [`shard::StoreShard`] is the zero-copy shard view over one
+//!   flat arena that parallel consumers walk without striding shared data.
 //! * [`bitset::BitSet`] — owned, mutable packed subsets of a fixed universe
 //!   `[n]` — the working-set type solvers mutate (residuals, coverage
 //!   accumulators) — with the full set algebra the paper's constructions
@@ -60,6 +66,7 @@ pub mod exact;
 pub mod fractional;
 pub mod greedy;
 pub mod io;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod system;
@@ -71,10 +78,11 @@ pub use exact::{
 };
 pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
 pub use greedy::{
-    greedy_cover_until, greedy_cover_until_eager, greedy_max_coverage, greedy_set_cover,
-    CoverResult,
+    greedy_cover_until, greedy_cover_until_eager, greedy_cover_until_sharded, greedy_max_coverage,
+    greedy_set_cover, CoverResult,
 };
 pub use io::{read_instance, write_instance, ParseError};
+pub use shard::{ShardPlan, ShardedStore, StoreShard};
 pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
 pub use store::{BatchedSweep, ReprPolicy, SetRef, SetRepr, SetStore};
 pub use system::{SetId, SetSystem};

@@ -362,6 +362,41 @@ impl BatchedSweep {
         &self.gains
     }
 
+    /// Gains of a contiguous descriptor span `ids` against a dense
+    /// residual, in span order — the shard-local sweep under
+    /// [`crate::shard::StoreShard::gains`]. Unlike
+    /// [`gains_for`](Self::gains_for) there is no per-id indirection: the
+    /// walk reads `descs[span]` (and therefore the element arena)
+    /// strictly sequentially, which is what lets one worker own one
+    /// arena region without striding past its neighbours'.
+    ///
+    /// # Panics
+    /// Panics if the residual's capacity differs from the store's universe
+    /// or the span exceeds the store.
+    pub fn gains_span(
+        &mut self,
+        store: &SetStore,
+        span: std::ops::Range<usize>,
+        residual: &BitSet,
+    ) -> &[usize] {
+        assert_eq!(
+            residual.capacity(),
+            store.universe,
+            "residual universe mismatch: {} vs {}",
+            residual.capacity(),
+            store.universe
+        );
+        assert!(span.end <= store.len(), "span {span:?} out of store");
+        let words = residual.words();
+        let kernel = sparse_sweep_kernel();
+        self.gains.clear();
+        self.gains.reserve(span.len());
+        for d in &store.descs[span] {
+            self.gains.push(sweep_one(store, *d, words, kernel));
+        }
+        &self.gains
+    }
+
     /// Gains of all stored sets against a residual given as a [`SetRef`] of
     /// either representation. Dense views take the columnar fast path;
     /// sparse views dispatch to the pairwise kernels (SSE2 block merge for
@@ -788,6 +823,20 @@ impl<'a> SetRef<'a> {
 /// paper-regime sizes (`|S| ≈ n^{1/3}`, measured ≈ 2.2× faster than the
 /// scalar walk and ≥ 3× faster than the dense kernel at `n = 2^14`).
 fn merge_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    // Skewed pairs (|A| ≪ |B|) gallop instead of merging: the block walk
+    // still advances 4 elements of the *long* side per step, so a
+    // `|A|·log|B|` exponential search beats the `O(|A|+|B|)` walk once the
+    // ratio clears the crossover. 16 is conservative — at ratio 16 the
+    // merge does ≥ 17·|A| lane advances vs ≈ |A|·(log₂ 16 + log₂(|B|/|A|))
+    // probes for the gallop — and keeps balanced paper-regime pairs on the
+    // SSE2 block path.
+    const GALLOP_RATIO: usize = 16;
+    if a.len() * GALLOP_RATIO < b.len() {
+        return galloping_intersection_len(a, b);
+    }
+    if b.len() * GALLOP_RATIO < a.len() {
+        return galloping_intersection_len(b, a);
+    }
     let (mut i, mut j, mut c) = (0usize, 0usize, 0usize);
     #[cfg(target_arch = "x86_64")]
     {
@@ -826,6 +875,40 @@ fn merge_intersection_len(a: &[u32], b: &[u32]) -> usize {
         c += usize::from(x == y);
         i += usize::from(x <= y);
         j += usize::from(y <= x);
+    }
+    c
+}
+
+/// Galloping `|small ∩ large|` over strictly sorted slices: for each
+/// element of `small`, exponential search from a monotone cursor into
+/// `large` (the cursor never rewinds, so the total work is
+/// `O(|small|·log(|large|/|small|))` amortized). Only reached through the
+/// crossover in [`merge_intersection_len`]; the equivalence proptest pins
+/// it against the merge walk.
+fn galloping_intersection_len(small: &[u32], large: &[u32]) -> usize {
+    let mut c = 0usize;
+    let mut base = 0usize;
+    for &x in small {
+        if base >= large.len() {
+            break;
+        }
+        if large[base] < x {
+            // Gallop: double the step until large[base + step] ≥ x, then
+            // binary-search the last doubled window for the lower bound.
+            let mut step = 1usize;
+            while base + step < large.len() && large[base + step] < x {
+                step <<= 1;
+            }
+            let lo = base + (step >> 1);
+            let hi = (base + step).min(large.len());
+            base = lo + large[lo..hi].partition_point(|&v| v < x);
+        }
+        if let Some(&y) = large.get(base) {
+            if y == x {
+                c += 1;
+                base += 1;
+            }
+        }
     }
     c
 }
@@ -1199,6 +1282,46 @@ mod tests {
         sweep.gains(&st, &BitSet::new(16));
         assert_eq!(sweep.best(), None, "all-zero gains yield no pick");
         assert_eq!(sweep.last(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn gains_span_matches_full_sweep() {
+        let n = 96;
+        let st = store_with(
+            ReprPolicy::Auto,
+            n,
+            &[&[0, 1, 2], &[], &[5, 70], &(0..90).collect::<Vec<u32>>()],
+        );
+        let residual = BitSet::from_iter(n, (0..n).filter(|e| e % 2 == 0));
+        let mut sweep = BatchedSweep::new();
+        let all = sweep.gains(&st, &residual).to_vec();
+        assert_eq!(sweep.gains_span(&st, 0..4, &residual), &all[..]);
+        assert_eq!(sweep.gains_span(&st, 1..3, &residual), &all[1..3]);
+        assert_eq!(sweep.gains_span(&st, 2..2, &residual), &[] as &[usize]);
+    }
+
+    #[test]
+    fn galloping_matches_merge_walk_on_skewed_pairs() {
+        // |A| = 3 vs |B| = 64 crosses the ratio-16 crossover; the balanced
+        // pair stays on the merge walk. Both must agree with a BitSet
+        // reference.
+        let a: Vec<u32> = vec![0, 63, 127];
+        let b: Vec<u32> = (0..128).filter(|e| e % 2 == 1).collect();
+        let n = 128;
+        let sa = store_with(ReprPolicy::ForceSparse, n, &[&a]);
+        let sb = store_with(ReprPolicy::ForceSparse, n, &[&b]);
+        let expect = BitSet::from_iter(n, a.iter().map(|&e| e as usize))
+            .intersection_len(&BitSet::from_iter(n, b.iter().map(|&e| e as usize)));
+        assert_eq!(sa.get(0).intersection_len(sb.get(0)), expect);
+        assert_eq!(sb.get(0).intersection_len(sa.get(0)), expect, "symmetric");
+        assert_eq!(expect, 2); // 63 and 127
+                               // Degenerate skews: empty small side, and small side past large.
+        let empty = store_with(ReprPolicy::ForceSparse, n, &[&[]]);
+        assert_eq!(empty.get(0).intersection_len(sb.get(0)), 0);
+        let high = store_with(ReprPolicy::ForceSparse, n, &[&[126]]);
+        let low: Vec<u32> = (0..64).collect();
+        let slow = store_with(ReprPolicy::ForceSparse, n, &[&low]);
+        assert_eq!(high.get(0).intersection_len(slow.get(0)), 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! backed by the hybrid sparse/dense arena of [`crate::store`].
 
 use crate::bitset::BitSet;
+use crate::shard::{map_parts, split_ranges, ShardPlan, ShardedStore, StoreShard};
 use crate::store::{ReprPolicy, SetRef, SetStore};
 use std::fmt;
 
@@ -193,6 +194,85 @@ impl SetSystem {
     pub fn total_incidences(&self) -> usize {
         self.store.total_incidences()
     }
+
+    /// Wraps an already-built arena (the inverse of
+    /// [`into_store`](Self::into_store)).
+    pub fn from_store(store: SetStore) -> SetSystem {
+        SetSystem { store }
+    }
+
+    /// Unwraps the backing arena, consuming the system — how shard
+    /// assembly ([`ShardedStore::from_shard_stores`]) takes ownership of
+    /// per-worker arenas built through the `SetSystem` API.
+    pub fn into_store(self) -> SetStore {
+        self.store
+    }
+
+    /// Zero-copy shard views: `shards` contiguous near-equal set-id ranges
+    /// over the single flat arena (clamped to `[1, m]`, with at least one
+    /// view even when empty). Each [`StoreShard`] walks only its own
+    /// descriptor span, so parallel consumers — `ParallelPass` chunk
+    /// workers, parallel greedy seeding — iterate their own arena region
+    /// instead of striding a shared one.
+    pub fn shards(&self, shards: usize) -> Vec<StoreShard<'_>> {
+        let k = ShardPlan::BySetRange { shards }.shard_count(self.len(), self.universe());
+        split_ranges(self.len(), k)
+            .into_iter()
+            .map(|r| StoreShard::new(&self.store, r))
+            .collect()
+    }
+
+    /// Splits the system into per-shard arenas under `plan`, building each
+    /// shard on its own scoped thread. `BySetRange` shards are assembled
+    /// through the existing [`subsystem`](Self::subsystem) machinery
+    /// (representations copied verbatim); `ByUniverseBlocks` shards through
+    /// [`project`](Self::project) onto each block's domain (pieces re-homed
+    /// by the policy cutover, exactly like any other projection).
+    pub fn into_sharded(&self, plan: ShardPlan) -> ShardedStore {
+        let (n, policy) = (self.universe(), self.store.policy());
+        let k = plan.shard_count(self.len(), n);
+        match plan {
+            ShardPlan::BySetRange { .. } => {
+                let stores = map_parts(&split_ranges(self.len(), k), |r| {
+                    self.subsystem(r.clone()).into_store()
+                });
+                ShardedStore::from_shard_stores(n, policy, stores)
+            }
+            ShardPlan::ByUniverseBlocks { .. } => {
+                let blocks = split_ranges(n, k);
+                let stores = map_parts(&blocks, |b| {
+                    let dom = BitSet::from_iter(n, b.clone());
+                    self.project(&dom).into_store()
+                });
+                ShardedStore::from_block_stores(n, policy, stores, blocks)
+            }
+        }
+    }
+
+    /// Reassembles a flat system from per-shard arenas: the shard
+    /// concatenation under `BySetRange` (representations preserved
+    /// verbatim), the block-order piece concatenation per logical set under
+    /// `ByUniverseBlocks` (representations re-chosen by the policy).
+    /// Round-trips with [`into_sharded`](Self::into_sharded) to a
+    /// semantically equal system under every plan and policy.
+    pub fn from_shards(sharded: &ShardedStore) -> SetSystem {
+        let mut out = SetSystem::with_policy(sharded.universe(), sharded.policy());
+        match sharded.plan() {
+            ShardPlan::BySetRange { .. } => {
+                for shard in sharded.shards() {
+                    for j in 0..shard.len() {
+                        out.store.push_ref(shard.get(j));
+                    }
+                }
+            }
+            ShardPlan::ByUniverseBlocks { .. } => {
+                for i in 0..sharded.len() {
+                    out.store.push_sorted(&sharded.logical_elems(i));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl PartialEq for SetSystem {
@@ -316,6 +396,41 @@ mod tests {
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.set(0), s.set(2));
         assert_eq!(sub.set(1), s.set(0));
+    }
+
+    #[test]
+    fn shards_view_is_a_partition() {
+        let s = demo();
+        let shards = s.shards(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].ids(), 0..3);
+        assert_eq!(shards[1].ids(), 3..5);
+        assert_eq!(shards[1].get(0), s.set(3));
+        // Clamped to m, and the empty system still yields one view.
+        assert_eq!(s.shards(99).len(), 5);
+        assert_eq!(SetSystem::new(4).shards(3).len(), 1);
+    }
+
+    #[test]
+    fn sharded_round_trip_both_plans() {
+        use crate::shard::ShardPlan;
+        let s = demo();
+        for plan in [
+            ShardPlan::BySetRange { shards: 2 },
+            ShardPlan::ByUniverseBlocks { blocks: 3 },
+        ] {
+            let sharded = s.into_sharded(plan);
+            assert_eq!(sharded.len(), s.len(), "{plan:?}");
+            let back = SetSystem::from_shards(&sharded);
+            assert_eq!(back, s, "{plan:?} round-trip");
+        }
+    }
+
+    #[test]
+    fn into_store_from_store_round_trip() {
+        let s = demo();
+        let back = SetSystem::from_store(s.clone().into_store());
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Property tests for the galloping sparse×sparse intersection path: on
+//! deliberately *skewed* size ratios (`|A| ≪ |B|`, which cross the
+//! galloping crossover) the kernel must agree with the dense word-AND
+//! reference and stay symmetric — and balanced pairs, which stay on the
+//! SSE2 block merge, must agree with the same reference.
+
+use proptest::prelude::*;
+use streamcover_core::{BitSet, ReprPolicy, SetStore};
+
+/// Strategy: a universe, a small side, and a large side drawn dense enough
+/// that the size ratio routinely clears the crossover (the small side is
+/// capped at 4 elements, the large side ranges up to the whole universe).
+fn skewed_pair() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+    (128usize..512).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0usize..n, 0..4),
+            proptest::collection::vec(0usize..n, 0..n),
+        )
+    })
+}
+
+fn sparse_store(n: usize, elems: &[usize]) -> SetStore {
+    let mut st = SetStore::with_policy(n, ReprPolicy::ForceSparse);
+    st.push_elems(elems.iter().copied());
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn galloping_matches_dense_reference_and_is_symmetric(pair in skewed_pair()) {
+        let (n, small, large) = pair;
+        let sa = sparse_store(n, &small);
+        let sb = sparse_store(n, &large);
+        let (a, b) = (sa.get(0), sb.get(0));
+        let expect = BitSet::from_iter(n, small.iter().copied())
+            .intersection_len(&BitSet::from_iter(n, large.iter().copied()));
+        // Skewed direction (gallops when the ratio clears the crossover)
+        // and the mirrored call must both match the reference.
+        prop_assert_eq!(a.intersection_len(b), expect);
+        prop_assert_eq!(b.intersection_len(a), expect);
+        // The derived counting ops ride on the same kernel.
+        prop_assert_eq!(a.union_len(b), a.len() + b.len() - expect);
+        prop_assert_eq!(a.difference_len(b), a.len() - expect);
+    }
+
+    #[test]
+    fn balanced_pairs_still_match_reference(lists in (64usize..256).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0usize..n, 0..64),
+            proptest::collection::vec(0usize..n, 0..64),
+        )
+    })) {
+        let (n, xa, xb) = lists;
+        let sa = sparse_store(n, &xa);
+        let sb = sparse_store(n, &xb);
+        let expect = BitSet::from_iter(n, xa.iter().copied())
+            .intersection_len(&BitSet::from_iter(n, xb.iter().copied()));
+        prop_assert_eq!(sa.get(0).intersection_len(sb.get(0)), expect);
+        prop_assert_eq!(sb.get(0).intersection_len(sa.get(0)), expect);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the sharded arena storage: on arbitrary systems,
+//! `into_sharded → (shard reads) → from_shards` must round-trip to a
+//! semantically equal `SetSystem` under **both** `ShardPlan`s and **every**
+//! `ReprPolicy`, and the per-shard sweeps (`gains_sharded`, the zero-copy
+//! `shards()` spans) must agree with the unsharded `BatchedSweep`.
+
+use proptest::prelude::*;
+use streamcover_core::{BatchedSweep, BitSet, ReprPolicy, SetSystem, ShardPlan, ShardedStore};
+
+/// Strategy: `(universe, element lists, residual elements, shard count)`.
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<usize>, usize)> {
+    (1usize..140, 0usize..12).prop_flat_map(|(n, m)| {
+        (
+            Just(n),
+            proptest::collection::vec(proptest::collection::vec(0usize..n, 0..n), m),
+            proptest::collection::vec(0usize..n, 0..n),
+            1usize..7,
+        )
+    })
+}
+
+fn system_of(policy: ReprPolicy, n: usize, lists: &[Vec<usize>]) -> SetSystem {
+    let mut sys = SetSystem::with_policy(n, policy);
+    for l in lists {
+        sys.push_elems(l.iter().copied());
+    }
+    sys
+}
+
+const POLICIES: [ReprPolicy; 3] = [
+    ReprPolicy::ForceSparse,
+    ReprPolicy::ForceDense,
+    ReprPolicy::Auto,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_round_trip_under_every_plan_and_policy(inst in arb_instance()) {
+        let (n, lists, _, k) = inst;
+        for policy in POLICIES {
+            let sys = system_of(policy, n, &lists);
+            for plan in [
+                ShardPlan::BySetRange { shards: k },
+                ShardPlan::ByUniverseBlocks { blocks: k },
+            ] {
+                let sharded = sys.into_sharded(plan);
+                prop_assert_eq!(sharded.len(), sys.len());
+                prop_assert_eq!(sharded.universe(), sys.universe());
+                prop_assert_eq!(sharded.total_incidences(), sys.total_incidences());
+                // Logical reads through the (shard, local) split agree
+                // with the flat system.
+                for i in 0..sys.len() {
+                    let elems: Vec<usize> =
+                        sharded.logical_elems(i).iter().map(|&e| e as usize).collect();
+                    prop_assert_eq!(&elems, &sys.set(i).to_vec());
+                }
+                let back = SetSystem::from_shards(&sharded);
+                prop_assert_eq!(&back, &sys);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_construction_matches_into_sharded(inst in arb_instance()) {
+        let (n, lists, _, k) = inst;
+        // from_sorted_lists (the parallel construction path) and
+        // into_sharded (the subsystem/project path) must assemble
+        // semantically identical shards from the same input.
+        let sys = system_of(ReprPolicy::Auto, n, &lists);
+        let sorted: Vec<Vec<u32>> = (0..sys.len())
+            .map(|i| sys.set(i).iter().map(|e| e as u32).collect())
+            .collect();
+        for plan in [
+            ShardPlan::BySetRange { shards: k },
+            ShardPlan::ByUniverseBlocks { blocks: k },
+        ] {
+            let a = sys.into_sharded(plan);
+            let b = ShardedStore::from_sorted_lists(n, ReprPolicy::Auto, plan, &sorted);
+            prop_assert_eq!(a.num_shards(), b.num_shards());
+            prop_assert_eq!(SetSystem::from_shards(&a), SetSystem::from_shards(&b));
+        }
+    }
+
+    #[test]
+    fn sharded_sweeps_match_unsharded(inst in arb_instance()) {
+        let (n, lists, resid, k) = inst;
+        let residual = BitSet::from_iter(n, resid.iter().copied());
+        for policy in POLICIES {
+            let sys = system_of(policy, n, &lists);
+            let mut sweep = BatchedSweep::new();
+            let expect = sweep.gains(sys.store(), &residual).to_vec();
+
+            // BySetRange: shard-order concatenation is the gains vector.
+            let by_sets = sys.into_sharded(ShardPlan::BySetRange { shards: k });
+            let mut cat = Vec::new();
+            for s in 0..by_sets.num_shards() {
+                cat.extend_from_slice(sweep.gains_sharded(&by_sets, s, &residual));
+            }
+            prop_assert_eq!(&cat, &expect);
+
+            // ByUniverseBlocks: per-set gains sum across shards.
+            let by_blocks = sys.into_sharded(ShardPlan::ByUniverseBlocks { blocks: k });
+            let mut sums = vec![0usize; by_blocks.len()];
+            for s in 0..by_blocks.num_shards() {
+                let part = sweep.gains_sharded(&by_blocks, s, &residual).to_vec();
+                for (acc, g) in sums.iter_mut().zip(part) {
+                    *acc += g;
+                }
+            }
+            prop_assert_eq!(&sums, &expect);
+
+            // Zero-copy shard views: span sweeps concatenate to the gains
+            // vector too (same arena, no copies).
+            let mut cat_views = Vec::new();
+            for shard in sys.shards(k) {
+                cat_views.extend_from_slice(shard.gains(&mut sweep, &residual));
+            }
+            prop_assert_eq!(&cat_views, &expect);
+        }
+    }
+}

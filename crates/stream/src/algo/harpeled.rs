@@ -108,6 +108,11 @@ pub struct HarPeledAssadi {
     /// (1 = single-worker engine; picks and peaks are identical for every
     /// value — see [`crate::parallel`]).
     pub workers: usize,
+    /// Worker threads the o͂pt-guess grid itself fans out over — each guess
+    /// copy owns a private stream/meter/rng, so the grid is embarrassingly
+    /// parallel and the report is identical for every value (see
+    /// [`GuessDriver::with_workers`]).
+    pub guess_workers: usize,
 }
 
 impl HarPeledAssadi {
@@ -127,6 +132,7 @@ impl HarPeledAssadi {
             rate_constant: 16.0,
             accounting: Accounting::ActualRepr,
             workers: 1,
+            guess_workers: 1,
         }
     }
 
@@ -292,9 +298,13 @@ impl SetCoverStreamer for HarPeledAssadi {
     }
 
     fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
-        GuessDriver::new(self.eps).run(self.name(), sys, arrival, rng, |stream, meter, rng, k| {
-            self.run_guess(stream, meter, rng, k)
-        })
+        GuessDriver::with_workers(self.eps, self.guess_workers).run(
+            self.name(),
+            sys,
+            arrival,
+            rng,
+            |stream, meter, rng, k| self.run_guess(stream, meter, rng, k),
+        )
     }
 }
 

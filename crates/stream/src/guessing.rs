@@ -2,47 +2,78 @@
 //!
 //! Algorithm 1 assumes a `(1+ε)`-approximate guess of the optimum. As the
 //! paper notes, this is WLOG: run `O(log n / ε)` copies in parallel for the
-//! guesses `o͂pt ∈ {1, (1+ε), (1+ε)², …, n}` and return the smallest feasible
-//! cover among them. The driver simulates that parallel composition
-//! faithfully for the cost model:
+//! guesses `o͂pt ∈ {1, (1+ε), (1+ε)², …, min(n, m)}` and return the smallest
+//! feasible cover among them. The driver simulates that parallel
+//! composition faithfully for the cost model:
 //!
 //! * each guess runs against its **own stream with the same arrival
 //!   permutation** (one physical stream serves all copies in a real
 //!   deployment);
 //! * reported passes = the **maximum** over copies (parallel copies share
 //!   passes);
-//! * reported peak bits = the **sum** of the copies' peaks (they coexist).
+//! * reported peak bits = the **sum** of the copies' peaks (they coexist) —
+//!   copies are folded with [`SpaceMeter::absorb_parallel`].
+//!
+//! Since the copies are genuinely independent — each owns a private
+//! [`SetStream`], [`SpaceMeter`], and `StdRng` — the driver can *execute*
+//! them on real threads too ([`GuessDriver::with_workers`]): the grid is
+//! chunked over `std::thread::scope` workers and the reports are folded in
+//! guess order afterwards. Per-guess rngs are split deterministically from
+//! a single draw off the caller's rng, so the sequential and thread-parallel
+//! drivers return **identical** solutions, passes and peak bits for every
+//! worker count.
 
 use crate::meter::SpaceMeter;
 use crate::report::CoverRun;
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamcover_core::shard::{map_parts, split_ranges};
 use streamcover_core::{SetId, SetSystem};
 
 /// Runs a per-guess set cover routine over the `(1+ε)`-grid of guesses.
 #[derive(Clone, Copy, Debug)]
 pub struct GuessDriver {
     eps: f64,
+    workers: usize,
 }
 
 impl GuessDriver {
-    /// A driver with grid ratio `1+ε`.
+    /// A driver with grid ratio `1+ε`, executing the grid on one thread.
     pub fn new(eps: f64) -> Self {
-        assert!(eps > 0.0, "ε > 0 required");
-        GuessDriver { eps }
+        Self::with_workers(eps, 1)
     }
 
-    /// The guess grid `{1, ⌈(1+ε)⌉, ⌈(1+ε)²⌉, …}` clipped to `[1, n]`,
-    /// deduplicated.
-    pub fn guesses(&self, n: usize) -> Vec<usize> {
+    /// A driver fanning the guess grid out over `workers` threads (clamped
+    /// to ≥ 1). Reports are identical for every worker count.
+    pub fn with_workers(eps: f64, workers: usize) -> Self {
+        assert!(eps > 0.0, "ε > 0 required");
+        GuessDriver {
+            eps,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured fan-out.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The guess grid `{1, ⌈(1+ε)⌉, ⌈(1+ε)²⌉, …}` clipped to
+    /// `[1, min(n, m)]`, deduplicated. The `m` clip is sound because a
+    /// cover never uses more than `m` sets (and a guess is a pick budget),
+    /// so grids on wide systems (`m ≪ n`) are shorter than the classic
+    /// `O(log n / ε)` bound.
+    pub fn guesses(&self, n: usize, m: usize) -> Vec<usize> {
+        let cap = n.min(m).max(1);
         let mut out = Vec::new();
         let mut g = 1.0f64;
         loop {
-            let k = (g.ceil() as usize).min(n.max(1));
+            let k = (g.ceil() as usize).min(cap);
             if out.last() != Some(&k) {
                 out.push(k);
             }
-            if k >= n.max(1) {
+            if k >= cap {
                 break;
             }
             g *= 1.0 + self.eps;
@@ -50,25 +81,55 @@ impl GuessDriver {
         out
     }
 
-    /// Runs `per_guess` for every guess (fresh stream per copy, same arrival
-    /// order) and assembles the parallel-composition report.
+    /// Runs `per_guess` for every guess (fresh stream per copy, same
+    /// arrival order, private split rng) and assembles the
+    /// parallel-composition report. With `workers > 1` the grid executes
+    /// on scoped threads; the fold is in guess order either way, so the
+    /// report does not depend on the worker count.
     pub fn run(
         &self,
         name: &'static str,
         sys: &SetSystem,
         arrival: Arrival,
         rng: &mut StdRng,
-        per_guess: impl Fn(&mut SetStream<'_>, &SpaceMeter, &mut StdRng, usize) -> Option<Vec<SetId>>,
+        per_guess: impl Fn(&mut SetStream<'_>, &SpaceMeter, &mut StdRng, usize) -> Option<Vec<SetId>>
+            + Sync,
     ) -> CoverRun {
-        let mut best: Option<Vec<SetId>> = None;
-        let mut max_passes = 0usize;
-        let mut total_peak = 0u64;
-        for k in self.guesses(sys.universe()) {
+        let guesses = self.guesses(sys.universe(), sys.len());
+        // One draw, regardless of grid size or worker count: every copy's
+        // rng is split from it by guess index, so copies never share (or
+        // race on) a random stream.
+        let base: u64 = rng.gen();
+        let run_one = |(gi, &k): (usize, &usize)| {
+            let mut grng = StdRng::seed_from_u64(split_seed(base, gi));
             let mut stream = SetStream::new(sys, arrival);
             let meter = SpaceMeter::new();
-            let sol = per_guess(&mut stream, &meter, rng, k);
-            max_passes = max_passes.max(stream.passes_made());
-            total_peak += meter.peak_bits();
+            let sol = per_guess(&mut stream, &meter, &mut grng, k);
+            (sol, stream.passes_made(), meter)
+        };
+        // Contiguous chunks of the grid per worker (one chunk ⇒ inline,
+        // no spawn); flattening chunk results restores guess order for
+        // the fold.
+        let workers = self.workers.min(guesses.len()).max(1);
+        let chunks = split_ranges(guesses.len(), workers);
+        let results: Vec<(Option<Vec<SetId>>, usize, SpaceMeter)> = map_parts(&chunks, |r| {
+            r.clone()
+                .map(|gi| run_one((gi, &guesses[gi])))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Fold in guess order: passes max, peaks add (absorb_parallel —
+        // the copies coexist for the whole run), best = smallest feasible
+        // with ties to the earlier guess.
+        let driver_meter = SpaceMeter::new();
+        let mut best: Option<Vec<SetId>> = None;
+        let mut max_passes = 0usize;
+        for (sol, passes, meter) in results {
+            max_passes = max_passes.max(passes);
+            driver_meter.absorb_parallel(&meter);
             if let Some(sol) = sol {
                 debug_assert!(sys.is_cover(&sol), "per-guess returned a non-cover");
                 match &best {
@@ -83,17 +144,28 @@ impl GuessDriver {
                 feasible: true,
                 solution,
                 passes: max_passes,
-                peak_bits: total_peak,
+                peak_bits: driver_meter.peak_bits(),
             },
             None => CoverRun {
                 algorithm: name,
                 feasible: sys.universe() == 0,
                 solution: Vec::new(),
                 passes: max_passes,
-                peak_bits: total_peak,
+                peak_bits: driver_meter.peak_bits(),
             },
         }
     }
+}
+
+/// Deterministic per-guess seed split (SplitMix64 finalizer over
+/// `base ⊕ f(index)`): guess `idx`'s stream depends only on the caller's
+/// draw and its own grid position, never on other guesses or on which
+/// worker ran it.
+fn split_seed(base: u64, idx: usize) -> u64 {
+    let mut z = base ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -104,7 +176,7 @@ mod tests {
     #[test]
     fn guess_grid_covers_range() {
         let d = GuessDriver::new(0.5);
-        let g = d.guesses(100);
+        let g = d.guesses(100, 100);
         assert_eq!(g[0], 1);
         assert_eq!(*g.last().unwrap(), 100);
         // Strictly increasing, ratio ≤ 1.5 + rounding.
@@ -119,8 +191,22 @@ mod tests {
     #[test]
     fn guess_grid_degenerate() {
         let d = GuessDriver::new(0.5);
-        assert_eq!(d.guesses(1), vec![1]);
-        assert_eq!(d.guesses(0), vec![1]);
+        assert_eq!(d.guesses(1, 8), vec![1]);
+        assert_eq!(d.guesses(0, 8), vec![1]);
+        assert_eq!(d.guesses(100, 0), vec![1]);
+    }
+
+    #[test]
+    fn guess_grid_clips_to_set_count() {
+        // m ≪ n: a cover never needs more than m sets, so the grid stops
+        // at m — shorter than the n-capped grid on wide systems.
+        let d = GuessDriver::new(0.5);
+        let wide = d.guesses(10_000, 12);
+        assert_eq!(*wide.last().unwrap(), 12);
+        assert!(wide.iter().all(|&k| k <= 12));
+        assert!(wide.len() < d.guesses(10_000, 10_000).len());
+        // m ≥ n leaves the classic grid unchanged.
+        assert_eq!(d.guesses(100, 100), d.guesses(100, 5000));
     }
 
     #[test]
@@ -159,5 +245,69 @@ mod tests {
         let run = d.run("t", &sys, Arrival::Adversarial, &mut rng, |_, _, _, _| None);
         assert!(!run.feasible);
         assert!(run.solution.is_empty());
+    }
+
+    #[test]
+    fn thread_parallel_grid_matches_sequential_exactly() {
+        // A randomness-consuming per-guess routine: the split rng must make
+        // every copy's stream independent of worker count and grid
+        // position, so all reports coincide with the one-thread driver.
+        let sys = SetSystem::from_elements(
+            64,
+            &(0..64).map(|e| vec![e, (e + 1) % 64]).collect::<Vec<_>>(),
+        );
+        let per_guess = |st: &mut SetStream<'_>,
+                         me: &SpaceMeter,
+                         rng: &mut StdRng,
+                         k: usize|
+         -> Option<Vec<usize>> {
+            let mut picked = Vec::new();
+            let mut covered = streamcover_core::BitSet::new(st.universe());
+            for (i, s) in st.pass() {
+                if rng.gen_bool(0.9) || picked.len() < k {
+                    covered.union_with_ref(s);
+                    picked.push(i);
+                }
+            }
+            me.charge(picked.len() as u64 * 7);
+            covered.is_full().then_some(picked)
+        };
+        let run_with = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(99);
+            GuessDriver::with_workers(0.5, workers).run(
+                "t",
+                &sys,
+                Arrival::Random { seed: 3 },
+                &mut rng,
+                per_guess,
+            )
+        };
+        let base = run_with(1);
+        assert!(base.feasible);
+        for workers in [2, 4, 8, 64] {
+            let run = run_with(workers);
+            assert_eq!(run.solution, base.solution, "workers={workers}");
+            assert_eq!(run.passes, base.passes, "workers={workers}");
+            assert_eq!(run.peak_bits, base.peak_bits, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn caller_rng_consumption_is_worker_invariant() {
+        // The driver draws exactly one u64 from the caller's rng; the next
+        // caller draw must not depend on grid size or worker count.
+        let sys = SetSystem::from_elements(8, &[vec![0, 1, 2, 3, 4, 5, 6, 7]]);
+        let next_draw = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(7);
+            GuessDriver::with_workers(1.0, workers).run(
+                "t",
+                &sys,
+                Arrival::Adversarial,
+                &mut rng,
+                |_, _, _, _| Some(vec![0]),
+            );
+            rng.gen::<u64>()
+        };
+        assert_eq!(next_draw(1), next_draw(4));
     }
 }

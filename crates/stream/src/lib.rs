@@ -9,11 +9,17 @@
 //! * [`meter::SpaceMeter`] — bit-exact working-memory accounting (the
 //!   paper's cost model), with RAII [`meter::ChargeGuard`]s so early
 //!   returns can never leak live bits.
-//! * [`parallel::ParallelPass`] — `std::thread::scope` fan-out of one pass
-//!   over chunks of the arrival order; workers own private meters joined
-//!   via `absorb_join` (side-by-side within the pass, max across passes),
-//!   and the deterministic chunk-merge guarantees picks identical to the
-//!   sequential pass for every worker count.
+//! * [`parallel::ParallelPass`] — `std::thread::scope` fan-out of one
+//!   pass: the candidate filter runs one worker per zero-copy arena shard
+//!   and the refine merge block-partitions the residual by universe word
+//!   ranges; workers own private meters joined via `absorb_join`
+//!   (side-by-side within the pass, max across passes), and the
+//!   deterministic merge guarantees picks identical to the sequential
+//!   pass for every worker count.
+//! * [`guessing::GuessDriver`] — the o͂pt-guess grid (clipped to
+//!   `min(n, m)`), executable on scoped threads
+//!   ([`guessing::GuessDriver::with_workers`]) with per-guess split rngs;
+//!   sequential and thread-parallel drivers report identically.
 //! * [`report`] — uniform run reports and the [`report::SetCoverStreamer`] /
 //!   [`report::MaxCoverStreamer`] traits the bench harness sweeps.
 //!

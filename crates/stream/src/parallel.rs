@@ -18,18 +18,32 @@
 //! at every worker count.
 //!
 //! Picks are guaranteed **identical to the sequential pass** by a
-//! filter-then-refine chunk merge:
+//! filter-then-refine merge, and both phases are parallel:
 //!
-//! 1. *Filter (parallel)* — every worker computes, with one columnar
-//!    [`BatchedSweep`] over its chunk, each set's gain against the
-//!    **pass-start residual snapshot** and keeps the sets at or above the
-//!    acceptance threshold. Gains against a shrinking residual only
-//!    decrease (submodularity), so every set the sequential pass would
-//!    accept is necessarily a candidate.
-//! 2. *Refine (deterministic merge)* — candidates are concatenated in chunk
-//!    order (= arrival order) and re-evaluated against the *evolving*
-//!    residual, exactly as the sequential pass would; accepted sets update
-//!    the residual in arrival order.
+//! 1. *Filter (parallel over set-range shards)* — the arena is split into
+//!    zero-copy [`StoreShard`] views ([`SetSystem::shards`]), one per
+//!    worker; each worker computes, with one columnar
+//!    [`BatchedSweep::gains_span`] walk of **its own contiguous arena
+//!    region**, each set's gain against the **pass-start residual
+//!    snapshot** and keeps the sets at or above the acceptance threshold.
+//!    Gains against a shrinking residual only decrease (submodularity), so
+//!    every set the sequential pass would accept is necessarily a
+//!    candidate. Candidates are then ordered by arrival position — the
+//!    order the sequential pass would meet them in.
+//! 2. *Refine (parallel over universe blocks)* — candidates are
+//!    re-evaluated against the *evolving* residual in waves: each wave
+//!    computes every pending candidate's gain with the residual
+//!    **block-partitioned by universe word ranges** (one worker per
+//!    block, partial gains summed), rejects the arrival-order prefix
+//!    below threshold — the residual is unchanged until an accept, so
+//!    those rejections are exactly the sequential ones — accepts the
+//!    first candidate at or above threshold, updates the residual, and
+//!    continues with the still-viable suffix (suffix candidates already
+//!    below threshold are pruned for good: gains only shrink, so the
+//!    sequential scan would reject them too). The pick sequence is
+//!    therefore *identical* to the sequential scan while both the
+//!    candidate filter and the merge run on all workers; a single worker
+//!    skips the waves and runs the plain sequential re-evaluation.
 //!
 //! Worker accounting is worker-count-invariant by construction: workers
 //! only ever *charge* (monotone meters), so the sum of worker peaks is a
@@ -42,7 +56,11 @@
 
 use crate::meter::SpaceMeter;
 use crate::stream::SetStream;
-use streamcover_core::{ceil_log2, BatchedSweep, BitSet, SetId, SetRef, SetSystem};
+use streamcover_core::shard::{map_parts, split_ranges};
+use streamcover_core::{
+    ceil_log2, BatchedSweep, BitSet, ReprPolicy, SetId, SetRef, SetStore, SetSystem, ShardedStore,
+    StoreShard,
+};
 
 /// A pass-execution engine fanning work out over `workers` threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,37 +118,116 @@ impl ParallelPass {
         let order = stream.order();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
 
-        // Phase 1 — parallel candidate filter against the snapshot. The
-        // worker meters stay empty here (candidates are simulator state,
-        // see above); they exist so every pass joins workers uniformly.
-        let filter = |ids: &[SetId], snapshot: &BitSet| -> (Vec<SetId>, SpaceMeter) {
+        // Phase 1 — parallel candidate filter against the snapshot, one
+        // zero-copy arena shard per worker: each worker's gains_span walk
+        // reads its own contiguous descriptor (and element-arena) region.
+        // The worker meters stay empty here (candidates are simulator
+        // state, see above); they exist so every pass joins workers
+        // uniformly.
+        let shards = sys.shards(self.workers);
+        let filter = |shard: &StoreShard<'_>| -> (Vec<SetId>, SpaceMeter) {
             let mut sweep = BatchedSweep::new();
-            let gains = sweep.gains_for(sys.store(), ids, snapshot);
-            let cands: Vec<SetId> = ids
+            let start = shard.ids().start;
+            let cands: Vec<SetId> = shard
+                .gains(&mut sweep, residual)
                 .iter()
-                .zip(gains)
+                .enumerate()
                 .filter(|&(_, &g)| g >= threshold)
-                .map(|(&i, _)| i)
+                .map(|(j, _)| start + j)
                 .collect();
             (cands, SpaceMeter::new())
         };
-        let chunked = self.run_chunks(order, residual, filter);
+        let sharded: Vec<(Vec<SetId>, SpaceMeter)> = map_parts(&shards, filter);
+        meter.absorb_join(sharded.iter().map(|(_, w)| w));
 
-        // Phase 2 — deterministic merge: re-evaluate candidates in arrival
-        // order against the evolving residual, charging each accepted pick
-        // exactly as the sequential pass would.
-        meter.absorb_join(chunked.iter().map(|(_, w)| w));
+        // Candidates come back in set-id order per shard; the refine phase
+        // must meet them in *arrival* order, like the sequential pass.
+        let mut pos = vec![0u32; sys.len()];
+        for (p, &i) in order.iter().enumerate() {
+            pos[i] = p as u32;
+        }
+        let mut cands: Vec<SetId> = sharded.into_iter().flat_map(|(c, _)| c).collect();
+        cands.sort_unstable_by_key(|&i| pos[i]);
+
+        // Phase 2 — deterministic merge, charging each accepted pick
+        // exactly as the sequential pass would. One worker runs the plain
+        // sequential re-evaluation; more workers run it in waves with the
+        // residual block-partitioned by universe word ranges.
         let mut picks = 0usize;
-        for i in chunked.iter().flat_map(|(c, _)| c.iter().copied()) {
+        let mut accept = |i: SetId, residual: &mut BitSet| {
             let s = sys.set(i);
-            if s.intersection_len(residual.as_set_ref()) >= threshold {
-                residual.difference_with_ref(s);
-                meter.charge(logm);
-                on_pick(i, s);
-                picks += 1;
+            residual.difference_with_ref(s);
+            meter.charge(logm);
+            on_pick(i, s);
+            picks += 1;
+        };
+        if self.workers == 1 {
+            for i in cands {
+                if sys.set(i).intersection_len(residual.as_set_ref()) >= threshold {
+                    accept(i, residual);
+                }
             }
+            return picks;
+        }
+        // Wave invariant: every pending candidate's gain is computed
+        // against the same residual the sequential scan would have seen at
+        // its turn (rejections never change the residual). Everything
+        // before the first at-threshold candidate is therefore rejected
+        // exactly as sequentially; after the accept, suffix candidates
+        // already below threshold are pruned for good — gains against a
+        // shrinking residual only decrease (submodularity), so the
+        // sequential scan would reject them at their turn too. Total work
+        // is thus one block-sweep per wave over only the still-viable
+        // candidates, not the whole filter output.
+        let mut pending = cands;
+        while !pending.is_empty() {
+            let gains = self.block_gains(sys, &pending, residual);
+            let Some(idx) = gains.iter().position(|&g| g >= threshold) else {
+                break;
+            };
+            accept(pending[idx], residual);
+            pending = pending[idx + 1..]
+                .iter()
+                .zip(&gains[idx + 1..])
+                .filter(|&(_, &g)| g >= threshold)
+                .map(|(&i, _)| i)
+                .collect();
         }
         picks
+    }
+
+    /// Gains of `ids` against `residual`, each summed from per-block
+    /// partials computed in parallel over contiguous word ranges of the
+    /// residual (universe blocks, via `split_ranges` so no window is ever
+    /// inverted or out of range). Identical to the per-set
+    /// `intersection_len` by construction — the blocks partition the word
+    /// slab — and computed inline when one worker, or a wave too small to
+    /// amortize a thread spawn, makes a fan-out pointless.
+    fn block_gains(&self, sys: &SetSystem, ids: &[SetId], residual: &BitSet) -> Vec<usize> {
+        // Below this candidate×word product the whole wave is cheaper than
+        // one thread spawn (~µs vs ~ns/word of popcount work).
+        const MIN_BLOCK_WORK: usize = 1 << 15;
+        let words = residual.words();
+        let workers = self.workers.min(words.len()).max(1);
+        if workers == 1 || ids.len().saturating_mul(words.len()) < MIN_BLOCK_WORK {
+            return ids
+                .iter()
+                .map(|&i| sys.set(i).intersection_len(residual.as_set_ref()))
+                .collect();
+        }
+        let blocks = split_ranges(words.len(), workers);
+        let partials = map_parts(&blocks, |b| {
+            ids.iter()
+                .map(|&i| gain_in_word_block(sys.set(i), words, b.start, b.end))
+                .collect::<Vec<usize>>()
+        });
+        let mut gains = vec![0usize; ids.len()];
+        for part in partials {
+            for (g, p) in gains.iter_mut().zip(part) {
+                *g += p;
+            }
+        }
+        gains
     }
 
     /// Runs one storing pass: every arriving set is copied verbatim into a
@@ -157,7 +254,7 @@ impl ParallelPass {
         let n = sys.universe();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
 
-        let store_chunk = |ids: &[SetId], _snap: &BitSet| -> (Vec<SetId>, SetSystem, SpaceMeter) {
+        let store_chunk = |ids: &[SetId]| -> (Vec<SetId>, SetSystem, SpaceMeter) {
             let worker_meter = SpaceMeter::new();
             let mut stored = SetSystem::new(n);
             for &i in ids {
@@ -175,9 +272,7 @@ impl ParallelPass {
             }
             (ids.to_vec(), stored, worker_meter)
         };
-        // `run_chunks` wants a residual argument; storing needs none.
-        let empty = BitSet::new(0);
-        let chunked = self.run_chunks3(order, &empty, store_chunk);
+        let chunked = self.run_chunks(order, store_chunk);
 
         // The charged total is derived once, here, from the same worker
         // meters whose bits transfer to the caller — callers adopt this
@@ -190,56 +285,67 @@ impl ParallelPass {
             let (ids, stored, _) = chunked.into_iter().next().expect("one chunk");
             return (ids, stored, charged);
         }
+        // Multi-chunk merge through the sharded-store seam: each worker's
+        // arena becomes one `BySetRange` shard (chunks follow arrival
+        // order, so the shard concatenation *is* the arrival order), and
+        // `from_shards` reassembles the flat system with representations
+        // preserved verbatim.
         let mut arrival_ids: Vec<SetId> = Vec::with_capacity(order.len());
-        let mut merged = SetSystem::new(n);
-        for (ids, stored, _) in &chunked {
-            arrival_ids.extend_from_slice(ids);
-            for k in 0..stored.len() {
-                merged.push_ref(stored.set(k));
-            }
+        let mut stores: Vec<SetStore> = Vec::with_capacity(chunked.len());
+        for (ids, stored, _) in chunked {
+            arrival_ids.extend_from_slice(&ids);
+            stores.push(stored.into_store());
         }
-        (arrival_ids, merged, charged)
+        let sharded = ShardedStore::from_shard_stores(n, ReprPolicy::Auto, stores);
+        (arrival_ids, SetSystem::from_shards(&sharded), charged)
     }
 
     /// Fans `work` out over contiguous chunks of `order`, returning results
     /// in chunk (= arrival) order. With one worker (or a tiny order) the
     /// work runs inline — same code path, no spawn.
-    fn run_chunks<T: Send>(
+    fn run_chunks<T: Send, U: Send>(
         &self,
         order: &[SetId],
-        snapshot: &BitSet,
-        work: impl Fn(&[SetId], &BitSet) -> (Vec<SetId>, T) + Sync,
-    ) -> Vec<(Vec<SetId>, T)> {
-        self.run_chunks3(order, snapshot, |ids, snap| {
-            let (a, b) = work(ids, snap);
-            (a, (), b)
-        })
-        .into_iter()
-        .map(|(a, (), b)| (a, b))
-        .collect()
-    }
-
-    fn run_chunks3<T: Send, U: Send>(
-        &self,
-        order: &[SetId],
-        snapshot: &BitSet,
-        work: impl Fn(&[SetId], &BitSet) -> (Vec<SetId>, U, T) + Sync,
+        work: impl Fn(&[SetId]) -> (Vec<SetId>, U, T) + Sync,
     ) -> Vec<(Vec<SetId>, U, T)> {
         let workers = self.workers.min(order.len()).max(1);
         let chunk_len = order.len().div_ceil(workers).max(1);
         if workers == 1 {
-            return vec![work(order, snapshot)];
+            return vec![work(order)];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = order
                 .chunks(chunk_len)
-                .map(|chunk| scope.spawn(|| work(chunk, snapshot)))
+                .map(|chunk| scope.spawn(|| work(chunk)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("parallel pass worker panicked"))
                 .collect()
         })
+    }
+}
+
+/// `|s ∩ residual|` restricted to the word range `[wlo, whi)` of the
+/// residual slab — one universe block's contribution to a candidate's
+/// gain. Sparse views locate their block sub-slice with a
+/// `partition_point` pair (the elements are sorted); dense views AND the
+/// corresponding word sub-slices.
+fn gain_in_word_block(s: SetRef<'_>, words: &[u64], wlo: usize, whi: usize) -> usize {
+    match s {
+        SetRef::Sparse { elems, .. } => {
+            let lo = elems.partition_point(|&e| ((e >> 6) as usize) < wlo);
+            let hi = elems.partition_point(|&e| ((e >> 6) as usize) < whi);
+            elems[lo..hi]
+                .iter()
+                .filter(|&&e| words[(e >> 6) as usize] >> (e & 63) & 1 == 1)
+                .count()
+        }
+        SetRef::Dense { words: sw, .. } => sw[wlo..whi.min(sw.len())]
+            .iter()
+            .zip(&words[wlo..whi])
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum(),
     }
 }
 
@@ -362,6 +468,36 @@ mod tests {
         assert_eq!(stored.set(0).to_vec(), vec![2]);
         assert_eq!(stored.set(1).to_vec(), vec![2, 3]);
         assert!(stored.set(2).is_empty());
+    }
+
+    #[test]
+    fn block_refine_handles_non_dividing_word_counts() {
+        // Regression: a residual of 9 words (n = 576) split over 8 workers
+        // used to ceil-chunk into an inverted out-of-range window
+        // (block_len 2 ⇒ block 7 = [14, 9)) and panic once the wave was
+        // big enough to take the parallel path. The wave must instead
+        // reproduce the sequential picks; m is sized so the τ=1 candidate
+        // set crosses the MIN_BLOCK_WORK inline gate.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = streamcover_dist::planted_cover(&mut rng, 576, 4096, 16);
+        let (expect_picks, expect_residual) =
+            sequential_reference(&w.system, Arrival::Adversarial, 1);
+        for workers in [4, 8] {
+            let mut stream = SetStream::new(&w.system, Arrival::Adversarial);
+            let mut residual = BitSet::full(576);
+            let meter = SpaceMeter::new();
+            let mut picks = Vec::new();
+            ParallelPass::new(workers).threshold_pass(
+                &mut stream,
+                &mut residual,
+                1,
+                &meter,
+                |i, _| picks.push(i),
+            );
+            assert_eq!(picks, expect_picks, "workers={workers}");
+            assert_eq!(residual, expect_residual);
+        }
     }
 
     #[test]

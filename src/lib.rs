@@ -52,16 +52,16 @@ pub mod prelude {
     };
     pub use streamcover_core::{
         exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BatchedSweep,
-        BitSet, CoverError, ExactCover, SetId, SetSystem,
+        BitSet, CoverError, ExactCover, SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
-        blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, uniform_random, McParams,
-        ScParams,
+        blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
+        uniform_random, McParams, ScParams,
     };
     pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
     pub use streamcover_stream::{
-        Arrival, CoverRun, ElementSampling, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer,
-        OnlinePrune, ParallelPass, SahaGetoorSwap, SetCoverStreamer, SieveStream, SpaceMeter,
-        StoreAll, ThresholdGreedy,
+        Arrival, CoverRun, ElementSampling, GuessDriver, HarPeledAssadi, MaxCoverRun,
+        MaxCoverStreamer, OnlinePrune, ParallelPass, SahaGetoorSwap, SetCoverStreamer, SieveStream,
+        SpaceMeter, StoreAll, ThresholdGreedy,
     };
 }

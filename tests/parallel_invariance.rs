@@ -89,3 +89,51 @@ fn algorithm_one_is_worker_invariant() {
         }
     }
 }
+
+#[test]
+fn guess_grid_is_worker_invariant_across_workloads() {
+    // The full o͂pt-guess grid (the whole `GuessDriver` composition around
+    // Algorithm 1, not just one pass) fanned out over 1/2/4/8 threads must
+    // report identical picks, passes and summed peaks on every workload
+    // family and arrival order — each guess copy owns a private
+    // stream/meter/split-rng, so the fold cannot see the thread layout.
+    for (name, sys) in &workloads() {
+        for arrival in [Arrival::Adversarial, Arrival::Random { seed: 13 }] {
+            let run_with = |guess_workers: usize| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let algo = HarPeledAssadi {
+                    guess_workers,
+                    ..HarPeledAssadi::scaled(2, 0.5)
+                };
+                algo.run(sys, arrival, &mut rng)
+            };
+            let base = run_with(1);
+            for workers in [2, 4, 8] {
+                let run = run_with(workers);
+                runs_match(name, "assadi-alg1 (guess grid)", &base, &run, workers);
+            }
+        }
+    }
+}
+
+#[test]
+fn guess_grid_and_pass_workers_compose() {
+    // Both fan-outs at once — per-pass workers inside each guess *and*
+    // threads across the grid — still reproduce the fully sequential run.
+    for (name, sys) in &workloads() {
+        let run_with = |workers: usize, guess_workers: usize| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let algo = HarPeledAssadi {
+                workers,
+                guess_workers,
+                ..HarPeledAssadi::scaled(3, 0.5)
+            };
+            algo.run(sys, Arrival::Adversarial, &mut rng)
+        };
+        let base = run_with(1, 1);
+        for (w, gw) in [(2, 2), (4, 2), (2, 4), (8, 8)] {
+            let run = run_with(w, gw);
+            runs_match(name, "assadi-alg1 (composed)", &base, &run, w * gw);
+        }
+    }
+}
