@@ -13,14 +13,14 @@ fn bench(c: &mut Criterion) {
     let w = planted_cover(&mut rng, 1024, 64, 6);
     g.bench_function("threshold_greedy_n1024_m64", |b| {
         b.iter(|| {
-            ThresholdGreedy::default()
+            ThresholdGreedy
                 .run(&w.system, Arrival::Adversarial, &mut rng)
                 .size()
         })
     });
     g.bench_function("online_prune_n1024_m64", |b| {
         b.iter(|| {
-            OnlinePrune::default()
+            OnlinePrune
                 .run(&w.system, Arrival::Adversarial, &mut rng)
                 .size()
         })

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("stream_adapter_threshold_greedy", |b| {
         b.iter(|| {
             StreamingAsProtocol {
-                algo: ThresholdGreedy::default(),
+                algo: ThresholdGreedy,
             }
             .run(&inst.alice, &inst.bob, &mut rng)
             .1

@@ -17,16 +17,19 @@
 //! word-scan pays `n/64` word ops per pair while the sparse merge-walk
 //! pays `O(n^{1/3})`.
 //!
-//! The thread, shard and guess-grid arms are correctness-gated, not
-//! speed-gated: worker counts 1/2/4/8 must produce identical picks and
-//! identical merged peaks, sharded stores must round-trip and their
-//! per-shard sweeps must reproduce the flat gains at every shard count,
-//! and the thread-parallel o͂pt-guess grid must report the sequential
+//! The thread, runtime, shard and guess-grid arms are correctness-gated,
+//! not speed-gated: worker counts 1/2/4/8 must produce identical picks and
+//! identical merged peaks, the `runtime` arm additionally pins pooled
+//! dispatch (one persistent `Runtime` reused across runs) against fresh
+//! dispatch (spawn + teardown per run — the old scoped-thread cost shape)
+//! and against the sequential run, sharded stores must round-trip and
+//! their per-shard sweeps must reproduce the flat gains at every shard
+//! count, and the pooled o͂pt-guess grid must report the sequential
 //! driver's solution/passes/peaks at every fan-out (all asserted
-//! unconditionally, so `--smoke --check` is a shard-invariance and
-//! guess-grid gate too); wall-clock per worker count is recorded for the
-//! curious but CI machines (often 1–2 cores) make a speedup gate
-//! meaningless there.
+//! unconditionally, so `--smoke --check` is a runtime-identity,
+//! shard-invariance and guess-grid gate too); wall-clock per worker count
+//! is recorded for the curious but CI machines (often 1–2 cores) make a
+//! speedup gate meaningless there.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +41,9 @@ use streamcover_core::{
     BitSet, ReprPolicy, SetRef, SetSystem, ShardPlan, ShardedStore,
 };
 use streamcover_dist::{planted_cover, stress_cover, stress_cover_shards};
-use streamcover_stream::{Arrival, HarPeledAssadi, SetCoverStreamer, ThresholdGreedy};
+use streamcover_stream::{
+    Arrival, ExecPolicy, HarPeledAssadi, Runtime, SetCoverStreamer, ThresholdGreedy,
+};
 
 /// Median-of-samples ns/op for `f`, which must return a checksum (kept
 /// opaque via `black_box` so the work is not optimized away).
@@ -200,10 +205,11 @@ struct ThreadRow {
     speedup_vs_1: f64,
 }
 
-/// Benchmarks `ParallelPass` thread scaling through threshold greedy on a
-/// `stress_cover` workload (≥ 1024 sets per chunk at 4 workers), asserting
-/// pick/peak identity across worker counts — the determinism contract is
-/// gated here even when the host has too few cores for a speedup.
+/// Benchmarks pass-engine thread scaling through threshold greedy on a
+/// `stress_cover` workload (≥ 1024 sets per chunk at 4 workers), dispatched
+/// on one persistent `Runtime`, asserting pick/peak identity across worker
+/// counts — the determinism contract is gated here even when the host has
+/// too few cores for a speedup.
 fn bench_threads(seed: u64, smoke: bool) -> Vec<ThreadRow> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7a11);
     let w = if smoke {
@@ -212,24 +218,27 @@ fn bench_threads(seed: u64, smoke: bool) -> Vec<ThreadRow> {
         stress_cover(&mut rng, 4)
     };
     let (n, m) = (w.system.universe(), w.system.len());
-    let base = ThresholdGreedy::with_workers(1).run(&w.system, Arrival::Adversarial, &mut rng);
+    let rt = Runtime::default();
+    let base = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
     assert!(base.feasible, "thread-arm workload must be coverable");
     let samples = 5;
     let mut rows = Vec::new();
     let mut base_ns = 0.0f64;
     for workers in [1usize, 2, 4, 8] {
-        let algo = ThresholdGreedy::with_workers(workers);
-        let run = algo.run(&w.system, Arrival::Adversarial, &mut rng);
+        let policy = ExecPolicy::sequential().workers(workers);
+        let run = ThresholdGreedy.run_in(&rt, &policy, &w.system, Arrival::Adversarial, &mut rng);
         assert_eq!(
             run.solution, base.solution,
-            "ParallelPass picks diverged at {workers} workers"
+            "pass engine picks diverged at {workers} workers"
         );
         assert_eq!(
             run.peak_bits, base.peak_bits,
-            "ParallelPass merged peaks diverged at {workers} workers"
+            "pass engine merged peaks diverged at {workers} workers"
         );
         let ns = time_ns_per_op(1, samples, || {
-            algo.run(&w.system, Arrival::Adversarial, &mut rng).size() as u64
+            ThresholdGreedy
+                .run_in(&rt, &policy, &w.system, Arrival::Adversarial, &mut rng)
+                .size() as u64
         });
         if workers == 1 {
             base_ns = ns;
@@ -240,6 +249,100 @@ fn bench_threads(seed: u64, smoke: bool) -> Vec<ThreadRow> {
             m,
             run_ns: ns,
             speedup_vs_1: base_ns / ns,
+        });
+    }
+    rows
+}
+
+struct RuntimeRow {
+    workers: usize,
+    n: usize,
+    m: usize,
+    pooled_ns: f64,
+    fresh_ns: f64,
+    pooled_speedup: f64,
+}
+
+/// The `runtime` arm: per-pass overhead of a *pooled* dispatch (one
+/// persistent `Runtime` reused across every run) vs *fresh* dispatch (a
+/// new `Runtime` — thread spawn and teardown — per run, the cost shape of
+/// the old per-pass `std::thread::scope` engine), at 1/2/4/8 workers.
+/// Both modes use a runtime of the SAME width, so the ratio isolates
+/// pool reuse vs per-run spawn rather than conflating it with pool size.
+/// Identity vs the sequential run is asserted for both dispatch modes at
+/// every width — that is the gate; wall-clock is recorded for the curious
+/// (the CI container is 1-core, so only identity is enforced there).
+fn bench_runtime(seed: u64, smoke: bool) -> Vec<RuntimeRow> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4001);
+    let w = if smoke {
+        planted_cover(&mut rng, 2048, 2048, 16)
+    } else {
+        stress_cover(&mut rng, 4)
+    };
+    let (n, m) = (w.system.universe(), w.system.len());
+    let base = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+    assert!(base.feasible, "runtime-arm workload must be coverable");
+    let samples = 5;
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let policy = ExecPolicy::sequential().workers(workers);
+        let pooled_rt = Runtime::new(workers);
+        for (mode, run) in [
+            (
+                "pooled",
+                ThresholdGreedy.run_in(
+                    &pooled_rt,
+                    &policy,
+                    &w.system,
+                    Arrival::Adversarial,
+                    &mut rng,
+                ),
+            ),
+            (
+                "fresh",
+                ThresholdGreedy.run_in(
+                    &Runtime::new(workers),
+                    &policy,
+                    &w.system,
+                    Arrival::Adversarial,
+                    &mut rng,
+                ),
+            ),
+        ] {
+            assert_eq!(
+                run.solution, base.solution,
+                "{mode} dispatch picks diverged at {workers} workers"
+            );
+            assert_eq!(
+                run.peak_bits, base.peak_bits,
+                "{mode} dispatch peaks diverged at {workers} workers"
+            );
+            assert_eq!(run.passes, base.passes);
+        }
+        let pooled_ns = time_ns_per_op(1, samples, || {
+            ThresholdGreedy
+                .run_in(
+                    &pooled_rt,
+                    &policy,
+                    &w.system,
+                    Arrival::Adversarial,
+                    &mut rng,
+                )
+                .size() as u64
+        });
+        let fresh_ns = time_ns_per_op(1, samples, || {
+            let rt = Runtime::new(workers);
+            ThresholdGreedy
+                .run_in(&rt, &policy, &w.system, Arrival::Adversarial, &mut rng)
+                .size() as u64
+        });
+        rows.push(RuntimeRow {
+            workers,
+            n,
+            m,
+            pooled_ns,
+            fresh_ns,
+            pooled_speedup: fresh_ns / pooled_ns,
         });
     }
     rows
@@ -362,13 +465,17 @@ fn bench_guess_grid(seed: u64, smoke: bool) -> Vec<GuessGridRow> {
         (4096, 256, 16)
     };
     let w = planted_cover(&mut rng, n, m, opt);
+    let rt = Runtime::default();
     let run_with = |guess_workers: usize| {
         let mut r = StdRng::seed_from_u64(seed ^ 0xd21f);
-        let algo = HarPeledAssadi {
-            guess_workers,
-            ..HarPeledAssadi::scaled(3, 0.5)
-        };
-        algo.run(&w.system, Arrival::Adversarial, &mut r)
+        let algo = HarPeledAssadi::scaled(3, 0.5);
+        algo.run_in(
+            &rt,
+            &ExecPolicy::sequential().guess_workers(guess_workers),
+            &w.system,
+            Arrival::Adversarial,
+            &mut r,
+        )
     };
     let base = run_with(1);
     assert!(base.feasible, "guess-grid workload must be coverable");
@@ -532,6 +639,18 @@ fn main() {
             r.speedup_vs_1
         );
     }
+    let runtime_rows = bench_runtime(seed, smoke);
+    for r in &runtime_rows {
+        eprintln!(
+            "  runtime: n={} m={} workers={} pooled {:.2}ms vs fresh {:.2}ms — {:.2}x (identity asserted)",
+            r.n,
+            r.m,
+            r.workers,
+            r.pooled_ns / 1e6,
+            r.fresh_ns / 1e6,
+            r.pooled_speedup
+        );
+    }
     let shard_rows = bench_shards(seed, smoke);
     for r in &shard_rows {
         eprintln!(
@@ -644,6 +763,23 @@ fn main() {
             json,
             "    }}{}",
             if i + 1 < threads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"runtime\": [");
+    for (i, r) in runtime_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workers\": {},", r.workers);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"pooled_ns\": {:.0},", r.pooled_ns);
+        let _ = writeln!(json, "      \"fresh_ns\": {:.0},", r.fresh_ns);
+        let _ = writeln!(json, "      \"pooled_speedup\": {:.2},", r.pooled_speedup);
+        let _ = writeln!(json, "      \"identity\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < runtime_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ],");

@@ -80,7 +80,7 @@ pub fn e3_communication(scale: Scale, seed: u64) -> Table {
         (
             "stream-adapter(threshold-greedy)",
             Box::new(StreamingAsProtocol {
-                algo: ThresholdGreedy::default(),
+                algo: ThresholdGreedy,
             }),
         ),
         (

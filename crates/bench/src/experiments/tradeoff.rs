@@ -131,8 +131,8 @@ pub fn e8_baselines(scale: Scale, seed: u64) -> Table {
                 ..HarPeledAssadi::scaled(3, 0.5)
             }),
         ),
-        ("threshold-greedy", Box::new(ThresholdGreedy::default())),
-        ("online-prune", Box::new(OnlinePrune::default())),
+        ("threshold-greedy", Box::new(ThresholdGreedy)),
+        ("online-prune", Box::new(OnlinePrune)),
         ("store-all", Box::new(StoreAll::default())),
     ];
     let mn = (n * m) as f64;

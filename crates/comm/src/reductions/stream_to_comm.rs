@@ -76,7 +76,7 @@ mod tests {
         let a = w.system.subsystem(0..half);
         let b = w.system.subsystem(half..w.system.len());
         let proto = StreamingAsProtocol {
-            algo: ThresholdGreedy::default(),
+            algo: ThresholdGreedy,
         };
         let (est, tr) = proto.run(&a, &b, &mut rng);
         assert!(est >= 4, "estimate must be a cover size ≥ opt");

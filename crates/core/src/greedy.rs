@@ -94,12 +94,32 @@ pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) ->
 }
 
 /// [`greedy_cover_until`] with the heap-seeding sweep fanned out over
-/// `workers` scoped threads, each walking its own zero-copy arena shard
-/// ([`SetSystem::shards`]) — the `O(Σ|S|)` up-front sweep is the scan that
-/// dominates lazy greedy on wide systems, and it is embarrassingly
-/// parallel over set ranges. The CELF loop itself is untouched, so the
-/// picks are identical to [`greedy_cover_until`] for every worker count.
+/// `workers` zero-copy arena shards ([`SetSystem::shards`]) on the shared
+/// default [`Runtime`](crate::runtime::Runtime) — the `O(Σ|S|)` up-front
+/// sweep is the scan that dominates lazy greedy on wide systems, and it is
+/// embarrassingly parallel over set ranges. The CELF loop itself is
+/// untouched, so the picks are identical to [`greedy_cover_until`] for
+/// every worker count.
 pub fn greedy_cover_until_sharded(
+    sys: &SetSystem,
+    workers: usize,
+    max_picks: usize,
+    target: &BitSet,
+) -> CoverResult {
+    greedy_cover_until_sharded_in(
+        crate::runtime::Runtime::global(),
+        sys,
+        workers,
+        max_picks,
+        target,
+    )
+}
+
+/// [`greedy_cover_until_sharded`] on an explicit runtime: the per-shard
+/// seeding sweeps are pooled work items on `rt`. Picks are identical to
+/// [`greedy_cover_until`] for every shard count and pool size.
+pub fn greedy_cover_until_sharded_in(
+    rt: &crate::runtime::Runtime,
     sys: &SetSystem,
     workers: usize,
     max_picks: usize,
@@ -111,7 +131,7 @@ pub fn greedy_cover_until_sharded(
         "target universe mismatch"
     );
     let shards = sys.shards(workers);
-    let per_shard: Vec<Vec<usize>> = crate::shard::map_parts(&shards, |sh| {
+    let per_shard: Vec<Vec<usize>> = rt.map_parts(&shards, |sh| {
         let mut sweep = BatchedSweep::new();
         sh.gains(&mut sweep, target).to_vec()
     });

@@ -18,6 +18,13 @@
 //!   many-vs-one companion is [`store::BatchedSweep`]: the gain of *every*
 //!   set against one residual in a single columnar arena walk — the kernel
 //!   under the greedy solvers and the streaming candidate filters.
+//! * [`runtime`] — the **persistent execution runtime**: a long-lived pool
+//!   of parked worker threads ([`runtime::Runtime`]) with per-worker
+//!   injector/stealer deques and a structured-submission API
+//!   ([`runtime::Runtime::scope`] / [`runtime::Runtime::map_parts`]) that
+//!   every fan-out in the workspace routes through — one spawn cost for the
+//!   process lifetime instead of one per pass. Results are identical at
+//!   every pool size and across pool reuse.
 //! * [`shard`] — **sharded arena storage**: [`shard::ShardedStore`] splits a
 //!   system into per-shard [`store::SetStore`] arenas under a
 //!   [`shard::ShardPlan`] (contiguous set-id ranges or universe blocks),
@@ -66,6 +73,7 @@ pub mod exact;
 pub mod fractional;
 pub mod greedy;
 pub mod io;
+pub mod runtime;
 pub mod shard;
 pub mod stats;
 pub mod store;
@@ -78,10 +86,11 @@ pub use exact::{
 };
 pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
 pub use greedy::{
-    greedy_cover_until, greedy_cover_until_eager, greedy_cover_until_sharded, greedy_max_coverage,
-    greedy_set_cover, CoverResult,
+    greedy_cover_until, greedy_cover_until_eager, greedy_cover_until_sharded,
+    greedy_cover_until_sharded_in, greedy_max_coverage, greedy_set_cover, CoverResult,
 };
 pub use io::{read_instance, write_instance, ParseError};
+pub use runtime::Runtime;
 pub use shard::{ShardPlan, ShardedStore, StoreShard};
 pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
 pub use store::{BatchedSweep, ReprPolicy, SetRef, SetRepr, SetStore};

@@ -1,0 +1,518 @@
+//! The persistent execution runtime: a long-lived pool of parked worker
+//! threads behind a structured-submission API.
+//!
+//! Every fan-out in the workspace used to pay a fresh `std::thread::scope`
+//! spawn per pass/wave/shard — the overhead that made multi-worker runs
+//! *slower* than sequential on 1–2-core hosts. A [`Runtime`] amortizes that
+//! cost: its workers are spawned once, park on a `Condvar` when idle, and
+//! per-worker deques with work stealing keep them busy when a fan-out's
+//! parts are uneven (a refine wave's blocks, a guess grid's copies).
+//!
+//! Built on `std` only (`std::thread` + `Mutex`/`Condvar` job slots — no
+//! external dependencies, consistent with the offline `crates/compat`
+//! stance). One deliberate simplification: all deques sit behind a single
+//! `Mutex` (the same lock the park/wake `Condvar` uses), so queue
+//! operations serialize. That is the right trade at the workspace's task
+//! granularity — work items are whole shards/chunks/waves, gated by
+//! `MIN_BLOCK_WORK`-style inline cutoffs, so lock traffic is a handful of
+//! acquisitions per pass — and it keeps the parking protocol trivially
+//! race-free. Per-deque locks (or lock-free Chase–Lev deques) are the
+//! known next step if profiling ever shows handoff contention; see
+//! ROADMAP.
+//!
+//! Structure:
+//!
+//! * [`Runtime::scope`] — structured submission: tasks spawned inside the
+//!   scope may borrow from the enclosing frame (like `std::thread::scope`);
+//!   the scope does not return until every task has completed, and a task
+//!   panic is resumed on the submitting thread at scope end.
+//! * [`Runtime::map_parts`] — the one fork/join shape the workspace uses:
+//!   run a closure once per part, results in part order. **Results are
+//!   identical for every pool size and across pool reuse** — each part
+//!   writes its own slot, so scheduling can never reorder or leak state.
+//! * Submission is re-entrant: a task may itself call `scope`/`map_parts`
+//!   on the same runtime (parallel passes inside parallel guesses). The
+//!   submitting thread always *helps* execute its own scope's tasks, so
+//!   nested submission makes progress even when every pool worker is busy.
+//! * [`Runtime::default`] sizes the pool from
+//!   [`std::thread::available_parallelism`], overridable with the
+//!   `STREAMCOVER_WORKERS` environment variable; [`Runtime::global`] and
+//!   [`Runtime::sequential`] are the lazily-initialized shared instances
+//!   (default-sized and single-worker respectively).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A persistent pool of parked worker threads.
+///
+/// A runtime with `workers() == w` executes fan-outs at parallelism `w`:
+/// `w - 1` pool threads plus the submitting thread, which always
+/// participates. `Runtime::new(1)` therefore spawns no threads at all and
+/// runs every submission inline — the sequential runtime.
+///
+/// The runtime is `Sync`: one instance may serve concurrent and nested
+/// submissions (the o͂pt-guess grid fans out guesses whose passes fan out
+/// again on the same pool).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+/// State shared between the pool threads and submitters.
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Signalled when tasks are injected (workers park here when idle).
+    work: Condvar,
+}
+
+/// The per-worker injector/stealer deques.
+struct Queues {
+    decks: Vec<VecDeque<Task>>,
+    /// Round-robin injection cursor.
+    next: usize,
+    shutdown: bool,
+}
+
+/// One unit of submitted work, tagged with the scope that awaits it.
+struct Task {
+    scope: Arc<ScopeState>,
+    // Lifetime-erased from `'env`; sound because `Runtime::scope` blocks
+    // until the owning scope's pending count reaches zero before `'env`
+    // data can go out of scope.
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Completion latch of one scope: pending task count + first task panic.
+struct ScopeState {
+    done: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    finished: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            done: Mutex::new((0, None)),
+            finished: Condvar::new(),
+        }
+    }
+
+    fn add_pending(&self) {
+        self.done.lock().expect("scope latch poisoned").0 += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut d = self.done.lock().expect("scope latch poisoned");
+        d.0 -= 1;
+        if d.1.is_none() {
+            d.1 = panic;
+        } else {
+            drop(panic); // keep the first payload only
+        }
+        if d.0 == 0 {
+            self.finished.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut d = self.done.lock().expect("scope latch poisoned");
+        while d.0 > 0 {
+            d = self.finished.wait(d).expect("scope latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.done.lock().expect("scope latch poisoned").1.take()
+    }
+}
+
+/// Handle for spawning tasks into an open [`Runtime::scope`]. Tasks may
+/// borrow anything that outlives the scope (`'env`).
+pub struct Scope<'rt, 'env> {
+    rt: &'rt Runtime,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Submits one task. On a sequential runtime (no pool threads) the task
+    /// runs inline, immediately; otherwise it is injected into a worker
+    /// deque and executed by whichever thread — a parked worker, a stealing
+    /// worker, or the submitter itself while it waits — claims it first.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        if self.rt.threads.is_empty() {
+            f();
+            return;
+        }
+        let run: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the task only borrows data outliving 'env, and
+        // `Runtime::scope` waits for this scope's pending count to reach
+        // zero (helping to drain it) before returning control to the frame
+        // that owns that data — even when the scope body or a sibling task
+        // panics. The erased box never outlives the wait.
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
+        self.state.add_pending();
+        self.rt.inject(Task {
+            scope: Arc::clone(&self.state),
+            run,
+        });
+    }
+}
+
+impl Runtime {
+    /// A runtime executing fan-outs at parallelism `workers` (clamped to
+    /// ≥ 1): `workers − 1` persistent pool threads plus the submitting
+    /// thread. `Runtime::new(1)` spawns nothing and runs submissions
+    /// inline.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues {
+                decks: (1..workers).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let threads = (0..workers - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("streamcover-rt-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The pool's parallelism (pool threads + the submitting thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared default-sized runtime (see [`Runtime::default`]),
+    /// initialized lazily on first use and alive for the process lifetime —
+    /// the pool behind the convenience entry points that take no explicit
+    /// runtime ([`crate::shard::map_parts`] and friends).
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runtime::new(default_workers()))
+    }
+
+    /// The shared single-worker runtime, initialized lazily: every
+    /// submission runs inline on the calling thread. This is what the
+    /// legacy `run(...)` entry points delegate to, so their behavior is
+    /// byte-for-byte the old sequential one.
+    pub fn sequential() -> &'static Runtime {
+        static SEQ: OnceLock<Runtime> = OnceLock::new();
+        SEQ.get_or_init(|| Runtime::new(1))
+    }
+
+    /// Opens a structured-submission scope: `f` may spawn borrowing tasks
+    /// through the [`Scope`]; when `scope` returns, every spawned task has
+    /// completed. If the body or any task panicked, the panic is resumed
+    /// here (the body's payload takes precedence), after all tasks have
+    /// finished — borrowed data is never left aliased by a live task.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let scope = Scope {
+            rt: self,
+            state: Arc::new(ScopeState::new()),
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help execute this scope's still-queued tasks, then wait out any
+        // that other threads claimed.
+        while let Some(task) = self.claim_from_scope(&scope.state) {
+            run_task(task);
+        }
+        scope.state.wait_idle();
+        let task_panic = scope.state.take_panic();
+        match result {
+            Err(p) => resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    /// Runs `work` once per part — on pool threads plus the calling thread
+    /// when the runtime has any, inline otherwise — returning results in
+    /// part order. The one fork/join shape every fan-out in the workspace
+    /// routes through; results are independent of the pool size, the
+    /// stealing schedule, and any previous use of the runtime.
+    pub fn map_parts<P: Sync, T: Send>(
+        &self,
+        parts: &[P],
+        work: impl Fn(&P) -> T + Sync,
+    ) -> Vec<T> {
+        if parts.len() <= 1 || self.threads.is_empty() {
+            return parts.iter().map(&work).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (slot, part) in slots.iter().zip(parts) {
+                let work = &work;
+                s.spawn(move || {
+                    *slot.lock().expect("result slot poisoned") = Some(work(part));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("scope completed every part")
+            })
+            .collect()
+    }
+
+    /// Pushes a task onto the next deque (round-robin injection) and wakes
+    /// a parked worker.
+    fn inject(&self, task: Task) {
+        {
+            let mut q = self.shared.queues.lock().expect("runtime queues poisoned");
+            let slot = q.next % q.decks.len();
+            q.next = q.next.wrapping_add(1);
+            q.decks[slot].push_back(task);
+        }
+        self.shared.work.notify_one();
+    }
+
+    /// Pops one still-queued task belonging to `scope`, searching every
+    /// deque — the submitter's help path while its scope drains.
+    fn claim_from_scope(&self, scope: &Arc<ScopeState>) -> Option<Task> {
+        if self.threads.is_empty() {
+            return None;
+        }
+        let mut q = self.shared.queues.lock().expect("runtime queues poisoned");
+        for deck in &mut q.decks {
+            if let Some(pos) = deck.iter().position(|t| Arc::ptr_eq(&t.scope, scope)) {
+                return deck.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+impl Default for Runtime {
+    /// A runtime sized from [`std::thread::available_parallelism`], or from
+    /// the `STREAMCOVER_WORKERS` environment variable when set to a
+    /// positive integer.
+    fn default() -> Self {
+        Runtime::new(default_workers())
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queues.lock().expect("runtime queues poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Runtime{{workers={}}}", self.workers)
+    }
+}
+
+/// The default pool parallelism: `STREAMCOVER_WORKERS` when set to a
+/// positive integer, else [`std::thread::available_parallelism`] (1 when
+/// even that is unavailable).
+pub fn default_workers() -> usize {
+    match std::env::var("STREAMCOVER_WORKERS") {
+        Ok(v) => parse_workers(&v)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get())),
+        Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
+}
+
+/// Parses a `STREAMCOVER_WORKERS` value; `None` for anything that is not a
+/// positive integer (the override is then ignored).
+fn parse_workers(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&w| w >= 1)
+}
+
+/// One pool worker: pop from the own deque, steal from the fullest other
+/// deque, park when everything is empty.
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        let task = {
+            let mut q = shared.queues.lock().expect("runtime queues poisoned");
+            loop {
+                if let Some(t) = q.decks[me].pop_front() {
+                    break Some(t);
+                }
+                if let Some(t) = steal(&mut q, me) {
+                    break Some(t);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.work.wait(q).expect("runtime queues poisoned");
+            }
+        };
+        match task {
+            Some(t) => run_task(t),
+            None => return,
+        }
+    }
+}
+
+/// Steals one task from the back of the fullest deque other than `me`.
+fn steal(q: &mut Queues, me: usize) -> Option<Task> {
+    let victim = (0..q.decks.len())
+        .filter(|&i| i != me && !q.decks[i].is_empty())
+        .max_by_key(|&i| q.decks[i].len())?;
+    q.decks[victim].pop_back()
+}
+
+/// Executes one task, recording a panic on its scope instead of unwinding
+/// through (and killing) the pool thread; the panic is resumed by the
+/// submitter at scope end.
+fn run_task(task: Task) {
+    let outcome = catch_unwind(AssertUnwindSafe(task.run)).err();
+    task.scope.complete(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_parts_matches_inline_at_every_pool_size() {
+        let parts: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = parts.iter().map(|&p| p * p + 1).collect();
+        for workers in [1, 2, 3, 8] {
+            let rt = Runtime::new(workers);
+            assert_eq!(rt.workers(), workers);
+            let got = rt.map_parts(&parts, |&p| p * p + 1);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_reuse_leaks_no_state_between_submissions() {
+        let rt = Runtime::new(4);
+        for round in 0..50usize {
+            let parts: Vec<usize> = (0..round + 1).collect();
+            let got = rt.map_parts(&parts, |&p| p + round);
+            let expect: Vec<usize> = parts.iter().map(|&p| p + round).collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn nested_submission_makes_progress() {
+        // Outer fan-out saturates the pool; each task fans out again on the
+        // same runtime. The submitter-helps discipline must keep this from
+        // deadlocking even with a single pool thread.
+        let rt = Runtime::new(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let got = rt.map_parts(&outer, |&o| {
+            let inner: Vec<usize> = (0..5).collect();
+            rt.map_parts(&inner, |&i| o * 10 + i).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = outer.iter().map(|&o| 5 * (o * 10) + 10).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_and_all_complete() {
+        let rt = Runtime::new(3);
+        let hits = AtomicUsize::new(0);
+        let label = String::from("borrowed");
+        rt.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    assert_eq!(label.as_str(), "borrowed");
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in task")]
+    fn task_panic_propagates_to_submitter() {
+        let rt = Runtime::new(4);
+        let parts = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        let _ = rt.map_parts(&parts, |&p| {
+            if p == 5 {
+                panic!("boom in task");
+            }
+            p
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_submission() {
+        let rt = Runtime::new(4);
+        let parts = [0usize, 1, 2, 3];
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            rt.map_parts(&parts, |&p| if p == 2 { panic!("transient") } else { p })
+        }));
+        assert!(r.is_err());
+        // The pool is intact and deterministic afterwards.
+        assert_eq!(rt.map_parts(&parts, |&p| p * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn sequential_runtime_runs_inline() {
+        let rt = Runtime::new(1);
+        assert!(rt.threads.is_empty());
+        let tid = std::thread::current().id();
+        let got = rt.map_parts(&[0usize, 1, 2], |_| std::thread::current().id());
+        assert!(got.iter().all(|&t| t == tid), "no thread may be spawned");
+    }
+
+    #[test]
+    fn shared_runtimes_are_distinct_and_sized() {
+        assert_eq!(Runtime::sequential().workers(), 1);
+        assert!(Runtime::global().workers() >= 1);
+        let parts: Vec<u32> = (0..16).collect();
+        assert_eq!(
+            Runtime::global().map_parts(&parts, |&p| p + 1),
+            Runtime::sequential().map_parts(&parts, |&p| p + 1),
+        );
+    }
+
+    #[test]
+    fn workers_parse_rules() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 2 "), Some(2));
+        assert_eq!(parse_workers("0"), None);
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("many"), None);
+        assert_eq!(parse_workers(""), None);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_sequential() {
+        let rt = Runtime::new(0);
+        assert_eq!(rt.workers(), 1);
+        assert_eq!(rt.map_parts(&[1, 2, 3], |&p: &i32| p), vec![1, 2, 3]);
+    }
+}

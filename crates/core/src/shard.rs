@@ -97,8 +97,10 @@ pub struct ShardedStore {
 }
 
 impl ShardedStore {
-    /// Parallel construction from strictly increasing element lists: one
-    /// scoped thread builds each shard's arena.
+    /// Parallel construction from strictly increasing element lists on the
+    /// shared default [`Runtime`](crate::runtime::Runtime): each shard's
+    /// arena is one pooled work item (see
+    /// [`from_sorted_lists_in`](Self::from_sorted_lists_in)).
     ///
     /// Under `BySetRange`, shard `s` pushes its id range of `lists`; under
     /// `ByUniverseBlocks`, shard `b` pushes the sub-slice of *every* list
@@ -108,6 +110,29 @@ impl ShardedStore {
     /// # Panics
     /// Panics if any list violates [`SetStore::push_sorted`]'s contract.
     pub fn from_sorted_lists(
+        universe: usize,
+        policy: ReprPolicy,
+        plan: ShardPlan,
+        lists: &[Vec<u32>],
+    ) -> Self {
+        Self::from_sorted_lists_in(
+            crate::runtime::Runtime::global(),
+            universe,
+            policy,
+            plan,
+            lists,
+        )
+    }
+
+    /// [`from_sorted_lists`](Self::from_sorted_lists) on an explicit
+    /// runtime: the per-shard builds are submitted to `rt`'s persistent
+    /// pool instead of spawning scoped threads per call. The constructed
+    /// store is identical for every pool size.
+    ///
+    /// # Panics
+    /// Panics if any list violates [`SetStore::push_sorted`]'s contract.
+    pub fn from_sorted_lists_in(
+        rt: &crate::runtime::Runtime,
         universe: usize,
         policy: ReprPolicy,
         plan: ShardPlan,
@@ -124,7 +149,7 @@ impl ShardedStore {
                     }
                     st
                 };
-                let shards = map_parts(&ranges, build);
+                let shards = rt.map_parts(&ranges, build);
                 ShardedStore {
                     plan: ShardPlan::BySetRange { shards: k },
                     universe,
@@ -144,7 +169,7 @@ impl ShardedStore {
                     }
                     st
                 };
-                let shards = map_parts(&blocks, build);
+                let shards = rt.map_parts(&blocks, build);
                 ShardedStore {
                     plan: ShardPlan::ByUniverseBlocks { blocks: k },
                     universe,
@@ -354,22 +379,17 @@ impl ShardedStore {
     }
 }
 
-/// Runs `work` once per part on scoped threads — inline when there is only
-/// one part — returning results in part order. The one fork/join shape
-/// every per-shard fan-out in the workspace uses (shard construction, the
+/// Runs `work` once per part on the shared default-sized
+/// [`Runtime`](crate::runtime::Runtime) — inline when there is only one
+/// part — returning results in part order. The one fork/join shape every
+/// per-shard fan-out in the workspace uses (shard construction, the
 /// `into_sharded` splits, parallel greedy seeding, `ParallelPass`'s
-/// candidate filter).
+/// candidate filter). Callers holding their own runtime should use
+/// [`Runtime::map_parts`](crate::runtime::Runtime::map_parts) directly;
+/// this free function exists for entry points with no runtime in scope and
+/// pays no per-call spawn either way (the pool is persistent).
 pub fn map_parts<P: Sync, T: Send>(parts: &[P], work: impl Fn(&P) -> T + Sync) -> Vec<T> {
-    if parts.len() <= 1 {
-        return parts.iter().map(&work).collect();
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = parts.iter().map(|p| scope.spawn(|| work(p))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("per-shard worker panicked"))
-            .collect()
-    })
+    crate::runtime::Runtime::global().map_parts(parts, work)
 }
 
 /// A zero-copy shard view over one flat [`SetStore`] arena: a contiguous

@@ -2,7 +2,7 @@
 //! backed by the hybrid sparse/dense arena of [`crate::store`].
 
 use crate::bitset::BitSet;
-use crate::shard::{map_parts, split_ranges, ShardPlan, ShardedStore, StoreShard};
+use crate::shard::{split_ranges, ShardPlan, ShardedStore, StoreShard};
 use crate::store::{ReprPolicy, SetRef, SetStore};
 use std::fmt;
 
@@ -222,25 +222,35 @@ impl SetSystem {
             .collect()
     }
 
-    /// Splits the system into per-shard arenas under `plan`, building each
-    /// shard on its own scoped thread. `BySetRange` shards are assembled
-    /// through the existing [`subsystem`](Self::subsystem) machinery
-    /// (representations copied verbatim); `ByUniverseBlocks` shards through
-    /// [`project`](Self::project) onto each block's domain (pieces re-homed
-    /// by the policy cutover, exactly like any other projection).
+    /// Splits the system into per-shard arenas under `plan`, building the
+    /// shards in parallel on the shared default
+    /// [`Runtime`](crate::runtime::Runtime) (see
+    /// [`into_sharded_in`](Self::into_sharded_in)). `BySetRange` shards are
+    /// assembled through the existing [`subsystem`](Self::subsystem)
+    /// machinery (representations copied verbatim); `ByUniverseBlocks`
+    /// shards through [`project`](Self::project) onto each block's domain
+    /// (pieces re-homed by the policy cutover, exactly like any other
+    /// projection).
     pub fn into_sharded(&self, plan: ShardPlan) -> ShardedStore {
+        self.into_sharded_in(crate::runtime::Runtime::global(), plan)
+    }
+
+    /// [`into_sharded`](Self::into_sharded) on an explicit runtime: each
+    /// shard's build is one pooled work item on `rt`. The result is
+    /// identical for every pool size.
+    pub fn into_sharded_in(&self, rt: &crate::runtime::Runtime, plan: ShardPlan) -> ShardedStore {
         let (n, policy) = (self.universe(), self.store.policy());
         let k = plan.shard_count(self.len(), n);
         match plan {
             ShardPlan::BySetRange { .. } => {
-                let stores = map_parts(&split_ranges(self.len(), k), |r| {
+                let stores = rt.map_parts(&split_ranges(self.len(), k), |r| {
                     self.subsystem(r.clone()).into_store()
                 });
                 ShardedStore::from_shard_stores(n, policy, stores)
             }
             ShardPlan::ByUniverseBlocks { .. } => {
                 let blocks = split_ranges(n, k);
-                let stores = map_parts(&blocks, |b| {
+                let stores = rt.map_parts(&blocks, |b| {
                     let dom = BitSet::from_iter(n, b.clone());
                     self.project(&dom).into_store()
                 });

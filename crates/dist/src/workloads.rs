@@ -91,8 +91,10 @@ pub fn planted_cover<R: Rng + ?Sized>(
 
 /// A planted workload sized for thread-parallel passes: with `threads`
 /// workers, every chunk of the arrival order still holds at least 1024
-/// sets, so a `ParallelPass` fan-out of up to `threads` workers has real
-/// work per thread (and the candidate filter dominates the spawn cost).
+/// sets, so a pass-engine fan-out of up to `threads` runtime workers
+/// (`ExecPolicy::workers` dispatched on a `Runtime` pool) has real work
+/// per work item — the candidate filter dominates the dispatch overhead,
+/// which the persistent pool keeps to a queue push instead of a spawn.
 ///
 /// Concretely: `n = 4096`, `m = max(4, threads) · 1024`, planted optimum 32.
 ///

@@ -27,9 +27,10 @@
 //! implement `U ← U \ ⋃_{i∈OPT'} S_i`.
 
 use crate::guessing::GuessDriver;
-use crate::meter::{Accounting, SpaceMeter, WORD};
+use crate::meter::{SpaceMeter, WORD};
 use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -79,6 +80,13 @@ pub enum InnerSolver {
 }
 
 /// Algorithm 1 with its ablation knobs.
+///
+/// The struct carries *algorithmic* parameters only. Execution —
+/// per-pass fan-out, guess-grid fan-out, storage representation, space
+/// accounting, run seed — is configured on the
+/// [`ExecPolicy`] handed to
+/// [`run_in`](crate::report::SetCoverStreamer::run_in); the legacy
+/// per-algorithm `workers`/`guess_workers`/`accounting` fields are gone.
 #[derive(Clone, Copy, Debug)]
 pub struct HarPeledAssadi {
     /// Target approximation `α ≥ 1`.
@@ -98,21 +106,6 @@ pub struct HarPeledAssadi {
     /// with slightly higher probability, which the o͂pt-guess grid absorbs.
     /// Recorded as a substitution in DESIGN.md §4.
     pub rate_constant: f64,
-    /// How retained projections are charged to the [`SpaceMeter`]. The
-    /// default [`Accounting::ActualRepr`] charges what the hybrid store
-    /// actually holds (sparse member lists below the density cutover,
-    /// `n`-bit maps above); [`Accounting::AlwaysSparse`] reproduces the
-    /// pre-refactor always-a-member-list convention for comparisons.
-    pub accounting: Accounting,
-    /// Worker threads fanned out over the pruning and storing passes
-    /// (1 = single-worker engine; picks and peaks are identical for every
-    /// value — see [`crate::parallel`]).
-    pub workers: usize,
-    /// Worker threads the o͂pt-guess grid itself fans out over — each guess
-    /// copy owns a private stream/meter/rng, so the grid is embarrassingly
-    /// parallel and the report is identical for every value (see
-    /// [`GuessDriver::with_workers`]).
-    pub guess_workers: usize,
 }
 
 impl HarPeledAssadi {
@@ -130,9 +123,6 @@ impl HarPeledAssadi {
                 node_budget: 50_000,
             },
             rate_constant: 16.0,
-            accounting: Accounting::ActualRepr,
-            workers: 1,
-            guess_workers: 1,
         }
     }
 
@@ -165,18 +155,21 @@ impl HarPeledAssadi {
         p.min(1.0)
     }
 
-    /// Runs Algorithm 1 for a fixed guess `k = o͂pt`. Returns `None` when the
-    /// guess fails (sampled instance not coverable within `k` picks, or `U`
-    /// nonempty after the rounds); the guessing driver then moves on.
+    /// Runs Algorithm 1 for a fixed guess `k = o͂pt` on `rt` under
+    /// `policy`. Returns `None` when the guess fails (sampled instance not
+    /// coverable within `k` picks, or `U` nonempty after the rounds); the
+    /// guessing driver then moves on.
     ///
     /// Space charged: `U` as a dense `n`-bit map, the solution ids, the
     /// sampled universe and every stored projection `S'_i` under the
-    /// configured [`Accounting`]. All retained state is held through RAII
-    /// `ChargeGuard`s, so the early `return None` below (and any future
-    /// one) releases exactly what is live — nothing leaks, nothing is
-    /// force-reset.
+    /// policy's [`Accounting`](crate::meter::Accounting). All retained
+    /// state is held through RAII `ChargeGuard`s, so the early
+    /// `return None` below (and any future one) releases exactly what is
+    /// live — nothing leaks, nothing is force-reset.
     pub fn run_guess(
         &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
         stream: &mut SetStream<'_>,
         meter: &SpaceMeter,
         rng: &mut StdRng,
@@ -188,7 +181,7 @@ impl HarPeledAssadi {
         if n == 0 {
             return Some(Vec::new());
         }
-        let engine = ParallelPass::new(self.workers);
+        let engine = ParallelPass::from_policy(rt, policy);
 
         // U as a dense bitmap, live for the whole run; the solution ids
         // accrete into their own guard (`logm` bits each).
@@ -243,7 +236,7 @@ impl HarPeledAssadi {
             // instance ids — the `logm` per stored set is exactly that id).
             let mut stored_guard = meter.guard(0);
             let (arrival_ids, projected, stored_bits) =
-                engine.store_pass(stream, meter, Some((&u_smpl, self.accounting)));
+                engine.store_pass(stream, meter, Some((&u_smpl, policy.accounting)));
             stored_guard.adopt(stored_bits);
 
             // Offline oracle on the sample, capped at k picks; map its
@@ -297,13 +290,24 @@ impl SetCoverStreamer for HarPeledAssadi {
         }
     }
 
-    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
-        GuessDriver::with_workers(self.eps, self.guess_workers).run(
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        arrival: Arrival,
+        rng: &mut StdRng,
+    ) -> CoverRun {
+        let mut slot = None;
+        let rng = policy.select_rng(rng, &mut slot);
+        GuessDriver::new(self.eps).run(
             self.name(),
+            rt,
+            policy,
             sys,
             arrival,
             rng,
-            |stream, meter, rng, k| self.run_guess(stream, meter, rng, k),
+            |stream, meter, rng, k| self.run_guess(rt, policy, stream, meter, rng, k),
         )
     }
 }
@@ -311,6 +315,7 @@ impl SetCoverStreamer for HarPeledAssadi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meter::Accounting;
     use rand::SeedableRng;
     use streamcover_dist::{planted_cover, ScParams};
 
@@ -446,11 +451,14 @@ mod tests {
 
         let run_with = |accounting: Accounting| {
             let mut r = StdRng::seed_from_u64(42);
-            let algo = HarPeledAssadi {
-                accounting,
-                ..HarPeledAssadi::scaled(alpha, eps)
-            };
-            algo.run(&sys, Arrival::Adversarial, &mut r)
+            let algo = HarPeledAssadi::scaled(alpha, eps);
+            algo.run_in(
+                Runtime::sequential(),
+                &ExecPolicy::sequential().accounting(accounting),
+                &sys,
+                Arrival::Adversarial,
+                &mut r,
+            )
         };
         let actual = run_with(Accounting::ActualRepr);
         let always_sparse = run_with(Accounting::AlwaysSparse);

@@ -19,37 +19,29 @@
 use crate::meter::SpaceMeter;
 use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use streamcover_core::{BitSet, SetId, SetSystem};
 
-/// Single-pass accept-then-prune set cover heuristic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct OnlinePrune {
-    /// Worker threads fanned out over the accept pass (1 = single-worker
-    /// engine; the picks are identical for every value).
-    pub workers: usize,
-}
-
-impl Default for OnlinePrune {
-    fn default() -> Self {
-        OnlinePrune { workers: 1 }
-    }
-}
-
-impl OnlinePrune {
-    /// An instance fanning the accept pass out over `workers` threads.
-    pub fn with_workers(workers: usize) -> Self {
-        OnlinePrune { workers }
-    }
-}
+/// Single-pass accept-then-prune set cover heuristic. Carries no execution
+/// state: fan-out is the [`ExecPolicy`]'s business.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlinePrune;
 
 impl SetCoverStreamer for OnlinePrune {
     fn name(&self) -> &'static str {
         "online-prune"
     }
 
-    fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        arrival: Arrival,
+        _rng: &mut StdRng,
+    ) -> CoverRun {
         let n = sys.universe();
         let mut stream = SetStream::new(sys, arrival);
         let meter = SpaceMeter::new();
@@ -59,7 +51,7 @@ impl SetCoverStreamer for OnlinePrune {
         // Accept pass (τ = 1): keep any set with positive marginal
         // coverage, storing its contents. Pick ids are charged by the
         // engine; set contents are charged here and released if pruned.
-        let engine = ParallelPass::new(self.workers);
+        let engine = ParallelPass::from_policy(rt, policy);
         let mut kept: Vec<(SetId, BitSet, u64)> = Vec::new();
         engine.threshold_pass(&mut stream, &mut residual, 1, &meter, |i, s| {
             meter.charge(s.stored_bits());
@@ -115,7 +107,7 @@ mod tests {
     fn single_pass_and_feasible() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = planted_cover(&mut rng, 128, 24, 4);
-        let run = OnlinePrune::default().run(&w.system, Arrival::Adversarial, &mut rng);
+        let run = OnlinePrune.run(&w.system, Arrival::Adversarial, &mut rng);
         assert_eq!(run.passes, 1);
         assert!(run.feasible);
         assert!(w.system.is_cover(&run.solution));
@@ -127,7 +119,7 @@ mod tests {
         // set makes every singleton redundant.
         let sys = SetSystem::from_elements(4, &[vec![0], vec![1], vec![2], vec![0, 1, 2, 3]]);
         let mut rng = StdRng::seed_from_u64(2);
-        let run = OnlinePrune::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
         assert!(run.feasible);
         assert_eq!(run.solution, vec![3], "prune must keep only the full set");
     }
@@ -136,7 +128,7 @@ mod tests {
     fn keeps_no_zero_gain_sets() {
         let sys = SetSystem::from_elements(3, &[vec![0, 1, 2], vec![0], vec![1, 2]]);
         let mut rng = StdRng::seed_from_u64(3);
-        let run = OnlinePrune::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
         assert_eq!(run.solution, vec![0]);
     }
 
@@ -144,7 +136,7 @@ mod tests {
     fn infeasible_reported() {
         let sys = SetSystem::from_elements(3, &[vec![0]]);
         let mut rng = StdRng::seed_from_u64(4);
-        let run = OnlinePrune::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let run = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
         assert!(!run.feasible);
     }
 
@@ -156,7 +148,7 @@ mod tests {
         sets.push((0..64).collect()); // full set last in instance order
         let sys = SetSystem::from_elements(64, &sets);
         let mut rng = StdRng::seed_from_u64(5);
-        let adv = OnlinePrune::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let adv = OnlinePrune.run(&sys, Arrival::Adversarial, &mut rng);
         assert!(adv.peak_bits > 64 * 6, "worst order must hoard sets");
         assert_eq!(adv.solution, vec![63]);
     }
@@ -165,10 +157,17 @@ mod tests {
     fn worker_count_never_changes_the_run() {
         let mut rng = StdRng::seed_from_u64(6);
         let w = planted_cover(&mut rng, 256, 48, 6);
+        let rt = Runtime::new(4);
         for arrival in [Arrival::Adversarial, Arrival::Random { seed: 2 }] {
-            let base = OnlinePrune::with_workers(1).run(&w.system, arrival, &mut rng);
+            let base = OnlinePrune.run(&w.system, arrival, &mut rng);
             for workers in [2, 8] {
-                let run = OnlinePrune::with_workers(workers).run(&w.system, arrival, &mut rng);
+                let run = OnlinePrune.run_in(
+                    &rt,
+                    &ExecPolicy::sequential().workers(workers),
+                    &w.system,
+                    arrival,
+                    &mut rng,
+                );
                 assert_eq!(run.solution, base.solution, "workers={workers}");
                 assert_eq!(run.peak_bits, base.peak_bits, "workers={workers}");
             }

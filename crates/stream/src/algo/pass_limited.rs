@@ -7,6 +7,7 @@
 //! infeasible rather than silently over-budget.
 
 use crate::report::{CoverRun, SetCoverStreamer};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::Arrival;
 use rand::rngs::StdRng;
 use streamcover_core::SetSystem;
@@ -24,8 +25,15 @@ impl<S: SetCoverStreamer> SetCoverStreamer for PassLimited<S> {
         "pass-limited"
     }
 
-    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
-        let run = self.inner.run(sys, arrival, rng);
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        arrival: Arrival,
+        rng: &mut StdRng,
+    ) -> CoverRun {
+        let run = self.inner.run_in(rt, policy, sys, arrival, rng);
         if run.passes > self.max_passes {
             return CoverRun {
                 algorithm: self.name(),
@@ -65,7 +73,7 @@ mod tests {
         let w = planted_cover(&mut rng, 1024, 32, 4);
         // Threshold greedy needs ~log n passes; 2 is not enough.
         let wrapped = PassLimited {
-            inner: ThresholdGreedy::default(),
+            inner: ThresholdGreedy,
             max_passes: 2,
         };
         let run = wrapped.run(&w.system, Arrival::Adversarial, &mut rng);

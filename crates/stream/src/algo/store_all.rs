@@ -6,37 +6,24 @@
 use crate::meter::SpaceMeter;
 use crate::parallel::ParallelPass;
 use crate::report::{CoverRun, SetCoverStreamer};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use streamcover_core::{budgeted_cover_of, BitSet, SetSystem};
 
-/// One-pass store-all exact baseline.
+/// One-pass store-all exact baseline. The storing pass's fan-out is the
+/// [`ExecPolicy`]'s business; the struct only carries the solver budget.
 #[derive(Clone, Copy, Debug)]
 pub struct StoreAll {
     /// Node budget for the offline exact solve (falls back to the greedy
     /// incumbent when exceeded).
     pub node_budget: u64,
-    /// Worker threads fanned out over the storing pass (1 = single-worker
-    /// engine; the stored system and peaks are identical for every value).
-    pub workers: usize,
 }
 
 impl Default for StoreAll {
     fn default() -> Self {
         StoreAll {
             node_budget: 5_000_000,
-            workers: 1,
-        }
-    }
-}
-
-impl StoreAll {
-    /// The default node budget with the storing pass fanned out over
-    /// `workers` threads.
-    pub fn with_workers(workers: usize) -> Self {
-        StoreAll {
-            workers,
-            ..Self::default()
         }
     }
 }
@@ -46,14 +33,21 @@ impl SetCoverStreamer for StoreAll {
         "store-all"
     }
 
-    fn run(&self, sys: &SetSystem, arrival: Arrival, _rng: &mut StdRng) -> CoverRun {
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        arrival: Arrival,
+        _rng: &mut StdRng,
+    ) -> CoverRun {
         let mut stream = SetStream::new(sys, arrival);
         let meter = SpaceMeter::new();
         let n = stream.universe();
         // Storing pass: per-worker arenas merged in arrival order; every
         // copy's bits stay live for the offline solve.
         let (order, stored, _stored_bits) =
-            ParallelPass::new(self.workers).store_pass(&mut stream, &meter, None);
+            ParallelPass::from_policy(rt, policy).store_pass(&mut stream, &meter, None);
         // Offline exact solve on the stored copy.
         let target = BitSet::full(n);
         let (ids, _complete) = budgeted_cover_of(&stored, &target, self.node_budget);
@@ -126,10 +120,17 @@ mod tests {
     fn worker_count_never_changes_the_run() {
         let mut rng = StdRng::seed_from_u64(5);
         let w = planted_cover(&mut rng, 128, 40, 5);
+        let rt = Runtime::new(4);
         for arrival in [Arrival::Adversarial, Arrival::Random { seed: 9 }] {
-            let base = StoreAll::with_workers(1).run(&w.system, arrival, &mut rng);
+            let base = StoreAll::default().run(&w.system, arrival, &mut rng);
             for workers in [2, 8] {
-                let run = StoreAll::with_workers(workers).run(&w.system, arrival, &mut rng);
+                let run = StoreAll::default().run_in(
+                    &rt,
+                    &ExecPolicy::sequential().workers(workers),
+                    &w.system,
+                    arrival,
+                    &mut rng,
+                );
                 assert_eq!(run.solution, base.solution, "workers={workers}");
                 assert_eq!(run.peak_bits, base.peak_bits, "workers={workers}");
             }

@@ -16,47 +16,35 @@
 //!
 //! Since the copies are genuinely independent — each owns a private
 //! [`SetStream`], [`SpaceMeter`], and `StdRng` — the driver can *execute*
-//! them on real threads too ([`GuessDriver::with_workers`]): the grid is
-//! chunked over `std::thread::scope` workers and the reports are folded in
-//! guess order afterwards. Per-guess rngs are split deterministically from
-//! a single draw off the caller's rng, so the sequential and thread-parallel
-//! drivers return **identical** solutions, passes and peak bits for every
-//! worker count.
+//! them on a persistent [`Runtime`] pool too: [`GuessDriver::run`] chunks
+//! the grid into the policy's `guess_workers` work items and folds the
+//! reports in guess order afterwards. Per-guess rngs are split
+//! deterministically from a single draw off the caller's rng, so the
+//! sequential and pooled drivers return **identical** solutions, passes and
+//! peak bits for every fan-out width and pool size.
 
 use crate::meter::SpaceMeter;
 use crate::report::CoverRun;
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use streamcover_core::shard::{map_parts, split_ranges};
+use streamcover_core::shard::split_ranges;
 use streamcover_core::{SetId, SetSystem};
 
 /// Runs a per-guess set cover routine over the `(1+ε)`-grid of guesses.
 #[derive(Clone, Copy, Debug)]
 pub struct GuessDriver {
     eps: f64,
-    workers: usize,
 }
 
 impl GuessDriver {
-    /// A driver with grid ratio `1+ε`, executing the grid on one thread.
+    /// A driver with grid ratio `1+ε`. Execution (fan-out width, meter
+    /// fold) is configured per call by the [`ExecPolicy`] handed to
+    /// [`run`](Self::run) — the driver itself carries no thread knobs.
     pub fn new(eps: f64) -> Self {
-        Self::with_workers(eps, 1)
-    }
-
-    /// A driver fanning the guess grid out over `workers` threads (clamped
-    /// to ≥ 1). Reports are identical for every worker count.
-    pub fn with_workers(eps: f64, workers: usize) -> Self {
         assert!(eps > 0.0, "ε > 0 required");
-        GuessDriver {
-            eps,
-            workers: workers.max(1),
-        }
-    }
-
-    /// The configured fan-out.
-    pub fn workers(&self) -> usize {
-        self.workers
+        GuessDriver { eps }
     }
 
     /// The guess grid `{1, ⌈(1+ε)⌉, ⌈(1+ε)²⌉, …}` clipped to
@@ -83,12 +71,16 @@ impl GuessDriver {
 
     /// Runs `per_guess` for every guess (fresh stream per copy, same
     /// arrival order, private split rng) and assembles the
-    /// parallel-composition report. With `workers > 1` the grid executes
-    /// on scoped threads; the fold is in guess order either way, so the
-    /// report does not depend on the worker count.
+    /// parallel-composition report. With `policy.guess_workers > 1` the
+    /// grid executes as work items on `rt`'s pool; the fold is in guess
+    /// order either way, so the report depends on neither the fan-out
+    /// width nor the pool size.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         name: &'static str,
+        rt: &Runtime,
+        policy: &ExecPolicy,
         sys: &SetSystem,
         arrival: Arrival,
         rng: &mut StdRng,
@@ -107,29 +99,34 @@ impl GuessDriver {
             let sol = per_guess(&mut stream, &meter, &mut grng, k);
             (sol, stream.passes_made(), meter)
         };
-        // Contiguous chunks of the grid per worker (one chunk ⇒ inline,
-        // no spawn); flattening chunk results restores guess order for
-        // the fold.
-        let workers = self.workers.min(guesses.len()).max(1);
+        // Contiguous chunks of the grid per work item (one chunk ⇒ inline,
+        // no submission); flattening chunk results restores guess order
+        // for the fold.
+        let workers = policy.guess_workers.min(guesses.len()).max(1);
         let chunks = split_ranges(guesses.len(), workers);
-        let results: Vec<(Option<Vec<SetId>>, usize, SpaceMeter)> = map_parts(&chunks, |r| {
-            r.clone()
-                .map(|gi| run_one((gi, &guesses[gi])))
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let results: Vec<(Option<Vec<SetId>>, usize, SpaceMeter)> = rt
+            .map_parts(&chunks, |r| {
+                r.clone()
+                    .map(|gi| run_one((gi, &guesses[gi])))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
-        // Fold in guess order: passes max, peaks add (absorb_parallel —
-        // the copies coexist for the whole run), best = smallest feasible
-        // with ties to the earlier guess.
+        // Fold in guess order: passes max, peaks folded under the policy's
+        // guess fold (`Concurrent` by default — the copies coexist for the
+        // whole run, so peaks add). One joint absorb over ALL copy meters:
+        // `Concurrent` is additive so the joint fold equals per-copy folds,
+        // but `Scoped`'s `max(peak, live + Σ worker peaks)` is only correct
+        // over the whole set at once. Best = smallest feasible with ties to
+        // the earlier guess.
         let driver_meter = SpaceMeter::new();
+        driver_meter.absorb(policy.guess_fold, results.iter().map(|(_, _, m)| m));
         let mut best: Option<Vec<SetId>> = None;
         let mut max_passes = 0usize;
-        for (sol, passes, meter) in results {
+        for (sol, passes, _meter) in results {
             max_passes = max_passes.max(passes);
-            driver_meter.absorb_parallel(&meter);
             if let Some(sol) = sol {
                 debug_assert!(sys.is_cover(&sol), "per-guess returned a non-cover");
                 match &best {
@@ -217,6 +214,8 @@ mod tests {
         // per_guess: guess 1 → the singleton full set; guess ≥ 2 → 3 sets.
         let run = d.run(
             "t",
+            Runtime::sequential(),
+            &ExecPolicy::sequential(),
             &sys,
             Arrival::Adversarial,
             &mut rng,
@@ -242,7 +241,15 @@ mod tests {
         let sys = SetSystem::from_elements(2, &[vec![0]]);
         let d = GuessDriver::new(1.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let run = d.run("t", &sys, Arrival::Adversarial, &mut rng, |_, _, _, _| None);
+        let run = d.run(
+            "t",
+            Runtime::sequential(),
+            &ExecPolicy::sequential(),
+            &sys,
+            Arrival::Adversarial,
+            &mut rng,
+            |_, _, _, _| None,
+        );
         assert!(!run.feasible);
         assert!(run.solution.is_empty());
     }
@@ -272,10 +279,13 @@ mod tests {
             me.charge(picked.len() as u64 * 7);
             covered.is_full().then_some(picked)
         };
+        let rt = Runtime::new(4);
         let run_with = |workers: usize| {
             let mut rng = StdRng::seed_from_u64(99);
-            GuessDriver::with_workers(0.5, workers).run(
+            GuessDriver::new(0.5).run(
                 "t",
+                &rt,
+                &ExecPolicy::sequential().guess_workers(workers),
                 &sys,
                 Arrival::Random { seed: 3 },
                 &mut rng,
@@ -293,14 +303,43 @@ mod tests {
     }
 
     #[test]
+    fn scoped_guess_fold_joins_all_copies_at_once() {
+        // Each copy's peak is transient (charged then released): a joint
+        // Scoped fold must report live + the SUM of all copy peaks, not
+        // the running max that per-copy folds used to produce.
+        use crate::meter::MeterFold;
+        let sys = SetSystem::from_elements(4, &[vec![0, 1, 2, 3], vec![0]]);
+        let d = GuessDriver::new(1.0);
+        let n_guesses = d.guesses(4, 2).len() as u64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let run = d.run(
+            "t",
+            Runtime::sequential(),
+            &ExecPolicy::sequential().guess_fold(MeterFold::Scoped),
+            &sys,
+            Arrival::Adversarial,
+            &mut rng,
+            |st, me, _rng, _k| {
+                for _ in st.pass() {}
+                drop(me.guard(100)); // transient: peak 100, live 0
+                Some(vec![0])
+            },
+        );
+        assert_eq!(run.peak_bits, 100 * n_guesses, "copy peaks must sum");
+    }
+
+    #[test]
     fn caller_rng_consumption_is_worker_invariant() {
         // The driver draws exactly one u64 from the caller's rng; the next
         // caller draw must not depend on grid size or worker count.
         let sys = SetSystem::from_elements(8, &[vec![0, 1, 2, 3, 4, 5, 6, 7]]);
+        let rt = Runtime::new(2);
         let next_draw = |workers: usize| {
             let mut rng = StdRng::seed_from_u64(7);
-            GuessDriver::with_workers(1.0, workers).run(
+            GuessDriver::new(1.0).run(
                 "t",
+                &rt,
+                &ExecPolicy::sequential().guess_workers(workers),
                 &sys,
                 Arrival::Adversarial,
                 &mut rng,

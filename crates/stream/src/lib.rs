@@ -4,24 +4,33 @@
 //! (PODS 2017) within it.
 //!
 //! Substrate:
+//! * [`runtime`] — the unified execution API: a persistent work-stealing
+//!   [`runtime::Runtime`] pool (re-exported from `streamcover-core`) that
+//!   every fan-out submits to, and the [`runtime::ExecPolicy`] builder
+//!   holding *all* execution configuration (`workers`, `guess_workers`,
+//!   shard plan, representation policy, accounting, meter folds, seed).
+//!   Algorithms take both through `run_in`; the legacy `run` delegates to
+//!   the lazily-initialized sequential runtime.
 //! * [`stream::SetStream`] — multi-pass set streams with enforced pass
 //!   counting; adversarial and random-arrival orders ([`stream::Arrival`]).
 //! * [`meter::SpaceMeter`] — bit-exact working-memory accounting (the
 //!   paper's cost model), with RAII [`meter::ChargeGuard`]s so early
-//!   returns can never leak live bits.
-//! * [`parallel::ParallelPass`] — `std::thread::scope` fan-out of one
-//!   pass: the candidate filter runs one worker per zero-copy arena shard
-//!   and the refine merge block-partitions the residual by universe word
-//!   ranges; workers own private meters joined via `absorb_join`
-//!   (side-by-side within the pass, max across passes), and the
-//!   deterministic merge guarantees picks identical to the sequential
-//!   pass for every worker count.
+//!   returns can never leak live bits, and explicit [`meter::MeterFold`]
+//!   semantics for folding finished workers in (scoped max vs concurrent
+//!   sum — selected by the policy, not per call site).
+//! * [`parallel::ParallelPass`] — pooled fan-out of one pass: the
+//!   candidate filter runs one work item per zero-copy arena shard and the
+//!   refine merge block-partitions the residual by universe word ranges
+//!   (waves are stolen work items, not fresh spawns); workers own private
+//!   meters folded under the policy's pass fold, and the deterministic
+//!   merge guarantees picks identical to the sequential pass for every
+//!   fan-out width and pool size.
 //! * [`guessing::GuessDriver`] — the o͂pt-guess grid (clipped to
-//!   `min(n, m)`), executable on scoped threads
-//!   ([`guessing::GuessDriver::with_workers`]) with per-guess split rngs;
-//!   sequential and thread-parallel drivers report identically.
+//!   `min(n, m)`), executed as pooled work items with per-guess split
+//!   rngs; sequential and pooled drivers report identically.
 //! * [`report`] — uniform run reports and the [`report::SetCoverStreamer`] /
-//!   [`report::MaxCoverStreamer`] traits the bench harness sweeps.
+//!   [`report::MaxCoverStreamer`] traits the bench harness sweeps, each
+//!   with the `run_in(&Runtime, &ExecPolicy, …)` entry point.
 //!
 //! Set cover algorithms ([`algo`]):
 //! * [`algo::HarPeledAssadi`] — **Algorithm 1**: `(α+ε)`-approximation,
@@ -46,16 +55,27 @@
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
 //! use streamcover_dist::planted_cover;
-//! use streamcover_stream::{Arrival, SetCoverStreamer, ThresholdGreedy};
+//! use streamcover_stream::{
+//!     Arrival, ExecPolicy, Runtime, SetCoverStreamer, ThresholdGreedy,
+//! };
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let w = planted_cover(&mut rng, 256, 24, 4);
-//! // `with_workers(4)` would fan each pass out over 4 threads — with
-//! // picks and peaks guaranteed identical to this single-worker run.
-//! let run = ThresholdGreedy::default().run(&w.system, Arrival::Adversarial, &mut rng);
+//!
+//! // One persistent pool for the whole process; ExecPolicy holds every
+//! // execution knob. Picks, passes and peak bits are guaranteed identical
+//! // to the sequential run at every fan-out width and pool size.
+//! let rt = Runtime::new(4);
+//! let policy = ExecPolicy::sequential().workers(4);
+//! let run = ThresholdGreedy.run_in(&rt, &policy, &w.system, Arrival::Adversarial, &mut rng);
 //! assert!(run.feasible);
 //! assert!(w.system.is_cover(&run.solution));
 //! assert!(run.passes <= 9); // ⌈log₂ 256⌉ + 1
+//!
+//! // The legacy entry point still exists: it delegates to the shared
+//! // sequential runtime and reports the same result.
+//! let seq = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
+//! assert_eq!(seq.solution, run.solution);
 //! ```
 
 pub mod algo;
@@ -64,6 +84,7 @@ pub mod maxcov;
 pub mod meter;
 pub mod parallel;
 pub mod report;
+pub mod runtime;
 pub mod stream;
 
 pub use algo::{
@@ -72,7 +93,8 @@ pub use algo::{
 };
 pub use guessing::GuessDriver;
 pub use maxcov::{ElementSampling, McOracle, SahaGetoorSwap, SieveStream};
-pub use meter::{Accounting, ChargeGuard, SpaceMeter};
+pub use meter::{Accounting, ChargeGuard, MeterFold, SpaceMeter};
 pub use parallel::ParallelPass;
 pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
+pub use runtime::{default_workers, ExecPolicy, Runtime};
 pub use stream::{Arrival, SetStream};

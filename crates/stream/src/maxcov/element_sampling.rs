@@ -13,12 +13,14 @@
 //! best sampled estimate.
 
 use crate::meter::SpaceMeter;
+use crate::parallel::ParallelPass;
 use crate::report::{MaxCoverRun, MaxCoverStreamer};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::{Arrival, SetStream};
 use rand::rngs::StdRng;
 use rand::Rng;
 use streamcover_core::{
-    bernoulli_subset, ceil_log2, exact_max_coverage, greedy_max_coverage, BitSet, SetId, SetSystem,
+    bernoulli_subset, exact_max_coverage, greedy_max_coverage, BitSet, SetId, SetSystem,
 };
 
 /// Offline oracle used on the sampled instance.
@@ -73,14 +75,29 @@ impl MaxCoverStreamer for ElementSampling {
         "element-sampling"
     }
 
-    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, rng: &mut StdRng) -> MaxCoverRun {
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        k: usize,
+        arrival: Arrival,
+        rng: &mut StdRng,
+    ) -> MaxCoverRun {
+        let mut slot = None;
+        let rng = policy.select_rng(rng, &mut slot);
         let n = sys.universe();
-        let logm = u64::from(ceil_log2(sys.len().max(2)));
+        let engine = ParallelPass::from_policy(rt, policy);
         let mut best: Option<(f64, Vec<SetId>)> = None;
         let mut max_passes = 0;
         let mut total_peak = 0u64;
 
-        // Power-of-2 guesses for the optimal coverage v ∈ [1, n].
+        // Power-of-2 guesses for the optimal coverage v ∈ [1, n]. The grid
+        // stays sequential on purpose — each guess draws its sample off the
+        // shared rng stream — while the projection-storing pass inside each
+        // guess fans out through the engine (`S'_i = S_i ∩ U_smpl`, charged
+        // under the policy's accounting plus the retained instance id),
+        // worker-invariant like every other storing pass.
         let mut v = 1usize;
         loop {
             let p = self.rate(sys.len(), k, v);
@@ -89,15 +106,8 @@ impl MaxCoverStreamer for ElementSampling {
             let u_smpl = bernoulli_subset(rng, n, p);
             meter.charge(u_smpl.stored_bits_sparse());
 
-            let mut projected = SetSystem::new(n);
-            let mut order = Vec::new();
-            let mut stored = 0u64;
-            for (i, s) in stream.pass() {
-                let j = projected.push_sorted(&s.intersection_elems(&u_smpl));
-                stored += projected.set(j).stored_bits() + logm;
-                order.push(i);
-            }
-            meter.charge(stored);
+            let (order, projected, _stored) =
+                engine.store_pass(&mut stream, &meter, Some((&u_smpl, policy.accounting)));
 
             let local = self.solve(&projected, k);
             let sampled_cov = projected.coverage_len(&local);

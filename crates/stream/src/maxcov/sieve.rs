@@ -42,7 +42,17 @@ impl MaxCoverStreamer for SieveStream {
         "sieve-stream"
     }
 
-    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, _rng: &mut StdRng) -> MaxCoverRun {
+    // Inherently sequential (one pass, threshold sieves updated in arrival
+    // order): the runtime and policy carry nothing to fan out here.
+    fn run_in(
+        &self,
+        _rt: &crate::runtime::Runtime,
+        _policy: &crate::runtime::ExecPolicy,
+        sys: &SetSystem,
+        k: usize,
+        arrival: Arrival,
+        _rng: &mut StdRng,
+    ) -> MaxCoverRun {
         let n = sys.universe();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
         let mut stream = SetStream::new(sys, arrival);

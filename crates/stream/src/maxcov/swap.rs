@@ -30,7 +30,17 @@ impl MaxCoverStreamer for SahaGetoorSwap {
         "saha-getoor-swap"
     }
 
-    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, _rng: &mut StdRng) -> MaxCoverRun {
+    // Inherently sequential (one pass, a swap decision per arrival against
+    // the held collection): nothing to fan out.
+    fn run_in(
+        &self,
+        _rt: &crate::runtime::Runtime,
+        _policy: &crate::runtime::ExecPolicy,
+        sys: &SetSystem,
+        k: usize,
+        arrival: Arrival,
+        _rng: &mut StdRng,
+    ) -> MaxCoverRun {
         let n = sys.universe();
         let logm = u64::from(ceil_log2(sys.len().max(2)));
         let mut stream = SetStream::new(sys, arrival);

@@ -1,10 +1,13 @@
 //! Thread-parallel execution of one stream pass.
 //!
-//! A [`ParallelPass`] fans a pass out over chunks of the arrival order with
-//! `std::thread::scope` (no external dependencies). Each worker reads sets
-//! through the `Copy` view `SetRef` — borrowed data, no cloning — and owns
-//! a **private [`SpaceMeter`]**; the caller's meter joins the workers via
-//! [`SpaceMeter::absorb_join`], which models their side-by-side residency
+//! A [`ParallelPass`] fans a pass out over chunks of the arrival order on a
+//! persistent [`Runtime`] pool — work items on parked, stealing workers
+//! instead of one `std::thread::scope` spawn per pass (no external
+//! dependencies; the pool is `std` only). Each worker reads sets through
+//! the `Copy` view `SetRef` — borrowed data, no cloning — and owns a
+//! **private [`SpaceMeter`]**; the caller's meter folds the workers in
+//! under the policy's [`MeterFold`] (default [`MeterFold::Scoped`], i.e.
+//! [`SpaceMeter::absorb_join`]), which models their side-by-side residency
 //! within one pass (peak = `max(peak, live + Σ worker peaks)`).
 //!
 //! Note on accounting: the engine is a *simulator* for the sequential
@@ -54,31 +57,56 @@
 //! a true high-water mark (max over scopes), not a sum of every pass's
 //! transients.
 
-use crate::meter::SpaceMeter;
+use crate::meter::{MeterFold, SpaceMeter};
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::SetStream;
-use streamcover_core::shard::{map_parts, split_ranges};
+use streamcover_core::shard::split_ranges;
 use streamcover_core::{
     ceil_log2, BatchedSweep, BitSet, ReprPolicy, SetId, SetRef, SetStore, SetSystem, ShardedStore,
     StoreShard,
 };
 
-/// A pass-execution engine fanning work out over `workers` threads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ParallelPass {
+/// A pass-execution engine dispatching a policy's fan-out onto a
+/// [`Runtime`] pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPass<'rt> {
+    rt: &'rt Runtime,
     workers: usize,
+    filter_parts: usize,
+    refine_blocks: usize,
+    repr: ReprPolicy,
+    fold: MeterFold,
 }
 
-impl ParallelPass {
-    /// An engine with the given fan-out (clamped to ≥ 1).
-    pub fn new(workers: usize) -> Self {
+impl<'rt> ParallelPass<'rt> {
+    /// An engine with the given fan-out width (clamped to ≥ 1) and the
+    /// sequential policy's storage/accounting defaults, executing on `rt`.
+    pub fn new(rt: &'rt Runtime, workers: usize) -> Self {
+        Self::from_policy(rt, &ExecPolicy::sequential().workers(workers))
+    }
+
+    /// The engine a policy configures: fan-out widths, representation
+    /// policy for stored systems, and the worker-meter fold mode all come
+    /// from `policy`; the threads come from `rt`.
+    pub fn from_policy(rt: &'rt Runtime, policy: &ExecPolicy) -> Self {
         ParallelPass {
-            workers: workers.max(1),
+            rt,
+            workers: policy.workers.max(1),
+            filter_parts: policy.filter_parts(),
+            refine_blocks: policy.refine_blocks(),
+            repr: policy.repr_policy,
+            fold: policy.pass_fold,
         }
     }
 
-    /// The configured fan-out.
+    /// The configured fan-out width.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The runtime this engine submits to.
+    pub fn runtime(&self) -> &'rt Runtime {
+        self.rt
     }
 
     /// Runs one threshold-accept pass: any arriving set covering at least
@@ -119,12 +147,12 @@ impl ParallelPass {
         let logm = u64::from(ceil_log2(sys.len().max(2)));
 
         // Phase 1 — parallel candidate filter against the snapshot, one
-        // zero-copy arena shard per worker: each worker's gains_span walk
+        // zero-copy arena shard per work item: each item's gains_span walk
         // reads its own contiguous descriptor (and element-arena) region.
         // The worker meters stay empty here (candidates are simulator
-        // state, see above); they exist so every pass joins workers
+        // state, see above); they exist so every pass folds workers
         // uniformly.
-        let shards = sys.shards(self.workers);
+        let shards = sys.shards(self.filter_parts);
         let filter = |shard: &StoreShard<'_>| -> (Vec<SetId>, SpaceMeter) {
             let mut sweep = BatchedSweep::new();
             let start = shard.ids().start;
@@ -137,8 +165,8 @@ impl ParallelPass {
                 .collect();
             (cands, SpaceMeter::new())
         };
-        let sharded: Vec<(Vec<SetId>, SpaceMeter)> = map_parts(&shards, filter);
-        meter.absorb_join(sharded.iter().map(|(_, w)| w));
+        let sharded: Vec<(Vec<SetId>, SpaceMeter)> = self.rt.map_parts(&shards, filter);
+        meter.absorb(self.fold, sharded.iter().map(|(_, w)| w));
 
         // Candidates come back in set-id order per shard; the refine phase
         // must meet them in *arrival* order, like the sequential pass.
@@ -201,22 +229,23 @@ impl ParallelPass {
     /// residual (universe blocks, via `split_ranges` so no window is ever
     /// inverted or out of range). Identical to the per-set
     /// `intersection_len` by construction — the blocks partition the word
-    /// slab — and computed inline when one worker, or a wave too small to
-    /// amortize a thread spawn, makes a fan-out pointless.
+    /// slab — and computed inline when a single refine block (the
+    /// `ExecPolicy::refine_blocks` derivation), or a wave too small to
+    /// amortize a dispatch, makes a fan-out pointless.
     fn block_gains(&self, sys: &SetSystem, ids: &[SetId], residual: &BitSet) -> Vec<usize> {
         // Below this candidate×word product the whole wave is cheaper than
         // one thread spawn (~µs vs ~ns/word of popcount work).
         const MIN_BLOCK_WORK: usize = 1 << 15;
         let words = residual.words();
-        let workers = self.workers.min(words.len()).max(1);
-        if workers == 1 || ids.len().saturating_mul(words.len()) < MIN_BLOCK_WORK {
+        let parts = self.refine_blocks.min(words.len()).max(1);
+        if parts == 1 || ids.len().saturating_mul(words.len()) < MIN_BLOCK_WORK {
             return ids
                 .iter()
                 .map(|&i| sys.set(i).intersection_len(residual.as_set_ref()))
                 .collect();
         }
-        let blocks = split_ranges(words.len(), workers);
-        let partials = map_parts(&blocks, |b| {
+        let blocks = split_ranges(words.len(), parts);
+        let partials = self.rt.map_parts(&blocks, |b| {
             ids.iter()
                 .map(|&i| gain_in_word_block(sys.set(i), words, b.start, b.end))
                 .collect::<Vec<usize>>()
@@ -256,7 +285,7 @@ impl ParallelPass {
 
         let store_chunk = |ids: &[SetId]| -> (Vec<SetId>, SetSystem, SpaceMeter) {
             let worker_meter = SpaceMeter::new();
-            let mut stored = SetSystem::new(n);
+            let mut stored = SetSystem::with_policy(n, self.repr);
             for &i in ids {
                 match domain {
                     None => {
@@ -278,7 +307,7 @@ impl ParallelPass {
         // meters whose bits transfer to the caller — callers adopt this
         // figure instead of re-deriving it.
         let charged: u64 = chunked.iter().map(|(_, _, w)| w.live_bits()).sum();
-        meter.absorb_join(chunked.iter().map(|(_, _, w)| w));
+        meter.absorb(self.fold, chunked.iter().map(|(_, _, w)| w));
         // Single chunk (workers=1, or a short order): the worker's system
         // already *is* the merged result — move it out instead of copying.
         if chunked.len() == 1 {
@@ -296,33 +325,26 @@ impl ParallelPass {
             arrival_ids.extend_from_slice(&ids);
             stores.push(stored.into_store());
         }
-        let sharded = ShardedStore::from_shard_stores(n, ReprPolicy::Auto, stores);
+        let sharded = ShardedStore::from_shard_stores(n, self.repr, stores);
         (arrival_ids, SetSystem::from_shards(&sharded), charged)
     }
 
-    /// Fans `work` out over contiguous chunks of `order`, returning results
-    /// in chunk (= arrival) order. With one worker (or a tiny order) the
-    /// work runs inline — same code path, no spawn.
+    /// Fans `work` out over contiguous chunks of `order` as runtime work
+    /// items, returning results in chunk (= arrival) order. With one worker
+    /// (or a tiny order) the work runs inline — same code path, no
+    /// submission.
     fn run_chunks<T: Send, U: Send>(
         &self,
         order: &[SetId],
         work: impl Fn(&[SetId]) -> (Vec<SetId>, U, T) + Sync,
     ) -> Vec<(Vec<SetId>, U, T)> {
         let workers = self.workers.min(order.len()).max(1);
-        let chunk_len = order.len().div_ceil(workers).max(1);
         if workers == 1 {
             return vec![work(order)];
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = order
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(|| work(chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel pass worker panicked"))
-                .collect()
-        })
+        let chunk_len = order.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[SetId]> = order.chunks(chunk_len).collect();
+        self.rt.map_parts(&chunks, |chunk| work(chunk))
     }
 }
 
@@ -390,6 +412,9 @@ mod tests {
     #[test]
     fn threshold_pass_matches_sequential_for_any_worker_count() {
         let s = sys();
+        // One pool, reused across every configuration: fan-out width varies
+        // per engine while the runtime stays warm.
+        let rt = Runtime::new(4);
         for threshold in [1, 2, 3, 5] {
             for arrival in [Arrival::Adversarial, Arrival::Random { seed: 3 }] {
                 let (expect_picks, expect_residual) = sequential_reference(&s, arrival, threshold);
@@ -399,7 +424,7 @@ mod tests {
                     let mut residual = BitSet::full(8);
                     let meter = SpaceMeter::new();
                     let mut picks = Vec::new();
-                    let n_picks = ParallelPass::new(workers).threshold_pass(
+                    let n_picks = ParallelPass::new(&rt, workers).threshold_pass(
                         &mut stream,
                         &mut residual,
                         threshold,
@@ -427,8 +452,14 @@ mod tests {
         let mut stream = SetStream::new(&s, Arrival::Adversarial);
         let mut residual = BitSet::full(8);
         let meter = SpaceMeter::new();
-        let picks =
-            ParallelPass::new(4).threshold_pass(&mut stream, &mut residual, 2, &meter, |_, _| {});
+        let rt = Runtime::new(2);
+        let picks = ParallelPass::new(&rt, 4).threshold_pass(
+            &mut stream,
+            &mut residual,
+            2,
+            &meter,
+            |_, _| {},
+        );
         assert_eq!(meter.live_bits(), picks as u64 * logm);
     }
 
@@ -436,11 +467,12 @@ mod tests {
     fn store_pass_preserves_arrival_order_and_total_charge() {
         let s = sys();
         let expect: u64 = s.iter().map(|(_, r)| r.stored_bits().max(1)).sum();
+        let rt = Runtime::new(3);
         for workers in [1, 2, 8] {
             let mut stream = SetStream::new(&s, Arrival::Random { seed: 7 });
             let meter = SpaceMeter::new();
             let (ids, stored, charged) =
-                ParallelPass::new(workers).store_pass(&mut stream, &meter, None);
+                ParallelPass::new(&rt, workers).store_pass(&mut stream, &meter, None);
             assert_eq!(ids, stream.order(), "w={workers}");
             for (pos, &i) in ids.iter().enumerate() {
                 assert_eq!(stored.set(pos), s.set(i));
@@ -460,7 +492,8 @@ mod tests {
         let dom = BitSet::from_iter(8, [2, 3]);
         let mut stream = SetStream::new(&s, Arrival::Adversarial);
         let meter = SpaceMeter::new();
-        let (_, stored, _) = ParallelPass::new(2).store_pass(
+        let rt = Runtime::new(2);
+        let (_, stored, _) = ParallelPass::new(&rt, 2).store_pass(
             &mut stream,
             &meter,
             Some((&dom, crate::meter::Accounting::ActualRepr)),
@@ -483,12 +516,13 @@ mod tests {
         let w = streamcover_dist::planted_cover(&mut rng, 576, 4096, 16);
         let (expect_picks, expect_residual) =
             sequential_reference(&w.system, Arrival::Adversarial, 1);
+        let rt = Runtime::new(4);
         for workers in [4, 8] {
             let mut stream = SetStream::new(&w.system, Arrival::Adversarial);
             let mut residual = BitSet::full(576);
             let meter = SpaceMeter::new();
             let mut picks = Vec::new();
-            ParallelPass::new(workers).threshold_pass(
+            ParallelPass::new(&rt, workers).threshold_pass(
                 &mut stream,
                 &mut residual,
                 1,
@@ -498,6 +532,31 @@ mod tests {
             assert_eq!(picks, expect_picks, "workers={workers}");
             assert_eq!(residual, expect_residual);
         }
+        // Partition overrides reshape where work is split, never the picks:
+        // a widened filter (BySetRange) and a widened refine partition
+        // (ByUniverseBlocks) both reproduce the sequential pass.
+        use streamcover_core::ShardPlan;
+        for plan in [
+            ShardPlan::BySetRange { shards: 3 },
+            ShardPlan::ByUniverseBlocks { blocks: 5 },
+        ] {
+            let policy = crate::runtime::ExecPolicy::sequential()
+                .workers(4)
+                .shard_plan(plan);
+            let mut stream = SetStream::new(&w.system, Arrival::Adversarial);
+            let mut residual = BitSet::full(576);
+            let meter = SpaceMeter::new();
+            let mut picks = Vec::new();
+            ParallelPass::from_policy(&rt, &policy).threshold_pass(
+                &mut stream,
+                &mut residual,
+                1,
+                &meter,
+                |i, _| picks.push(i),
+            );
+            assert_eq!(picks, expect_picks, "plan={plan:?}");
+            assert_eq!(residual, expect_residual, "plan={plan:?}");
+        }
     }
 
     #[test]
@@ -506,7 +565,8 @@ mod tests {
         let s = sys();
         let mut stream = SetStream::new(&s, Arrival::Adversarial);
         let meter = SpaceMeter::new();
-        ParallelPass::new(2).threshold_pass(
+        let rt = Runtime::new(2);
+        ParallelPass::new(&rt, 2).threshold_pass(
             &mut stream,
             &mut BitSet::full(8),
             0,

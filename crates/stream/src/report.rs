@@ -1,6 +1,15 @@
 //! Run reports and the common interface all streaming set cover algorithms
 //! implement, so the benchmark harness can sweep them uniformly.
+//!
+//! Execution is configured in exactly one place: the
+//! [`run_in`](SetCoverStreamer::run_in) entry point takes the [`Runtime`]
+//! to execute on and the [`ExecPolicy`] describing every knob (fan-out
+//! widths, storage policy, accounting, seed). The legacy
+//! [`run`](SetCoverStreamer::run) methods are provided shims that delegate
+//! to the lazily-initialized sequential runtime under the sequential
+//! policy — byte-for-byte the single-threaded behavior.
 
+use crate::runtime::{ExecPolicy, Runtime};
 use crate::stream::Arrival;
 use rand::rngs::StdRng;
 use streamcover_core::{SetId, SetSystem};
@@ -43,8 +52,30 @@ pub trait SetCoverStreamer {
     /// Short stable name for tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the algorithm over the instance under the given arrival order.
-    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun;
+    /// Runs the algorithm on `rt` under `policy`. The determinism contract
+    /// every implementation upholds: solution, passes and peak bits are
+    /// identical to the sequential run at every fan-out width and pool
+    /// size, and across repeated runtime reuse.
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        arrival: Arrival,
+        rng: &mut StdRng,
+    ) -> CoverRun;
+
+    /// Runs the algorithm sequentially: delegates to the lazily-initialized
+    /// shared sequential [`Runtime`] under [`ExecPolicy::sequential`].
+    fn run(&self, sys: &SetSystem, arrival: Arrival, rng: &mut StdRng) -> CoverRun {
+        self.run_in(
+            Runtime::sequential(),
+            &ExecPolicy::sequential(),
+            sys,
+            arrival,
+            rng,
+        )
+    }
 }
 
 /// Outcome of one streaming maximum coverage run.
@@ -77,8 +108,31 @@ pub trait MaxCoverStreamer {
     /// Short stable name for tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the algorithm; must return at most `k` set ids.
-    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, rng: &mut StdRng) -> MaxCoverRun;
+    /// Runs the algorithm on `rt` under `policy`; must return at most `k`
+    /// set ids. Same determinism contract as
+    /// [`SetCoverStreamer::run_in`].
+    fn run_in(
+        &self,
+        rt: &Runtime,
+        policy: &ExecPolicy,
+        sys: &SetSystem,
+        k: usize,
+        arrival: Arrival,
+        rng: &mut StdRng,
+    ) -> MaxCoverRun;
+
+    /// Runs the algorithm sequentially: delegates to the lazily-initialized
+    /// shared sequential [`Runtime`] under [`ExecPolicy::sequential`].
+    fn run(&self, sys: &SetSystem, k: usize, arrival: Arrival, rng: &mut StdRng) -> MaxCoverRun {
+        self.run_in(
+            Runtime::sequential(),
+            &ExecPolicy::sequential(),
+            sys,
+            k,
+            arrival,
+            rng,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,270 @@
+//! The unified execution API: one [`Runtime`] to run on, one [`ExecPolicy`]
+//! to configure with.
+//!
+//! Before this module, execution knobs were smeared across the surface:
+//! `HarPeledAssadi` carried `workers` *and* `guess_workers`,
+//! `ThresholdGreedy`/`OnlinePrune`/`StoreAll` each carried their own
+//! `workers`, accounting lived on `HarPeledAssadi`, and storage policy was
+//! configured in yet other places — while every fan-out paid a fresh
+//! `std::thread::scope` spawn. Now:
+//!
+//! * the [`Runtime`] (re-exported from `streamcover-core`) owns the
+//!   persistent pool of parked workers every fan-out executes on, and
+//! * the [`ExecPolicy`] builder holds *all* execution configuration:
+//!   per-pass fan-out (`workers`), guess-grid fan-out (`guess_workers`),
+//!   shard plan, representation policy, space accounting, meter-fold
+//!   semantics, and an optional run seed.
+//!
+//! Algorithms take both through
+//! [`SetCoverStreamer::run_in`](crate::report::SetCoverStreamer::run_in) /
+//! [`MaxCoverStreamer::run_in`](crate::report::MaxCoverStreamer::run_in);
+//! the legacy `run` entry points delegate to the lazily-initialized
+//! sequential runtime with the sequential policy, so their behavior is
+//! byte-for-byte unchanged.
+//!
+//! The determinism contract carries over from the scoped-thread era and is
+//! strengthened: solution, passes and peak bits are identical to the
+//! sequential run at **every pool size and fan-out width, and across
+//! repeated [`Runtime`] reuse** — a pool run warm by one algorithm hands
+//! the next one bit-identical results (gated by
+//! `tests/parallel_invariance.rs` and the `substrate_bench` runtime arm).
+
+use crate::meter::{Accounting, MeterFold};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use streamcover_core::{ReprPolicy, ShardPlan};
+
+pub use streamcover_core::runtime::{default_workers, Runtime};
+
+/// Everything that configures *how* a streaming run executes, none of it
+/// changing *what* the run computes: solution, passes and peak bits are
+/// identical under every policy whose accounting fields agree.
+///
+/// Build one by chaining the methods off [`ExecPolicy::sequential`] (or
+/// `Default`):
+///
+/// ```
+/// use streamcover_stream::{Accounting, ExecPolicy};
+///
+/// let policy = ExecPolicy::sequential()
+///     .workers(4)
+///     .guess_workers(2)
+///     .accounting(Accounting::ActualRepr);
+/// assert_eq!(policy.workers, 4);
+/// assert_eq!(policy.guess_workers, 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecPolicy {
+    /// Fan-out width of one stream pass (the candidate filter's shard
+    /// count, the refine waves' block count, the storing pass's chunk
+    /// count). Clamped to ≥ 1 by the builder; 1 runs the plain sequential
+    /// pass inline.
+    pub workers: usize,
+    /// Fan-out width of the o͂pt-guess grid (how many chunks the grid is
+    /// split into). Composes with `workers`: each guess copy's passes fan
+    /// out again on the same runtime.
+    pub guess_workers: usize,
+    /// Partition override for the pass engine's two fan-out shapes:
+    /// `BySetRange { shards }` overrides the candidate *filter*'s
+    /// set-range fan-out ([`filter_parts`](Self::filter_parts)),
+    /// `ByUniverseBlocks { blocks }` overrides the *refine* waves'
+    /// universe-block partition ([`refine_blocks`](Self::refine_blocks)).
+    /// `None` derives both from `workers`. Either way the reported
+    /// solution/passes/peaks are unchanged — the plan only reshapes where
+    /// work is split.
+    pub shard_plan: Option<ShardPlan>,
+    /// Representation policy for systems the run *builds* (stored copies,
+    /// projections): the hybrid `Auto` cutover by default.
+    pub repr_policy: ReprPolicy,
+    /// How retained sets are charged to the meter (actual representation
+    /// vs the always-a-member-list convention).
+    pub accounting: Accounting,
+    /// How a finished pass's worker meters fold into the run meter.
+    /// [`MeterFold::Scoped`] (the default) models workers transient within
+    /// the pass: successive passes max, they do not sum.
+    pub pass_fold: MeterFold,
+    /// How the guess grid's per-copy meters fold into the driver meter.
+    /// [`MeterFold::Concurrent`] (the default) models copies that coexist
+    /// for the whole run: peaks add.
+    pub guess_fold: MeterFold,
+    /// When set, the run draws its randomness from a private
+    /// `StdRng::seed_from_u64(seed)` instead of the caller's rng (which is
+    /// then left untouched) — reproducible runs detached from caller rng
+    /// state.
+    pub seed: Option<u64>,
+}
+
+impl ExecPolicy {
+    /// The sequential policy: every fan-out width 1, `Auto` representation,
+    /// actual-representation accounting, scoped pass folds, concurrent
+    /// guess folds, caller-provided randomness. This is exactly what the
+    /// legacy `run` entry points execute under.
+    pub fn sequential() -> Self {
+        ExecPolicy {
+            workers: 1,
+            guess_workers: 1,
+            shard_plan: None,
+            repr_policy: ReprPolicy::Auto,
+            accounting: Accounting::ActualRepr,
+            pass_fold: MeterFold::Scoped,
+            guess_fold: MeterFold::Concurrent,
+            seed: None,
+        }
+    }
+
+    /// Sets the per-pass fan-out width (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the guess-grid fan-out width (clamped to ≥ 1).
+    pub fn guess_workers(mut self, guess_workers: usize) -> Self {
+        self.guess_workers = guess_workers.max(1);
+        self
+    }
+
+    /// Sets the engine partition override (filter fan-out for
+    /// `BySetRange`, refine-wave block partition for `ByUniverseBlocks`).
+    pub fn shard_plan(mut self, plan: ShardPlan) -> Self {
+        self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Sets the representation policy for systems the run builds.
+    pub fn repr_policy(mut self, policy: ReprPolicy) -> Self {
+        self.repr_policy = policy;
+        self
+    }
+
+    /// Sets the space-accounting convention for retained sets.
+    pub fn accounting(mut self, accounting: Accounting) -> Self {
+        self.accounting = accounting;
+        self
+    }
+
+    /// Sets how pass-worker meters fold into the run meter.
+    pub fn pass_fold(mut self, fold: MeterFold) -> Self {
+        self.pass_fold = fold;
+        self
+    }
+
+    /// Sets how guess-copy meters fold into the driver meter.
+    pub fn guess_fold(mut self, fold: MeterFold) -> Self {
+        self.guess_fold = fold;
+        self
+    }
+
+    /// Pins the run to a private rng seeded with `seed`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The set-range fan-out width for the candidate filter / sharded heap
+    /// seeding: an explicit `BySetRange` plan overrides, otherwise
+    /// [`workers`](Self::workers).
+    pub fn filter_parts(&self) -> usize {
+        match self.shard_plan {
+            Some(ShardPlan::BySetRange { shards }) => shards.max(1),
+            _ => self.workers.max(1),
+        }
+    }
+
+    /// The universe-block partition width for the refine waves: an
+    /// explicit `ByUniverseBlocks` plan overrides, otherwise
+    /// [`workers`](Self::workers).
+    pub fn refine_blocks(&self) -> usize {
+        match self.shard_plan {
+            Some(ShardPlan::ByUniverseBlocks { blocks }) => blocks.max(1),
+            _ => self.workers.max(1),
+        }
+    }
+
+    /// The rng this run should consume: the caller's, unless the policy
+    /// pins a [`seed`](Self::seed) — then a private rng parked in `slot`
+    /// (the caller's is left untouched).
+    pub fn select_rng<'a>(
+        &self,
+        caller: &'a mut StdRng,
+        slot: &'a mut Option<StdRng>,
+    ) -> &'a mut StdRng {
+        match self.seed {
+            Some(seed) => slot.insert(StdRng::seed_from_u64(seed)),
+            None => caller,
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_the_default_and_all_ones() {
+        let p = ExecPolicy::default();
+        assert_eq!(p, ExecPolicy::sequential());
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.guess_workers, 1);
+        assert_eq!(p.filter_parts(), 1);
+        assert_eq!(p.refine_blocks(), 1);
+        assert_eq!(p.accounting, Accounting::ActualRepr);
+        assert_eq!(p.pass_fold, MeterFold::Scoped);
+        assert_eq!(p.guess_fold, MeterFold::Concurrent);
+        assert_eq!(p.seed, None);
+    }
+
+    #[test]
+    fn builder_clamps_and_chains() {
+        let p = ExecPolicy::sequential()
+            .workers(0)
+            .guess_workers(8)
+            .accounting(Accounting::AlwaysSparse)
+            .seed(7);
+        assert_eq!(p.workers, 1, "zero clamps to sequential");
+        assert_eq!(p.guess_workers, 8);
+        assert_eq!(p.accounting, Accounting::AlwaysSparse);
+        assert_eq!(p.seed, Some(7));
+    }
+
+    #[test]
+    fn shard_plan_overrides_engine_partitions() {
+        let p = ExecPolicy::sequential()
+            .workers(4)
+            .shard_plan(ShardPlan::BySetRange { shards: 16 });
+        assert_eq!(p.filter_parts(), 16, "set-range plan widens the filter");
+        assert_eq!(p.refine_blocks(), 4, "refine stays on workers");
+        let p = ExecPolicy::sequential()
+            .workers(4)
+            .shard_plan(ShardPlan::ByUniverseBlocks { blocks: 8 });
+        assert_eq!(p.filter_parts(), 4, "filter stays on workers");
+        assert_eq!(p.refine_blocks(), 8, "block plan widens the refine");
+    }
+
+    #[test]
+    fn pinned_seed_leaves_the_caller_rng_untouched() {
+        use rand::Rng;
+        let mut caller = StdRng::seed_from_u64(1);
+        let before: u64 = {
+            let mut probe = StdRng::seed_from_u64(1);
+            probe.gen()
+        };
+        let mut slot = None;
+        let rng = ExecPolicy::sequential()
+            .seed(42)
+            .select_rng(&mut caller, &mut slot);
+        let _: u64 = rng.gen();
+        assert_eq!(caller.gen::<u64>(), before, "caller rng must be untouched");
+        // Without a seed, the caller's rng is handed through.
+        let mut slot = None;
+        let rng = ExecPolicy::sequential().select_rng(&mut caller, &mut slot);
+        let _: u64 = rng.gen();
+        assert!(slot.is_none());
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
 
     // The trivial baselines for contrast.
     let store = StoreAll::default().run(sys, Arrival::Adversarial, &mut rng);
-    let greedy_stream = ThresholdGreedy::default().run(sys, Arrival::Adversarial, &mut rng);
+    let greedy_stream = ThresholdGreedy.run(sys, Arrival::Adversarial, &mut rng);
     println!(
         "store-all: {} sets, 1 pass, {} peak bits (the Θ(mn) strawman)",
         store.size(),

@@ -29,9 +29,13 @@
 //! // A coverable workload with a planted optimum of 5 sets.
 //! let workload = planted_cover(&mut rng, 512, 40, 5);
 //!
-//! // Algorithm 1: (α+ε)-approximation in ≤ 2α+1 passes.
+//! // Algorithm 1: (α+ε)-approximation in ≤ 2α+1 passes, on a persistent
+//! // worker pool. The ExecPolicy is the one place execution is
+//! // configured; results are identical at every fan-out and pool size.
+//! let rt = Runtime::new(2);
+//! let policy = ExecPolicy::sequential().workers(2).guess_workers(2);
 //! let algo = HarPeledAssadi::scaled(3, 0.5);
-//! let run = algo.run(&workload.system, Arrival::Adversarial, &mut rng);
+//! let run = algo.run_in(&rt, &policy, &workload.system, Arrival::Adversarial, &mut rng);
 //!
 //! assert!(run.feasible);
 //! assert!(run.passes <= 7);
@@ -60,8 +64,8 @@ pub mod prelude {
     };
     pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
     pub use streamcover_stream::{
-        Arrival, CoverRun, ElementSampling, GuessDriver, HarPeledAssadi, MaxCoverRun,
-        MaxCoverStreamer, OnlinePrune, ParallelPass, SahaGetoorSwap, SetCoverStreamer, SieveStream,
-        SpaceMeter, StoreAll, ThresholdGreedy,
+        Accounting, Arrival, CoverRun, ElementSampling, ExecPolicy, GuessDriver, HarPeledAssadi,
+        MaxCoverRun, MaxCoverStreamer, MeterFold, OnlinePrune, ParallelPass, Runtime,
+        SahaGetoorSwap, SetCoverStreamer, SieveStream, SpaceMeter, StoreAll, ThresholdGreedy,
     };
 }

@@ -82,7 +82,7 @@ fn theorem_1_adapter_charges_two_ps_bits() {
     let mut rng = StdRng::seed_from_u64(4);
     let inst = sample_dsc_with_theta(&mut rng, HARD, true);
     let adapter = StreamingAsProtocol {
-        algo: ThresholdGreedy::default(),
+        algo: ThresholdGreedy,
     };
     let (_, tr) = adapter.run(&inst.alice, &inst.bob, &mut rng);
     // The transcript must consist of paired abstract messages (2 per pass)

@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn threshold_greedy_streaming_matches_offline_feasibility(sys in arb_system()) {
         let mut rng = StdRng::seed_from_u64(0);
-        let run = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let run = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
         prop_assert_eq!(run.feasible, sys.is_coverable());
         if run.feasible {
             prop_assert!(sys.is_cover(&run.solution));

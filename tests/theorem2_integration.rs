@@ -80,7 +80,7 @@ fn streaming_baselines_agree_with_offline_on_feasibility() {
         let coverable = trial % 2 == 0;
         let sys = uniform_random(&mut rng, 256, 20, 0.08, coverable);
         let offline_feasible = sys.is_coverable();
-        let tg = ThresholdGreedy::default().run(&sys, Arrival::Adversarial, &mut rng);
+        let tg = ThresholdGreedy.run(&sys, Arrival::Adversarial, &mut rng);
         assert_eq!(
             tg.feasible, offline_feasible,
             "trial {trial} threshold-greedy"
