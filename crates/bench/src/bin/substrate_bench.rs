@@ -1,7 +1,9 @@
 //! Machine-readable substrate benchmarks: ns/op for the hybrid-store
 //! kernels (coverage/union/difference, sparse vs dense backend), the
 //! batched columnar sweep vs the per-set kernel loop, lazy vs eager greedy
-//! set cover, and thread-scaling of the parallel pass engine.
+//! set cover, thread-scaling of the parallel pass engine, and sustained
+//! QPS + tail latency of the resident `CoverService` under a Zipf query
+//! mix.
 //!
 //! Usage: `substrate_bench [--smoke] [--check] [--seed N] [--out PATH]`
 //!
@@ -9,7 +11,8 @@
 //! * `--check` — exit nonzero unless the perf acceptance criteria hold
 //!   (sparse coverage kernel ≥ 2× dense on the `D_SC`-regime instance;
 //!   batched sweep ≥ 2× the per-set loop; lazy greedy beats eager at
-//!   `m ≥ 4096`);
+//!   `m ≥ 4096`; the service arm's cache hit-rate is nonzero under the
+//!   Zipf mix);
 //! * `--out` — output path (default `BENCH_substrate.json`).
 //!
 //! The kernel scales model the paper's own regime: `m` sets of average
@@ -32,17 +35,20 @@
 //! speedup gate meaningless there.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
 use streamcover_core::{
-    bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager, BatchedSweep,
-    BitSet, ReprPolicy, SetRef, SetSystem, ShardPlan, ShardedStore,
+    bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager,
+    random_subset_elems, BatchedSweep, BitSet, ReprPolicy, SetRef, SetSystem, ShardPlan,
+    ShardedStore,
 };
-use streamcover_dist::{planted_cover, stress_cover, stress_cover_shards};
+use streamcover_dist::{planted_cover, stress_cover, stress_cover_shards, zipf_query_mix};
 use streamcover_stream::{
-    Arrival, ExecPolicy, HarPeledAssadi, Runtime, SetCoverStreamer, ThresholdGreedy,
+    Arrival, CoverAnswer, CoverService, ExecPolicy, HarPeledAssadi, Mutation, Runtime,
+    SetCoverStreamer, ThresholdGreedy,
 };
 
 /// Median-of-samples ns/op for `f`, which must return a checksum (kept
@@ -550,6 +556,155 @@ fn bench_greedy(n: usize, m: usize, opt: usize, seed: u64) -> GreedyRow {
     }
 }
 
+struct ServiceRow {
+    threads: usize,
+    n: usize,
+    m: usize,
+    distinct_targets: usize,
+    queries: u64,
+    mutations: u64,
+    qps: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    hit_rate: f64,
+}
+
+/// The `service` arm: sustained QPS and p50/p99 latency of a resident
+/// `CoverService` under a Zipf-skewed query mix fired from 1 and 4 client
+/// threads, with thread 0 committing periodic mutations. Every ~8th
+/// response is sampled and — after the run — replayed sequentially: the
+/// mutation log reconstructs each sampled epoch's system and the answer
+/// must byte-match a fresh `greedy_cover_until` there (asserted
+/// unconditionally, so `--smoke --check` is an epoch-identity gate). The
+/// Zipf head makes repeat queries common, so the cache hit-rate must be
+/// nonzero — `--check` enforces that.
+fn bench_service(seed: u64, smoke: bool) -> Vec<ServiceRow> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e54);
+    let (n, m, opt, distinct, ops) = if smoke {
+        (1024, 1024, 16, 16, 200)
+    } else {
+        (4096, 4096, 32, 32, 800)
+    };
+    let w = planted_cover(&mut rng, n, m, opt);
+    let mix = zipf_query_mix(&mut rng, n, distinct, 8, 64, 1.0);
+    let mut rows = Vec::new();
+    for threads in [1usize, 4] {
+        let initial = w.system.clone();
+        let svc = CoverService::with(
+            w.system.clone(),
+            Runtime::global(),
+            ExecPolicy::sequential().workers(2),
+        );
+        let log: Mutex<Vec<(u64, Mutation)>> = Mutex::new(Vec::new());
+        let started = Instant::now();
+        type ClientOut = (Vec<u64>, Vec<(Vec<u32>, CoverAnswer)>);
+        let results: Vec<ClientOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let svc = &svc;
+                    let mix = &mix;
+                    let log = &log;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0xbeef + 31 * t as u64);
+                        let mut lats = Vec::with_capacity(ops);
+                        let mut samples = Vec::new();
+                        for i in 0..ops {
+                            // Thread 0 commits a mutation every quarter of
+                            // its run: the service must keep serving
+                            // fresh-identical answers across epochs.
+                            if t == 0 && i > 0 && i % (ops / 4) == 0 {
+                                if rng.gen_bool(0.5) {
+                                    let size = 1 + rng.gen_range(0usize..32);
+                                    let elems = random_subset_elems(&mut rng, n, size);
+                                    let (epoch, _id) = svc.add_set(&elems);
+                                    log.lock().unwrap().push((epoch, Mutation::Add { elems }));
+                                } else {
+                                    let id = rng.gen_range(0..m);
+                                    let epoch = svc.remove_set(id);
+                                    log.lock().unwrap().push((epoch, Mutation::Remove { id }));
+                                }
+                            }
+                            let (_, target) = mix.draw(&mut rng);
+                            let t0 = Instant::now();
+                            let a = svc.cover_for_subset(target);
+                            lats.push(t0.elapsed().as_nanos() as u64);
+                            if i % 8 == 0 {
+                                samples.push((target.to_vec(), a));
+                            } else if i % 16 == 7 {
+                                let k = 1 + rng.gen_range(0..opt);
+                                let t1 = Instant::now();
+                                black_box(svc.max_cover(k));
+                                lats.push(t1.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        (lats, samples)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("service bench client panicked"))
+                .collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+
+        // Epoch-identity gate: replay the mutation log sequentially and
+        // recompute every sampled answer fresh at its serving epoch.
+        let mut log = log.into_inner().unwrap();
+        log.sort_by_key(|&(epoch, _)| epoch);
+        let mut samples: Vec<(Vec<u32>, CoverAnswer)> = results
+            .iter()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect();
+        samples.sort_by_key(|(_, a)| a.epoch);
+        let mut replay = initial;
+        let mut applied = 0usize;
+        for (target, a) in &samples {
+            while replay.epoch() < a.epoch {
+                match &log[applied].1 {
+                    Mutation::Add { elems } => {
+                        replay.add_set(elems);
+                    }
+                    Mutation::Remove { id } => replay.remove_set(*id),
+                }
+                applied += 1;
+            }
+            assert_eq!(
+                replay.epoch(),
+                a.epoch,
+                "service served an epoch the mutation log cannot reach"
+            );
+            let tb = BitSet::from_iter(n, target.iter().map(|&e| e as usize));
+            let fresh = greedy_cover_until(&replay, usize::MAX, &tb);
+            assert_eq!(
+                a.solution, fresh.ids,
+                "service answer diverged from the fresh run at epoch {}",
+                a.epoch
+            );
+            assert_eq!(a.covered, fresh.coverage());
+            assert_eq!(a.feasible, fresh.coverage() == tb.len());
+        }
+
+        let stats = svc.stats();
+        let mut lats: Vec<u64> = results.into_iter().flat_map(|(l, _)| l).collect();
+        lats.sort_unstable();
+        assert!(!lats.is_empty());
+        rows.push(ServiceRow {
+            threads,
+            n,
+            m,
+            distinct_targets: distinct,
+            queries: stats.queries,
+            mutations: stats.mutations,
+            qps: stats.queries as f64 / wall,
+            p50_ns: lats[lats.len() / 2] as f64,
+            p99_ns: lats[(lats.len() - 1) * 99 / 100] as f64,
+            hit_rate: stats.cache_hits as f64 / stats.queries.max(1) as f64,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -674,6 +829,21 @@ fn main() {
             r.guess_workers,
             r.run_ns / 1e6,
             r.speedup_vs_1
+        );
+    }
+    let service_rows = bench_service(seed, smoke);
+    for r in &service_rows {
+        eprintln!(
+            "  service: n={} m={} threads={} queries={} mutations={} — {:.0} qps, p50 {:.1}µs p99 {:.1}µs, hit-rate {:.2} (epoch identity asserted)",
+            r.n,
+            r.m,
+            r.threads,
+            r.queries,
+            r.mutations,
+            r.qps,
+            r.p50_ns / 1e3,
+            r.p99_ns / 1e3,
+            r.hit_rate
         );
     }
 
@@ -826,6 +996,27 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"service\": [");
+    for (i, r) in service_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {},", r.threads);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"distinct_targets\": {},", r.distinct_targets);
+        let _ = writeln!(json, "      \"queries\": {},", r.queries);
+        let _ = writeln!(json, "      \"mutations\": {},", r.mutations);
+        let _ = writeln!(json, "      \"qps\": {:.0},", r.qps);
+        let _ = writeln!(json, "      \"p50_ns\": {:.0},", r.p50_ns);
+        let _ = writeln!(json, "      \"p99_ns\": {:.0},", r.p99_ns);
+        let _ = writeln!(json, "      \"cache_hit_rate\": {:.4},", r.hit_rate);
+        let _ = writeln!(json, "      \"epoch_identity\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < service_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"greedy\": [");
     for (i, r) in greedy.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -872,6 +1063,17 @@ fn main() {
                     "greedy m={}: lazy speedup {:.2} ≤ 1.0",
                     r.m,
                     r.speedup()
+                ));
+            }
+        }
+        for r in &service_rows {
+            // Epoch identity is asserted unconditionally inside the arm;
+            // the checkable criterion here is that the Zipf head actually
+            // exercises the epoch cache.
+            if r.hit_rate <= 0.0 {
+                failed.push(format!(
+                    "service threads={}: cache hit-rate {:.4} not > 0",
+                    r.threads, r.hit_rate
                 ));
             }
         }

@@ -320,7 +320,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// `assert_eq!` for proptest cases.
+/// `assert_eq!` for proptest cases. Like the real proptest's, an optional
+/// trailing format message is appended to the failure report.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr $(,)?) => {{
@@ -332,6 +333,18 @@ macro_rules! prop_assert_eq {
             stringify!($b),
             l,
             r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($a),
+            stringify!($b),
+            l,
+            r,
+            format!($($fmt)+)
         );
     }};
 }

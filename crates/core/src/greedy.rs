@@ -74,23 +74,8 @@ pub fn greedy_max_coverage(sys: &SetSystem, k: usize) -> CoverResult {
 /// sequence — including the smallest-id tie-break — matches the eager scan
 /// exactly while evaluating far fewer gains on instances with many sets.
 pub fn greedy_cover_until(sys: &SetSystem, max_picks: usize, target: &BitSet) -> CoverResult {
-    assert_eq!(
-        target.capacity(),
-        sys.universe(),
-        "target universe mismatch"
-    );
-    // (gain bound, Reverse(id)): the heap order is "largest gain first,
-    // smallest id among equals" — the eager scan's selection rule. The
-    // initial bounds come from one batched sweep over the whole arena
-    // rather than m per-set kernel calls.
-    let mut sweep = BatchedSweep::new();
-    let heap: BinaryHeap<(usize, Reverse<SetId>)> = sweep
-        .gains(sys.store(), target)
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &g)| (g > 0).then_some((g, Reverse(i))))
-        .collect();
-    celf_from_heap(sys, heap, max_picks, target)
+    let heap = CelfHeap::seed(sys, target);
+    run_celf(sys, heap, max_picks, target)
 }
 
 /// [`greedy_cover_until`] with the heap-seeding sweep fanned out over
@@ -125,61 +110,126 @@ pub fn greedy_cover_until_sharded_in(
     max_picks: usize,
     target: &BitSet,
 ) -> CoverResult {
-    assert_eq!(
-        target.capacity(),
-        sys.universe(),
-        "target universe mismatch"
-    );
-    let shards = sys.shards(workers);
-    let per_shard: Vec<Vec<usize>> = rt.map_parts(&shards, |sh| {
+    let heap = CelfHeap::seed_in(rt, sys, workers, target);
+    run_celf(sys, heap, max_picks, target)
+}
+
+/// A resumable CELF bound heap: the lazy-greedy pick state, detached from
+/// any one call so callers can draw the greedy sequence incrementally.
+///
+/// Greedy's pick sequence is a *prefix property* — the first `k` picks do
+/// not depend on how many more will be requested — so a heap seeded once
+/// per system can serve `max_cover(k)` for growing `k` without reseeding,
+/// provided the caller carries the residual (`uncovered`) alongside and
+/// feeds it back into [`next_pick`](Self::next_pick). The serving layer's
+/// same-epoch CELF-chain reuse is built on exactly this: every prefix it
+/// hands out is byte-identical to a fresh [`greedy_cover_until`] run
+/// because both drive the same heap through the same loop.
+pub struct CelfHeap {
+    /// `(gain bound, Reverse(id))`: largest gain first, smallest id among
+    /// equals — the eager scan's selection rule.
+    heap: BinaryHeap<(usize, Reverse<SetId>)>,
+}
+
+impl CelfHeap {
+    /// Seeds the bound heap with one batched sweep of true gains against
+    /// `target` over the whole arena (rather than `m` per-set kernel
+    /// calls). Sets with zero initial gain never enter the heap.
+    ///
+    /// # Panics
+    /// Panics if `target.capacity() != sys.universe()`.
+    pub fn seed(sys: &SetSystem, target: &BitSet) -> CelfHeap {
+        assert_eq!(
+            target.capacity(),
+            sys.universe(),
+            "target universe mismatch"
+        );
         let mut sweep = BatchedSweep::new();
-        sh.gains(&mut sweep, target).to_vec()
-    });
-    let heap: BinaryHeap<(usize, Reverse<SetId>)> = shards
-        .iter()
-        .zip(&per_shard)
-        .flat_map(|(sh, gains)| {
-            let start = sh.ids().start;
-            gains
-                .iter()
-                .enumerate()
-                .filter_map(move |(j, &g)| (g > 0).then_some((g, Reverse(start + j))))
-        })
-        .collect();
-    celf_from_heap(sys, heap, max_picks, target)
+        let heap = sweep
+            .gains(sys.store(), target)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g)| (g > 0).then_some((g, Reverse(i))))
+            .collect();
+        CelfHeap { heap }
+    }
+
+    /// [`seed`](Self::seed) with the sweep fanned out over `workers`
+    /// zero-copy arena shards as pooled work items on `rt`. The heap
+    /// contents are identical to the flat seed for every shard count and
+    /// pool size.
+    pub fn seed_in(
+        rt: &crate::runtime::Runtime,
+        sys: &SetSystem,
+        workers: usize,
+        target: &BitSet,
+    ) -> CelfHeap {
+        assert_eq!(
+            target.capacity(),
+            sys.universe(),
+            "target universe mismatch"
+        );
+        let shards = sys.shards(workers);
+        let per_shard: Vec<Vec<usize>> = rt.map_parts(&shards, |sh| {
+            let mut sweep = BatchedSweep::new();
+            sh.gains(&mut sweep, target).to_vec()
+        });
+        let heap = shards
+            .iter()
+            .zip(&per_shard)
+            .flat_map(|(sh, gains)| {
+                let start = sh.ids().start;
+                gains
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(j, &g)| (g > 0).then_some((g, Reverse(start + j))))
+            })
+            .collect();
+        CelfHeap { heap }
+    }
+
+    /// Pops the next greedy pick against the caller-maintained residual:
+    /// the set with the largest true gain on `uncovered`, smallest id among
+    /// equals — exactly the eager scan's rule. Returns `None` when no
+    /// remaining set makes progress (the heap is then exhausted for this
+    /// residual *and* every smaller one, by submodularity).
+    ///
+    /// The caller must subtract the returned set from `uncovered` before
+    /// the next call; the heap itself only tracks stale upper bounds.
+    pub fn next_pick(&mut self, sys: &SetSystem, uncovered: &BitSet) -> Option<SetId> {
+        while let Some((_, Reverse(i))) = self.heap.pop() {
+            let gain = sys.set(i).intersection_len(uncovered.as_set_ref());
+            if gain == 0 {
+                continue; // fully stale candidate; drop it
+            }
+            // Commit only if the refreshed entry would still be popped
+            // first — `>=` on the (gain, Reverse(id)) pair preserves the
+            // id tie-break.
+            let still_top = match self.heap.peek() {
+                None => true,
+                Some(&top) => (gain, Reverse(i)) >= top,
+            };
+            if still_top {
+                return Some(i);
+            }
+            self.heap.push((gain, Reverse(i)));
+        }
+        None
+    }
 }
 
 /// The CELF selection loop over an already-seeded bound heap.
-fn celf_from_heap(
-    sys: &SetSystem,
-    mut heap: BinaryHeap<(usize, Reverse<SetId>)>,
-    max_picks: usize,
-    target: &BitSet,
-) -> CoverResult {
+fn run_celf(sys: &SetSystem, mut heap: CelfHeap, max_picks: usize, target: &BitSet) -> CoverResult {
     let mut uncovered = target.clone();
     let mut covered = BitSet::new(sys.universe());
     let mut ids = Vec::new();
     while !uncovered.is_empty() && ids.len() < max_picks {
-        let Some((_, Reverse(i))) = heap.pop() else {
+        let Some(i) = heap.next_pick(sys, &uncovered) else {
             break; // no set makes progress
         };
-        let gain = sys.set(i).intersection_len(uncovered.as_set_ref());
-        if gain == 0 {
-            continue; // fully stale candidate; drop it
-        }
-        // Commit only if the refreshed entry would still be popped first —
-        // `>=` on the (gain, Reverse(id)) pair preserves the id tie-break.
-        let still_top = match heap.peek() {
-            None => true,
-            Some(&top) => (gain, Reverse(i)) >= top,
-        };
-        if still_top {
-            uncovered.difference_with_ref(sys.set(i));
-            covered.union_with_ref(sys.set(i));
-            ids.push(i);
-        } else {
-            heap.push((gain, Reverse(i)));
-        }
+        uncovered.difference_with_ref(sys.set(i));
+        covered.union_with_ref(sys.set(i));
+        ids.push(i);
     }
     covered.intersect_with(target);
     CoverResult { ids, covered }
@@ -346,6 +396,41 @@ mod tests {
                 assert_eq!(r.ids, base.ids, "trial {trial} workers {workers}");
                 assert_eq!(r.covered, base.covered, "trial {trial}");
             }
+        }
+    }
+
+    #[test]
+    fn resumable_heap_prefixes_match_fresh_runs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..20 {
+            let n = 1 + rng.gen_range(0usize..60);
+            let m = rng.gen_range(1usize..25);
+            let lists: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.15)).collect())
+                .collect();
+            let sys = SetSystem::from_elements(n, &lists);
+            let target = BitSet::full(n);
+            // One heap, drained incrementally: every prefix must equal a
+            // fresh greedy_cover_until run at that k (the prefix property
+            // the serving layer's chain cache relies on).
+            let mut heap = CelfHeap::seed(&sys, &target);
+            let mut uncovered = target.clone();
+            let mut picks = Vec::new();
+            loop {
+                if uncovered.is_empty() {
+                    break;
+                }
+                let Some(i) = heap.next_pick(&sys, &uncovered) else {
+                    break;
+                };
+                uncovered.difference_with_ref(sys.set(i));
+                picks.push(i);
+                let fresh = greedy_cover_until(&sys, picks.len(), &target);
+                assert_eq!(fresh.ids, picks, "trial {trial} k={}", picks.len());
+            }
+            let full = greedy_cover_until(&sys, usize::MAX, &target);
+            assert_eq!(full.ids, picks, "trial {trial} full drain");
         }
     }
 

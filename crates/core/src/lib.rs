@@ -87,7 +87,7 @@ pub use exact::{
 pub use fractional::{dual_fitting_bound, mwu_fractional_cover, DualBound, FractionalCover};
 pub use greedy::{
     greedy_cover_until, greedy_cover_until_eager, greedy_cover_until_sharded,
-    greedy_cover_until_sharded_in, greedy_max_coverage, greedy_set_cover, CoverResult,
+    greedy_cover_until_sharded_in, greedy_max_coverage, greedy_set_cover, CelfHeap, CoverResult,
 };
 pub use io::{read_instance, write_instance, ParseError};
 pub use runtime::Runtime;

@@ -36,7 +36,8 @@
 //!   nested submission makes progress even when every pool worker is busy.
 //! * [`Runtime::default`] sizes the pool from
 //!   [`std::thread::available_parallelism`], overridable with the
-//!   `STREAMCOVER_WORKERS` environment variable; [`Runtime::global`] and
+//!   `STREAMCOVER_WORKERS` environment variable (snapshotted at the first
+//!   read, so one process sees one width); [`Runtime::global`] and
 //!   [`Runtime::sequential`] are the lazily-initialized shared instances
 //!   (default-sized and single-worker respectively).
 
@@ -311,7 +312,9 @@ impl Runtime {
 impl Default for Runtime {
     /// A runtime sized from [`std::thread::available_parallelism`], or from
     /// the `STREAMCOVER_WORKERS` environment variable when set to a
-    /// positive integer.
+    /// positive integer. The environment is snapshotted on the first read
+    /// (see [`default_workers`]), so every default-sized runtime in a
+    /// process has the same width.
     fn default() -> Self {
         Runtime::new(default_workers())
     }
@@ -339,7 +342,19 @@ impl std::fmt::Debug for Runtime {
 /// The default pool parallelism: `STREAMCOVER_WORKERS` when set to a
 /// positive integer, else [`std::thread::available_parallelism`] (1 when
 /// even that is unavailable).
+///
+/// The environment is read **once**, on the first call, and the value is
+/// cached for the process lifetime: a mid-run `STREAMCOVER_WORKERS` change
+/// cannot produce mixed pool widths between runtimes created before and
+/// after it (a long-lived service constructing [`Runtime::default`] pools
+/// on demand would otherwise observe both).
 pub fn default_workers() -> usize {
+    static SNAPSHOT: OnceLock<usize> = OnceLock::new();
+    *SNAPSHOT.get_or_init(env_workers)
+}
+
+/// The uncached read behind [`default_workers`].
+fn env_workers() -> usize {
     match std::env::var("STREAMCOVER_WORKERS") {
         Ok(v) => parse_workers(&v)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get())),
@@ -399,6 +414,28 @@ fn run_task(task: Task) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_workers_snapshots_the_environment_once() {
+        // First read caches; a mid-run env change must not leak into later
+        // reads (mixed pool widths inside one service). This test owns the
+        // only read of STREAMCOVER_WORKERS in this crate's unit tests, so
+        // mutating the variable here races with nothing.
+        let first = default_workers();
+        assert!(first >= 1);
+        let saved = std::env::var("STREAMCOVER_WORKERS").ok();
+        std::env::set_var("STREAMCOVER_WORKERS", (first + 7).to_string());
+        assert_eq!(
+            default_workers(),
+            first,
+            "env re-read after the first call must not change the width"
+        );
+        assert_eq!(default_workers(), first);
+        match saved {
+            Some(v) => std::env::set_var("STREAMCOVER_WORKERS", v),
+            None => std::env::remove_var("STREAMCOVER_WORKERS"),
+        }
+    }
 
     #[test]
     fn map_parts_matches_inline_at_every_pool_size() {

@@ -271,6 +271,28 @@ impl SetStore {
         self.descs.len() - 1
     }
 
+    /// Tombstones the set at `i`: its descriptor becomes the empty sparse
+    /// set while its arena bytes stay in place (arena compaction is a
+    /// planned follow-on — see ROADMAP). Every read path observes an empty
+    /// set afterwards, so solvers simply never pick it, and the ids of all
+    /// other sets are unchanged — the property the serving layer's
+    /// `remove_set` mutation relies on. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn remove(&mut self, i: usize) {
+        assert!(
+            i < self.descs.len(),
+            "remove: set {i} out of range (m = {})",
+            self.descs.len()
+        );
+        self.descs[i] = SetDesc {
+            repr: SetRepr::Sparse,
+            off: 0,
+            card: 0,
+        };
+    }
+
     /// Borrowed view of the set at `i`.
     ///
     /// # Panics

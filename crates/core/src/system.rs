@@ -23,6 +23,9 @@ pub type SetId = usize;
 #[derive(Clone)]
 pub struct SetSystem {
     store: SetStore,
+    /// Mutation version, bumped by every mutating call on this instance
+    /// (see [`epoch`](Self::epoch)).
+    epoch: u64,
 }
 
 impl SetSystem {
@@ -31,6 +34,7 @@ impl SetSystem {
     pub fn new(universe: usize) -> Self {
         SetSystem {
             store: SetStore::new(universe),
+            epoch: 0,
         }
     }
 
@@ -38,6 +42,7 @@ impl SetSystem {
     pub fn with_policy(universe: usize, policy: ReprPolicy) -> Self {
         SetSystem {
             store: SetStore::with_policy(universe, policy),
+            epoch: 0,
         }
     }
 
@@ -64,6 +69,7 @@ impl SetSystem {
 
     /// Appends a set, returning its id.
     pub fn push(&mut self, set: BitSet) -> SetId {
+        self.epoch += 1;
         self.store.push_bitset(&set)
     }
 
@@ -74,19 +80,66 @@ impl SetSystem {
     /// Panics if any element is `>= universe` or the list is not strictly
     /// increasing.
     pub fn push_sorted(&mut self, elems: &[u32]) -> SetId {
+        self.epoch += 1;
         self.store.push_sorted(elems)
     }
 
     /// Appends a set from an arbitrary element iterator (sorted and
     /// deduplicated internally).
     pub fn push_elems(&mut self, elems: impl IntoIterator<Item = usize>) -> SetId {
+        self.epoch += 1;
         self.store.push_elems(elems)
     }
 
     /// Appends a copy of an existing view, preserving its representation
     /// (cheap cross-system clone).
     pub fn push_ref(&mut self, set: SetRef<'_>) -> SetId {
+        self.epoch += 1;
         self.store.push_ref(set)
+    }
+
+    /// The mutation epoch: a version counter bumped by every mutating call
+    /// on this instance (`push*`, [`add_set`](Self::add_set),
+    /// [`remove_set`](Self::remove_set)). The serving layer keys its
+    /// solution caches on `(epoch, query)` so any mutation invalidates
+    /// every cached answer.
+    ///
+    /// The counter orders mutations on *one* instance — it is not a
+    /// content hash: clones carry their source's epoch forward, while
+    /// construction helpers (`from_elements`, `project`, `subsystem`,
+    /// `from_shards`, …) build at epoch 0. Equality
+    /// ([`PartialEq`]) ignores it.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Appends a set given as a strictly increasing element list — the
+    /// resident-system mutation seam the serving layer's `add_set` request
+    /// commits through. Identical to [`push_sorted`](Self::push_sorted)
+    /// (including the epoch bump); the alias names the live-mutation
+    /// intent.
+    ///
+    /// # Panics
+    /// Panics if any element is `>= universe` or the list is not strictly
+    /// increasing.
+    pub fn add_set(&mut self, elems: &[u32]) -> SetId {
+        self.push_sorted(elems)
+    }
+
+    /// Tombstones the set with id `id`: its descriptor becomes the empty
+    /// set (ids of all other sets unchanged, arena bytes left in place —
+    /// see [`SetStore::remove`]), and the [`epoch`](Self::epoch) is
+    /// bumped. Solvers never pick an empty set, so a fresh run against
+    /// the mutated system behaves as if the set was never inserted except
+    /// for id numbering. Idempotent per call (each call still bumps the
+    /// epoch).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn remove_set(&mut self, id: SetId) {
+        self.epoch += 1;
+        self.store.remove(id);
     }
 
     /// Universe size `n`.
@@ -198,7 +251,7 @@ impl SetSystem {
     /// Wraps an already-built arena (the inverse of
     /// [`into_store`](Self::into_store)).
     pub fn from_store(store: SetStore) -> SetSystem {
-        SetSystem { store }
+        SetSystem { store, epoch: 0 }
     }
 
     /// Unwraps the backing arena, consuming the system — how shard
@@ -319,6 +372,46 @@ mod tests {
             6,
             &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![]],
         )
+    }
+
+    #[test]
+    fn epoch_counts_mutations() {
+        let mut s = demo();
+        assert_eq!(s.epoch(), 0, "construction helpers build at epoch 0");
+        let id = s.add_set(&[1, 4]);
+        assert_eq!(id, 5);
+        assert_eq!(s.epoch(), 1);
+        s.push_elems([0usize, 2]);
+        assert_eq!(s.epoch(), 2);
+        s.push(crate::bitset::BitSet::from_iter(6, [3usize]));
+        assert_eq!(s.epoch(), 3);
+        s.remove_set(id);
+        assert_eq!(s.epoch(), 4);
+        // Clones carry the epoch forward; equality ignores it.
+        let c = s.clone();
+        assert_eq!(c.epoch(), 4);
+        let fresh = SetSystem::from_elements(6, &[vec![0]]);
+        let mut fresh2 = SetSystem::new(6);
+        fresh2.push_sorted(&[0]);
+        assert_eq!(fresh, fresh2, "PartialEq ignores the epoch");
+        assert_ne!(fresh.epoch(), fresh2.epoch());
+    }
+
+    #[test]
+    fn remove_set_tombstones_in_place() {
+        let mut s = demo();
+        let m = s.len();
+        s.remove_set(1);
+        assert_eq!(s.len(), m, "ids of other sets are unchanged");
+        assert_eq!(s.set(1).len(), 0, "removed set reads as empty");
+        assert_eq!(s.set(0).to_vec(), vec![0, 1, 2], "neighbors untouched");
+        assert_eq!(s.set(2).to_vec(), vec![3, 4, 5]);
+        // Idempotent; a later add still appends at the end.
+        s.remove_set(1);
+        assert_eq!(s.set(1).len(), 0);
+        let id = s.add_set(&[2, 3]);
+        assert_eq!(id, m);
+        assert_eq!(s.set(id).to_vec(), vec![2, 3]);
     }
 
     #[test]

@@ -205,6 +205,83 @@ pub fn blog_watch<R: Rng + ?Sized>(rng: &mut R, topics: usize, blogs: usize) -> 
     system
 }
 
+/// A heavy-tailed query workload for the serving layer: a fixed pool of
+/// `distinct` subset targets with Zipf popularity weights `∝ 1/(rank+1)^s`
+/// — rank 0 is drawn far more often than the tail, exactly the skew a
+/// podcast-catalogue front end sees. Built once, then sampled cheaply via
+/// [`draw`](ZipfQueryMix::draw); repeated draws of the popular head are
+/// what the service's epoch cache is expected to absorb.
+#[derive(Clone, Debug)]
+pub struct ZipfQueryMix {
+    targets: Vec<Vec<u32>>,
+    /// Cumulative Zipf weights over `targets` (last entry = total mass).
+    cumulative: Vec<f64>,
+}
+
+impl ZipfQueryMix {
+    /// Number of distinct targets in the pool.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the pool is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The target at `rank` (0 = most popular), sorted and deduplicated.
+    pub fn target(&self, rank: usize) -> &[u32] {
+        &self.targets[rank]
+    }
+
+    /// Draws one query: the rank and target of a pool entry sampled with
+    /// Zipf weights.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, &[u32]) {
+        let total = *self.cumulative.last().expect("nonempty pool");
+        let x = rng.gen::<f64>() * total;
+        let rank = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.targets.len() - 1);
+        (rank, &self.targets[rank])
+    }
+}
+
+/// Builds a [`ZipfQueryMix`] over the universe `[n]`: `distinct` targets of
+/// `lo..=hi` elements each (uniform subsets, sorted), with popularity
+/// exponent `s` (`s = 1.0` is the classic Zipf law; larger skews harder).
+///
+/// # Panics
+/// Panics unless `distinct ≥ 1`, `1 ≤ lo ≤ hi ≤ n` and `s > 0`.
+pub fn zipf_query_mix<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    distinct: usize,
+    lo: usize,
+    hi: usize,
+    s: f64,
+) -> ZipfQueryMix {
+    assert!(distinct >= 1, "need at least one target");
+    assert!(
+        (1..=hi).contains(&lo) && hi <= n,
+        "target sizes must satisfy 1 ≤ lo ≤ hi ≤ n (got {lo}..={hi} over [{n}])"
+    );
+    assert!(s > 0.0, "Zipf exponent must be positive");
+    let mut targets = Vec::with_capacity(distinct);
+    let mut cumulative = Vec::with_capacity(distinct);
+    let mut total = 0.0f64;
+    for rank in 0..distinct {
+        let size = rng.gen_range(lo..=hi);
+        targets.push(random_subset_elems(rng, n, size));
+        total += 1.0 / ((rank + 1) as f64).powf(s);
+        cumulative.push(total);
+    }
+    ZipfQueryMix {
+        targets,
+        cumulative,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +384,54 @@ mod tests {
         assert!(
             head >= 4 * tail.max(1),
             "popular topics must dominate: head {head} vs tail {tail}"
+        );
+    }
+
+    #[test]
+    fn zipf_query_mix_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mix = zipf_query_mix(&mut rng, 256, 32, 4, 16, 1.0);
+        assert_eq!(mix.len(), 32);
+        assert!(!mix.is_empty());
+        for rank in 0..mix.len() {
+            let t = mix.target(rank);
+            assert!(
+                (4..=16).contains(&t.len()),
+                "rank {rank}: {} elems",
+                t.len()
+            );
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted + deduplicated");
+            assert!(t.iter().all(|&e| (e as usize) < 256));
+        }
+    }
+
+    #[test]
+    fn zipf_query_mix_draws_are_skewed_toward_the_head() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mix = zipf_query_mix(&mut rng, 128, 16, 2, 8, 1.0);
+        let mut counts = vec![0usize; mix.len()];
+        for _ in 0..4000 {
+            let (rank, target) = mix.draw(&mut rng);
+            assert_eq!(target, mix.target(rank));
+            counts[rank] += 1;
+        }
+        // Zipf(1.0) over 16 ranks: rank 0 carries 1/H(16) ≈ 30% of the
+        // mass, rank 15 about 1.9%.
+        assert!(
+            counts[0] >= 8 * counts[15].max(1),
+            "head must dominate tail: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "every rank is reachable");
+        // A harder exponent skews harder.
+        let mix2 = zipf_query_mix(&mut rng, 128, 16, 2, 8, 2.0);
+        let mut head2 = 0usize;
+        for _ in 0..4000 {
+            head2 += usize::from(mix2.draw(&mut rng).0 == 0);
+        }
+        assert!(
+            head2 > counts[0],
+            "s=2 head share {head2} must beat s=1 share {}",
+            counts[0]
         );
     }
 }

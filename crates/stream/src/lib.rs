@@ -31,6 +31,13 @@
 //! * [`report`] — uniform run reports and the [`report::SetCoverStreamer`] /
 //!   [`report::MaxCoverStreamer`] traits the bench harness sweeps, each
 //!   with the `run_in(&Runtime, &ExecPolicy, …)` entry point.
+//! * [`service`] — the resident serving layer: [`service::CoverService`]
+//!   keeps one mutable `SetSystem` live behind a narrow
+//!   [`service::Request`]/[`service::Response`] API and answers concurrent
+//!   `cover_for_subset` / budgeted `max_cover` / `what_if` queries with
+//!   epoch-keyed caching, single-flight request coalescing and incremental
+//!   CELF-chain reuse — every response byte-identical to a fresh
+//!   single-threaded run at its epoch.
 //!
 //! Set cover algorithms ([`algo`]):
 //! * [`algo::HarPeledAssadi`] — **Algorithm 1**: `(α+ε)`-approximation,
@@ -77,6 +84,37 @@
 //! let seq = ThresholdGreedy.run(&w.system, Arrival::Adversarial, &mut rng);
 //! assert_eq!(seq.solution, run.solution);
 //! ```
+//!
+//! ## Serving layer
+//!
+//! For a long-lived deployment, wrap the system in a [`CoverService`]
+//! instead of re-running batch entry points: queries from any number of
+//! threads are cached per epoch, coalesced when simultaneous, and served
+//! from a shared incremental CELF chain — all without changing a single
+//! answer byte.
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use streamcover_dist::planted_cover;
+//! use streamcover_stream::service::CoverService;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let w = planted_cover(&mut rng, 256, 32, 4);
+//! let svc = CoverService::new(w.system);
+//!
+//! // Budgeted greedy max coverage; a same-epoch repeat is served from
+//! // the service's CELF chain without running the solver again.
+//! let first = svc.max_cover(4);
+//! let again = svc.max_cover(4);
+//! assert_eq!(first, again);
+//! assert!(svc.stats().cache_hits >= 1);
+//!
+//! // Mutations bump the epoch: no stale answer can survive them.
+//! let before = svc.epoch();
+//! let (epoch, _id) = svc.add_set(&[0, 1, 2, 3]);
+//! assert_eq!(epoch, before + 1);
+//! assert_eq!(svc.max_cover(4).epoch, epoch);
+//! ```
 
 pub mod algo;
 pub mod guessing;
@@ -85,6 +123,7 @@ pub mod meter;
 pub mod parallel;
 pub mod report;
 pub mod runtime;
+pub mod service;
 pub mod stream;
 
 pub use algo::{
@@ -97,4 +136,8 @@ pub use meter::{Accounting, ChargeGuard, MeterFold, SpaceMeter};
 pub use parallel::ParallelPass;
 pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
 pub use runtime::{default_workers, ExecPolicy, Runtime};
+pub use service::{
+    Answer, CoverAnswer, CoverService, Mutation, Query, Request, Response, ServiceStats,
+    StreamAnswer,
+};
 pub use stream::{Arrival, SetStream};

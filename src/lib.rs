@@ -55,17 +55,20 @@ pub mod prelude {
         Transcript,
     };
     pub use streamcover_core::{
-        exact_max_coverage, exact_set_cover, greedy_max_coverage, greedy_set_cover, BatchedSweep,
-        BitSet, CoverError, ExactCover, SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
+        exact_max_coverage, exact_set_cover, greedy_cover_until, greedy_max_coverage,
+        greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CoverError, ExactCover, SetId, SetSystem,
+        ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
         blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
-        uniform_random, McParams, ScParams,
+        uniform_random, zipf_query_mix, McParams, ScParams, ZipfQueryMix,
     };
     pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
     pub use streamcover_stream::{
-        Accounting, Arrival, CoverRun, ElementSampling, ExecPolicy, GuessDriver, HarPeledAssadi,
-        MaxCoverRun, MaxCoverStreamer, MeterFold, OnlinePrune, ParallelPass, Runtime,
-        SahaGetoorSwap, SetCoverStreamer, SieveStream, SpaceMeter, StoreAll, ThresholdGreedy,
+        Accounting, Answer, Arrival, CoverAnswer, CoverRun, CoverService, ElementSampling,
+        ExecPolicy, GuessDriver, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer, MeterFold,
+        Mutation, OnlinePrune, ParallelPass, Query, Request, Response, Runtime, SahaGetoorSwap,
+        ServiceStats, SetCoverStreamer, SieveStream, SpaceMeter, StoreAll, StreamAnswer,
+        ThresholdGreedy,
     };
 }

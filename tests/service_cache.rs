@@ -1,0 +1,136 @@
+//! Property: `CoverService`'s epoch cache is invisible in answers. For
+//! arbitrary interleavings of queries and mutations (driven from proptest
+//! op sequences against a shadow system mutated identically), no
+//! post-mutation query ever returns a pre-mutation cached answer — every
+//! answer carries the shadow's exact epoch and byte-matches a fresh
+//! computation on the shadow — and repeat queries on an unchanged epoch
+//! are served from the cache (the hit counter exposed via
+//! `CoverService::stats` must advance).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::core::random_subset_elems;
+use streamcover::prelude::*;
+
+fn base_system() -> SetSystem {
+    let mut rng = StdRng::seed_from_u64(2017);
+    planted_cover(&mut rng, 64, 12, 3).system
+}
+
+/// The fixed pool of subset targets queries draw from.
+fn pool(n: usize) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..4)
+        .map(|i| random_subset_elems(&mut rng, n, 4 + 5 * i))
+        .collect()
+}
+
+/// Asserts `answer` equals a fresh sequential computation on `shadow`.
+fn check_cover(
+    shadow: &SetSystem,
+    target: &[u32],
+    answer: &CoverAnswer,
+) -> Result<(), TestCaseError> {
+    let tb = BitSet::from_iter(shadow.universe(), target.iter().map(|&e| e as usize));
+    let fresh = greedy_cover_until(shadow, usize::MAX, &tb);
+    prop_assert_eq!(answer.epoch, shadow.epoch(), "stale epoch served");
+    prop_assert_eq!(&answer.solution, &fresh.ids);
+    prop_assert_eq!(answer.covered, fresh.coverage());
+    prop_assert_eq!(answer.feasible, fresh.coverage() == tb.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_is_invisible_under_arbitrary_interleavings(
+        ops in proptest::collection::vec((0usize..8, 0usize..4, 0usize..16), 1..40),
+    ) {
+        let shadow_src = base_system();
+        let svc = CoverService::new(shadow_src.clone());
+        let mut shadow = shadow_src;
+        let n = shadow.universe();
+        let m0 = shadow.len();
+        let targets = pool(n);
+
+        for &(kind, t, misc) in &ops {
+            match kind {
+                // Mutations: applied identically to the shadow; epochs must
+                // track exactly.
+                0 => {
+                    let mut seed_rng = StdRng::seed_from_u64(misc as u64);
+                    let elems = random_subset_elems(&mut seed_rng, n, 1 + misc % 12);
+                    let (epoch, id) = svc.add_set(&elems);
+                    let shadow_id = shadow.add_set(&elems);
+                    prop_assert_eq!(id, shadow_id);
+                    prop_assert_eq!(epoch, shadow.epoch());
+                }
+                1 => {
+                    let id = misc % m0;
+                    let epoch = svc.remove_set(id);
+                    shadow.remove_set(id);
+                    prop_assert_eq!(epoch, shadow.epoch());
+                }
+                // Subset queries: fresh-equal, and an immediate repeat on
+                // the unchanged epoch must be a cache hit.
+                2..=4 => {
+                    let target = &targets[t];
+                    let a = svc.cover_for_subset(target);
+                    check_cover(&shadow, target, &a)?;
+                    let hits_before = svc.stats().cache_hits;
+                    let b = svc.cover_for_subset(target);
+                    prop_assert_eq!(&a, &b, "same-epoch repeat changed");
+                    prop_assert_eq!(
+                        svc.stats().cache_hits,
+                        hits_before + 1,
+                        "same-epoch repeat must hit the cache"
+                    );
+                }
+                // Budgeted max-cover: chain answers fresh-equal; repeats on
+                // an already-drawn prefix are hits.
+                5 | 6 => {
+                    let k = misc % 8;
+                    let a = svc.max_cover(k);
+                    let fresh = greedy_max_coverage(&shadow, k);
+                    prop_assert_eq!(a.epoch, shadow.epoch(), "stale epoch served");
+                    prop_assert_eq!(&a.solution, &fresh.ids);
+                    prop_assert_eq!(a.covered, fresh.coverage());
+                    let hits_before = svc.stats().cache_hits;
+                    let b = svc.max_cover(k);
+                    prop_assert_eq!(&a, &b, "same-epoch repeat changed");
+                    prop_assert_eq!(
+                        svc.stats().cache_hits,
+                        hits_before + 1,
+                        "drawn-prefix repeat must hit the chain"
+                    );
+                }
+                // Streaming runs: fresh-equal including passes/peak bits.
+                _ => {
+                    let seed = (misc % 3) as u64;
+                    let a = svc.stream_cover(seed);
+                    let fresh = ThresholdGreedy.run(
+                        &shadow,
+                        Arrival::Random { seed },
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    prop_assert_eq!(a.epoch, shadow.epoch(), "stale epoch served");
+                    prop_assert_eq!(&a.solution, &fresh.solution);
+                    prop_assert_eq!(a.passes, fresh.passes);
+                    prop_assert_eq!(a.peak_bits, fresh.peak_bits);
+                    let hits_before = svc.stats().cache_hits;
+                    let b = svc.stream_cover(seed);
+                    prop_assert_eq!(&a, &b, "same-epoch repeat changed");
+                    prop_assert_eq!(svc.stats().cache_hits, hits_before + 1);
+                }
+            }
+        }
+
+        // Bookkeeping identity: every query is exactly one of
+        // hit / coalesced / computed, and the shadow tracked every epoch.
+        let s = svc.stats();
+        prop_assert_eq!(s.epoch, shadow.epoch());
+        prop_assert_eq!(s.coalesced, 0, "single-threaded driver never coalesces");
+        prop_assert_eq!(s.cache_hits + s.computed, s.queries);
+    }
+}

@@ -1,0 +1,264 @@
+//! Integration: `CoverService` linearizability — N worker threads fire
+//! interleaved queries, hypotheticals and mutations at one service on the
+//! shared global `Runtime`, every response records the epoch it was served
+//! at, and afterwards a *sequential replay* reconstructs each epoch's
+//! system from the mutation log and recomputes every sampled answer fresh.
+//! Every field of every response — picks, coverage, feasibility, passes,
+//! peak bits — must be byte-identical to the fresh single-threaded run at
+//! its epoch, at 1/2/4/8 threads: caching, coalescing and CELF-chain reuse
+//! are execution optimizations only, never visible in an answer.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Mutex;
+use streamcover::core::random_subset_elems;
+use streamcover::prelude::*;
+
+/// One sampled response: the hypothetical mutation (for `what_if`), the
+/// query, and the answer the service returned.
+struct Sample {
+    hypo: Option<Mutation>,
+    query: Query,
+    answer: Answer,
+}
+
+/// The fixed pool of subset targets every thread queries from — repeats
+/// across threads are what exercises the cache and the coalescer.
+fn target_pool(n: usize) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..6)
+        .map(|i| random_subset_elems(&mut rng, n, 8 + 6 * i))
+        .collect()
+}
+
+/// Applies a logged mutation to the replay system — the same calls the
+/// service commits through, so replay epochs advance in lockstep.
+fn apply(sys: &mut SetSystem, m: &Mutation) {
+    match m {
+        Mutation::Add { elems } => {
+            sys.add_set(elems);
+        }
+        Mutation::Remove { id } => sys.remove_set(*id),
+    }
+}
+
+/// Recomputes `query` fresh and single-threaded against `sys` and asserts
+/// the served answer is byte-identical.
+fn assert_matches_fresh(sys: &SetSystem, query: &Query, answer: &Answer, ctx: &str) {
+    match (query, answer) {
+        (Query::CoverForSubset { target }, Answer::Cover(a)) => {
+            let mut canon = target.clone();
+            canon.sort_unstable();
+            canon.dedup();
+            let tb = BitSet::from_iter(sys.universe(), canon.iter().map(|&e| e as usize));
+            let fresh = greedy_cover_until(sys, usize::MAX, &tb);
+            assert_eq!(a.solution, fresh.ids, "{ctx}: subset picks");
+            assert_eq!(a.covered, fresh.coverage(), "{ctx}: subset coverage");
+            assert_eq!(a.feasible, fresh.coverage() == tb.len(), "{ctx}");
+        }
+        (Query::MaxCover { k }, Answer::Cover(a)) => {
+            let fresh = greedy_max_coverage(sys, *k);
+            assert_eq!(a.solution, fresh.ids, "{ctx}: max-cover picks at k={k}");
+            assert_eq!(a.covered, fresh.coverage(), "{ctx}: max-cover coverage");
+            assert_eq!(a.feasible, fresh.is_feasible(), "{ctx}");
+        }
+        (Query::StreamCover { seed }, Answer::Stream(a)) => {
+            let fresh = ThresholdGreedy.run(
+                sys,
+                Arrival::Random { seed: *seed },
+                &mut StdRng::seed_from_u64(*seed),
+            );
+            assert_eq!(a.solution, fresh.solution, "{ctx}: stream picks");
+            assert_eq!(a.feasible, fresh.feasible, "{ctx}");
+            assert_eq!(a.passes, fresh.passes, "{ctx}: stream passes");
+            assert_eq!(a.peak_bits, fresh.peak_bits, "{ctx}: stream peak bits");
+        }
+        (q, a) => panic!("{ctx}: answer kind mismatch for {q:?}: {a:?}"),
+    }
+}
+
+/// The battery at one thread count.
+fn run_battery(threads: usize) {
+    let mut rng = StdRng::seed_from_u64(2017 + threads as u64);
+    let w = planted_cover(&mut rng, 256, 48, 6);
+    let initial = w.system.clone();
+    let n = initial.universe();
+    let m0 = initial.len();
+    let svc = CoverService::with(
+        w.system,
+        Runtime::global(),
+        ExecPolicy::sequential().workers(2),
+    );
+    let pool = target_pool(n);
+    let mutation_log: Mutex<Vec<(u64, Mutation)>> = Mutex::new(Vec::new());
+
+    let mut samples: Vec<Sample> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let svc = &svc;
+                let pool = &pool;
+                let mutation_log = &mutation_log;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 * (t as u64 + 1));
+                    let mut out = Vec::new();
+                    for _ in 0..40 {
+                        match rng.gen_range(0u32..10) {
+                            0 => {
+                                let size = 1 + rng.gen_range(0usize..24);
+                                let elems = random_subset_elems(&mut rng, n, size);
+                                let (epoch, _id) = svc.add_set(&elems);
+                                mutation_log
+                                    .lock()
+                                    .unwrap()
+                                    .push((epoch, Mutation::Add { elems }));
+                            }
+                            1 => {
+                                // Only initial ids: always in range, and
+                                // removing a tombstone is a legal no-op
+                                // mutation (still bumps the epoch).
+                                let id = rng.gen_range(0..m0);
+                                let epoch = svc.remove_set(id);
+                                mutation_log
+                                    .lock()
+                                    .unwrap()
+                                    .push((epoch, Mutation::Remove { id }));
+                            }
+                            2 => {
+                                let hypo = if rng.gen_bool(0.5) {
+                                    Mutation::Add {
+                                        elems: random_subset_elems(&mut rng, n, 16),
+                                    }
+                                } else {
+                                    Mutation::Remove {
+                                        id: rng.gen_range(0..m0),
+                                    }
+                                };
+                                let query = Query::MaxCover {
+                                    k: rng.gen_range(1..6),
+                                };
+                                let answer = svc.what_if(hypo.clone(), query.clone());
+                                out.push(Sample {
+                                    hypo: Some(hypo),
+                                    query,
+                                    answer,
+                                });
+                            }
+                            3..=5 => {
+                                let target = pool[rng.gen_range(0..pool.len())].clone();
+                                let a = svc.cover_for_subset(&target);
+                                out.push(Sample {
+                                    hypo: None,
+                                    query: Query::CoverForSubset { target },
+                                    answer: Answer::Cover(a),
+                                });
+                            }
+                            6 | 7 => {
+                                let k = rng.gen_range(0..10);
+                                let a = svc.max_cover(k);
+                                out.push(Sample {
+                                    hypo: None,
+                                    query: Query::MaxCover { k },
+                                    answer: Answer::Cover(a),
+                                });
+                            }
+                            _ => {
+                                let seed = rng.gen_range(0u64..3);
+                                let a = svc.stream_cover(seed);
+                                out.push(Sample {
+                                    hypo: None,
+                                    query: Query::StreamCover { seed },
+                                    answer: Answer::Stream(a),
+                                });
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut log = mutation_log.into_inner().unwrap();
+    log.sort_by_key(|&(epoch, _)| epoch);
+    // Mutations serialize under the write lock and bump the epoch by
+    // exactly one each: the logged epochs must be consecutive from the
+    // initial system's epoch.
+    for (i, &(epoch, _)) in log.iter().enumerate() {
+        assert_eq!(epoch, initial.epoch() + 1 + i as u64, "epoch gap in log");
+    }
+    assert_eq!(svc.epoch(), initial.epoch() + log.len() as u64);
+
+    // Sequential replay: walk the samples in epoch order, advancing a
+    // rolling copy of the initial system through the mutation log, and
+    // recompute every answer fresh at its serving epoch.
+    samples.sort_by_key(|s| s.answer.epoch());
+    let mut replay = initial.clone();
+    let mut applied = 0usize;
+    for (i, sample) in samples.iter().enumerate() {
+        let epoch = sample.answer.epoch();
+        while replay.epoch() < epoch {
+            apply(&mut replay, &log[applied].1);
+            applied += 1;
+        }
+        assert_eq!(
+            replay.epoch(),
+            epoch,
+            "sample {i}: served epoch must be reachable by replay"
+        );
+        let ctx = format!("threads={threads} sample={i} epoch={epoch}");
+        match &sample.hypo {
+            None => assert_matches_fresh(&replay, &sample.query, &sample.answer, &ctx),
+            Some(hypo) => {
+                // what_if: the answer is based on this epoch's system plus
+                // the hypothetical — which must not have leaked into the
+                // replay stream (the log only holds committed mutations).
+                let mut ghost = replay.clone();
+                apply(&mut ghost, hypo);
+                match (&sample.query, &sample.answer) {
+                    (Query::MaxCover { k }, Answer::Cover(a)) => {
+                        let fresh = greedy_max_coverage(&ghost, *k);
+                        assert_eq!(a.solution, fresh.ids, "{ctx}: what-if picks");
+                        assert_eq!(a.covered, fresh.coverage(), "{ctx}: what-if coverage");
+                    }
+                    (q, a) => panic!("{ctx}: unexpected what-if shape {q:?} / {a:?}"),
+                }
+            }
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(
+        stats.queries,
+        samples.len() as u64,
+        "every sampled op is a query"
+    );
+    assert_eq!(stats.mutations, log.len() as u64);
+    assert_eq!(
+        stats.cache_hits + stats.coalesced + stats.computed,
+        stats.queries,
+        "every query is exactly one of hit / coalesced / computed ({stats:?})"
+    );
+}
+
+#[test]
+fn service_responses_replay_sequentially_at_1_thread() {
+    run_battery(1);
+}
+
+#[test]
+fn service_responses_replay_sequentially_at_2_threads() {
+    run_battery(2);
+}
+
+#[test]
+fn service_responses_replay_sequentially_at_4_threads() {
+    run_battery(4);
+}
+
+#[test]
+fn service_responses_replay_sequentially_at_8_threads() {
+    run_battery(8);
+}
