@@ -15,7 +15,7 @@
 
 use proptest::prelude::*;
 use proptest::TestCaseError;
-use streamcover_core::{BitSet, ReprPolicy, SetSystem};
+use streamcover_core::{BitSet, KernelTier, ReprPolicy, SetSystem};
 
 /// A universe plus random element lists (possibly with duplicates — the
 /// construction paths must canonicalize identically).
@@ -181,6 +181,58 @@ fn check_mutation_kernels(
     Ok(())
 }
 
+/// The forced-tier battery: every counting kernel, every backend pairing,
+/// every *supported* SIMD tier — all pinned byte-equal to the `BitSet`
+/// reference. Unsupported tiers are skipped with an explicit log line (so
+/// a CI container without AVX-512 still shows the dispatch logic ran and
+/// exactly which tier it could not execute) rather than silently passing.
+fn check_tiered_kernels(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
+    {
+        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
+        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let refs = reference_bitsets(n, &lists);
+        let systems = [&sparse, &dense];
+
+        for tier in KernelTier::ALL {
+            if !tier.is_supported() {
+                eprintln!(
+                    "skipping kernel tier {}: not supported on this CPU (detected {})",
+                    tier.name(),
+                    KernelTier::detect().name()
+                );
+                continue;
+            }
+            for i in 0..lists.len() {
+                for j in 0..lists.len() {
+                    for sa in systems {
+                        for sb in systems {
+                            let (a, b) = (sa.set(i), sb.set(j));
+                            prop_assert_eq!(
+                                a.intersection_len_tier(b, tier),
+                                refs[i].intersection_len(&refs[j]),
+                                "intersection tier {} ({}×{})",
+                                tier.name(),
+                                i,
+                                j
+                            );
+                            prop_assert_eq!(a.union_len_tier(b, tier), refs[i].union_len(&refs[j]));
+                            prop_assert_eq!(
+                                a.difference_len_tier(b, tier),
+                                refs[i].difference_len(&refs[j])
+                            );
+                            prop_assert_eq!(
+                                a.hamming_distance_tier(b, tier),
+                                refs[i].hamming_distance(&refs[j])
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check_projection_and_subsystem(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
     {
         let sparse = build(n, &lists, ReprPolicy::ForceSparse);
@@ -224,5 +276,11 @@ proptest! {
     fn projection_and_subsystem_agree_across_backends(case in arb_instance()) {
         let (n, lists) = case;
         check_projection_and_subsystem(n, lists)?;
+    }
+
+    #[test]
+    fn counting_kernels_agree_across_forced_tiers(case in arb_instance()) {
+        let (n, lists) = case;
+        check_tiered_kernels(n, lists)?;
     }
 }

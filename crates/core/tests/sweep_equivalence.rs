@@ -4,7 +4,7 @@
 //! (dense bitmap view / sparse list view), on arbitrary systems.
 
 use proptest::prelude::*;
-use streamcover_core::{BatchedSweep, BitSet, ReprPolicy, SetStore};
+use streamcover_core::{BatchedSweep, BitSet, KernelTier, ReprPolicy, SetStore};
 
 /// Strategy: `(universe, element lists, residual elements)`.
 fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<usize>)> {
@@ -54,6 +54,52 @@ proptest! {
             let ids: Vec<usize> = (0..st.len()).rev().collect();
             let expect_rev: Vec<usize> = ids.iter().map(|&i| expect[i]).collect();
             prop_assert_eq!(sweep.gains_for(&st, &ids, &residual), &expect_rev[..]);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_scalar_reference_under_every_forced_tier(inst in arb_instance()) {
+        // The forced-tier knob: the same sweep shapes as above, but with
+        // the kernel tier pinned — every *supported* tier must reproduce
+        // the Scalar tier byte-for-byte; unsupported tiers are skipped
+        // with an explicit log line, never silently.
+        let (n, lists, resid) = inst;
+        let residual = BitSet::from_iter(n, resid.iter().copied());
+        let mut rstore = SetStore::with_policy(n, ReprPolicy::ForceSparse);
+        rstore.push_elems(residual.iter());
+        let rsparse = rstore.get(0);
+
+        for policy in [ReprPolicy::ForceSparse, ReprPolicy::ForceDense, ReprPolicy::Auto] {
+            let st = store_of(policy, n, &lists);
+            let reference = BatchedSweep::with_tier(KernelTier::Scalar)
+                .gains(&st, &residual)
+                .to_vec();
+            for tier in KernelTier::ALL {
+                if !tier.is_supported() {
+                    eprintln!(
+                        "skipping kernel tier {}: not supported on this CPU (detected {})",
+                        tier.name(),
+                        KernelTier::detect().name()
+                    );
+                    continue;
+                }
+                let mut sweep = BatchedSweep::with_tier(tier);
+                prop_assert_eq!(sweep.gains(&st, &residual), &reference[..],
+                    "dense residual, tier {}", tier.name());
+                prop_assert_eq!(sweep.gains_vs_ref(&st, residual.as_set_ref()), &reference[..],
+                    "dense view residual, tier {}", tier.name());
+                prop_assert_eq!(sweep.gains_vs_ref(&st, rsparse), &reference[..],
+                    "sparse residual, tier {}", tier.name());
+                let ids: Vec<usize> = (0..st.len()).rev().collect();
+                let expect_rev: Vec<usize> = ids.iter().map(|&i| reference[i]).collect();
+                prop_assert_eq!(sweep.gains_for(&st, &ids, &residual), &expect_rev[..],
+                    "gains_for, tier {}", tier.name());
+                if !st.is_empty() {
+                    prop_assert_eq!(sweep.gains_span(&st, 0..st.len() - 1, &residual),
+                        &reference[..st.len() - 1],
+                        "gains_span, tier {}", tier.name());
+                }
+            }
         }
     }
 

@@ -33,7 +33,7 @@ impl GhdParams {
     /// `t/2 ± √t` is nondegenerate and `|A| = t/2` is integral).
     pub fn balanced(t: usize) -> Self {
         assert!(t >= 4, "GHD needs t ≥ 4, got {t}");
-        assert!(t % 2 == 0, "balanced GHD needs even t, got {t}");
+        assert!(t.is_multiple_of(2), "balanced GHD needs even t, got {t}");
         GhdParams { t }
     }
 
@@ -141,7 +141,7 @@ pub fn sample_a_given_b_no<R: Rng + ?Sized>(rng: &mut R, p: GhdParams, b: &BitSe
 
 /// Uniform even value in `[lo, hi]` (both even).
 fn sample_even<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
-    debug_assert!(lo % 2 == 0 && hi % 2 == 0 && lo <= hi);
+    debug_assert!(lo.is_multiple_of(2) && hi.is_multiple_of(2) && lo <= hi);
     lo + 2 * rng.gen_range(0..=(hi - lo) / 2)
 }
 
@@ -156,7 +156,7 @@ fn pair_at_distance<R: Rng + ?Sized>(rng: &mut R, p: GhdParams, d: usize) -> Ghd
 /// result has `a`'s size and Hamming distance exactly `d` from it.
 fn swap_at_distance<R: Rng + ?Sized>(rng: &mut R, a: &BitSet, d: usize) -> BitSet {
     let t = a.capacity();
-    debug_assert!(d % 2 == 0 && d / 2 <= a.len() && d / 2 <= t - a.len());
+    debug_assert!(d.is_multiple_of(2) && d / 2 <= a.len() && d / 2 <= t - a.len());
     let members = a.to_vec();
     let outsiders = a.complement().to_vec();
     let drop = random_subset(rng, members.len(), d / 2);
@@ -264,7 +264,7 @@ mod tests {
             .map(|_| sample_yes(&mut rng, p).hamming())
             .collect();
         assert!(seen.len() >= 5, "only distances {seen:?}");
-        assert!(seen.iter().all(|d| d % 2 == 0));
+        assert!(seen.iter().all(|d| d.is_multiple_of(2)));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! (PODS 2017) within it.
 //!
 //! Substrate:
-//! * [`runtime`] — the unified execution API: a persistent work-stealing
-//!   [`runtime::Runtime`] pool (re-exported from `streamcover-core`) that
-//!   every fan-out submits to, and the [`runtime::ExecPolicy`] builder
+//! * [`runtime`] — the unified execution API: a persistent lock-free
+//!   work-stealing [`runtime::Runtime`] pool (Chase–Lev deques,
+//!   re-exported from `streamcover-core`) that every fan-out submits
+//!   to, and the [`runtime::ExecPolicy`] builder
 //!   holding *all* execution configuration (`workers`, `guess_workers`,
 //!   shard plan, representation policy, accounting, meter folds, seed).
 //!   Algorithms take both through `run_in`; the legacy `run` delegates to

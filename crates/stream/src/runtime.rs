@@ -9,7 +9,10 @@
 //! `std::thread::scope` spawn. Now:
 //!
 //! * the [`Runtime`] (re-exported from `streamcover-core`) owns the
-//!   persistent pool of parked workers every fan-out executes on, and
+//!   persistent pool every fan-out executes on — per-worker Chase–Lev
+//!   work-stealing deques and bounded injector rings, so the task fast
+//!   path takes no lock (see `streamcover-core::runtime` for the
+//!   memory-ordering argument) — and
 //! * the [`ExecPolicy`] builder holds *all* execution configuration:
 //!   per-pass fan-out (`workers`), guess-grid fan-out (`guess_workers`),
 //!   shard plan, representation policy, space accounting, meter-fold

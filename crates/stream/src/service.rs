@@ -463,7 +463,7 @@ impl CoverService {
         // arrivals share one seeding sweep and one drawn prefix (this is
         // the coalescing for the chain path).
         let mut slot = self.chain.lock().expect("chain poisoned");
-        let stale = slot.as_ref().map_or(true, |c| c.epoch != epoch);
+        let stale = slot.as_ref().is_none_or(|c| c.epoch != epoch);
         let served_from_prefix = !stale
             && slot
                 .as_ref()

@@ -56,8 +56,8 @@ pub mod prelude {
     };
     pub use streamcover_core::{
         exact_max_coverage, exact_set_cover, greedy_cover_until, greedy_max_coverage,
-        greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CoverError, ExactCover, SetId, SetSystem,
-        ShardPlan, ShardedStore, StoreShard,
+        greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CoverError, ExactCover, KernelTier,
+        SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
         blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
