@@ -1,9 +1,11 @@
 //! Machine-readable substrate benchmarks: ns/op for the hybrid-store
 //! kernels (coverage/union/difference, sparse vs dense backend), the
 //! batched columnar sweep vs the per-set kernel loop, lazy vs eager greedy
-//! set cover, thread-scaling of the parallel pass engine, and sustained
+//! set cover, thread-scaling of the parallel pass engine, sustained
 //! QPS + tail latency of the resident `CoverService` under a Zipf query
-//! mix.
+//! mix, and the deletion-aware stack (`mutation` arm): turnstile replay,
+//! arena compaction, sliding-window ingest/snapshot, and a
+//! `CompactionPolicy` service soak, all identity-gated.
 //!
 //! Usage: `substrate_bench [--smoke] [--check] [--seed N] [--out PATH]`
 //!
@@ -53,13 +55,15 @@ use std::sync::Mutex;
 use std::time::Instant;
 use streamcover_core::{
     bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager,
-    random_subset_elems, BatchedSweep, BitSet, KernelTier, ReprPolicy, SetRef, SetSystem,
-    ShardPlan, ShardedStore,
+    greedy_set_cover, random_subset_elems, BatchedSweep, BitSet, KernelTier, ReprPolicy, SetId,
+    SetRef, SetSystem, ShardPlan, ShardedStore,
 };
-use streamcover_dist::{planted_cover, stress_cover, stress_cover_shards, zipf_query_mix};
+use streamcover_dist::{
+    planted_cover, stress_cover, stress_cover_shards, turnstile_catalog, zipf_query_mix, CatalogOp,
+};
 use streamcover_stream::{
-    Arrival, CoverAnswer, CoverService, ExecPolicy, HarPeledAssadi, Mutation, Runtime,
-    SetCoverStreamer, ThresholdGreedy,
+    Arrival, CompactionPolicy, CoverAnswer, CoverService, ExecPolicy, HarPeledAssadi, Mutation,
+    Runtime, SetCoverStreamer, ThresholdGreedy, TurnstileStream, Update,
 };
 
 /// Median-of-samples ns/op for `f`, which must return a checksum (kept
@@ -1005,6 +1009,193 @@ fn bench_service(seed: u64, smoke: bool) -> Vec<ServiceRow> {
     rows
 }
 
+struct MutationRow {
+    scale: &'static str,
+    n: usize,
+    inserts: usize,
+    deletes: usize,
+    apply_ns: f64,
+    compact_ns: f64,
+    tombstone_ratio: f64,
+    reclaimed_bits: u64,
+    window_w: usize,
+    window_apply_ns: f64,
+    snapshot_ns: f64,
+    window_solve_ns: f64,
+    service_rounds: usize,
+    service_compactions: u64,
+    service_min_live_ratio: f64,
+}
+
+/// The `mutation` arm: cost of the deletion-aware stack under a scripted
+/// `turnstile_catalog` insert/delete mix. Timings: full turnstile replay
+/// (ns/op), one arena compaction (clone cost subtracted), windowed-mode
+/// ingest, `snapshot()` assembly, and snapshot + offline greedy (the
+/// query-under-churn shape). Identity gates, asserted unconditionally so
+/// `--smoke --check` gates them in CI: the turnstile replay equals the
+/// catalog's own materialization; compaction leaves zero tombstone bits
+/// and greedy answers commute with it modulo the `CompactionMap` remap;
+/// the windowed snapshot equals the reference rebuild of the last `w`
+/// arrivals; and a `CoverService` soak under `CompactionPolicy` holds
+/// its live ratio at every step. `--check` additionally requires that
+/// the mix produced garbage, that compaction reclaimed bits, and that
+/// the service soak actually compacted.
+fn bench_mutation(seed: u64, smoke: bool) -> Vec<MutationRow> {
+    let scales: &[(&'static str, usize, usize, usize)] = if smoke {
+        &[("small", 1024, 2400, 64)]
+    } else {
+        &[("small", 1024, 2400, 64), ("large", 4096, 9600, 256)]
+    };
+    let samples = if smoke { 3 } else { 5 };
+    let mut rows = Vec::new();
+    for &(scale, n, ops, w) in scales {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7u64.wrapping_mul(n as u64));
+        let cat = turnstile_catalog(&mut rng, n, ops, 0.4, 0.5, 1.0);
+        let replay = |cat: &streamcover_dist::TurnstileCatalog| -> TurnstileStream {
+            let mut ts = TurnstileStream::new(n);
+            for op in cat.ops() {
+                match op {
+                    CatalogOp::Insert { elems } => {
+                        ts.apply(Update::Insert(elems.clone()));
+                    }
+                    CatalogOp::Delete { insert } => {
+                        ts.apply(Update::Delete(*insert));
+                    }
+                }
+            }
+            ts
+        };
+
+        // Identity gate: the turnstile path reproduces the catalog's own
+        // materialization, and the mix left real garbage behind.
+        let ts = replay(&cat);
+        assert_eq!(
+            ts.system().expect("unbounded turnstile"),
+            &cat.materialize(),
+            "turnstile replay diverged from catalog materialization at n={n}"
+        );
+        let before = ts.snapshot();
+        let before_bits = before.stored_bits();
+        let tombstone_ratio = before.tombstone_bits() as f64 / before_bits.max(1) as f64;
+
+        // Remap-identity gate: greedy commutes with compaction.
+        let old_ids = greedy_set_cover(&before).ids;
+        let mut compacted = before.clone();
+        let map = compacted.compact();
+        assert_eq!(
+            compacted.tombstone_bits(),
+            0,
+            "compaction left tombstone bits at n={n}"
+        );
+        assert_eq!(
+            map.remap_ids(&old_ids),
+            greedy_set_cover(&compacted).ids,
+            "greedy picks did not commute with compaction at n={n}"
+        );
+        let reclaimed_bits = before_bits - compacted.stored_bits();
+
+        let apply_ns = time_ns_per_op(cat.ops().len() as u64, samples, || {
+            replay(&cat).stored_bits()
+        });
+        let clone_ns = time_ns_per_op(1, samples, || before.clone().len() as u64);
+        let compact_total_ns = time_ns_per_op(1, samples, || {
+            let mut s = before.clone();
+            s.compact().len_after() as u64
+        });
+        let compact_ns = (compact_total_ns - clone_ns).max(0.0);
+
+        // Windowed mode: ingest the catalog's inserts through a sliding
+        // window and gate the snapshot against the reference rebuild.
+        let inserts: Vec<&Vec<u32>> = cat
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                CatalogOp::Insert { elems } => Some(elems),
+                CatalogOp::Delete { .. } => None,
+            })
+            .collect();
+        let window_replay = || -> TurnstileStream {
+            let mut win = TurnstileStream::windowed(n, w);
+            for l in &inserts {
+                win.apply(Update::Insert((*l).clone()));
+            }
+            win
+        };
+        let win = window_replay();
+        let snap = win.snapshot();
+        let live_from = inserts.len().saturating_sub(w);
+        let mut reference = SetSystem::new(n);
+        for (arrival, l) in inserts.iter().enumerate().skip(win.base_id()) {
+            if arrival >= live_from {
+                reference.add_set(l);
+            } else {
+                reference.add_set(&[]);
+            }
+        }
+        assert_eq!(
+            &snap, &reference,
+            "windowed snapshot diverged from the reference rebuild at n={n} w={w}"
+        );
+        let window_apply_ns = time_ns_per_op(inserts.len() as u64, samples, || {
+            window_replay().stored_bits()
+        });
+        let snapshot_ns = time_ns_per_op(1, samples, || win.snapshot().len() as u64);
+        let window_solve_ns = time_ns_per_op(1, samples, || {
+            greedy_set_cover(&win.snapshot()).ids.len() as u64
+        });
+
+        // Service soak: sustained churn under an opt-in CompactionPolicy
+        // must hold the live-ratio bound at every step and actually fire.
+        const THRESHOLD: f64 = 0.8;
+        let rounds = if smoke { 60 } else { 120 };
+        let mut sys0 = SetSystem::new(n);
+        let mut live: Vec<SetId> = Vec::new();
+        for _ in 0..16 {
+            live.push(sys0.add_set(&random_subset_elems(&mut rng, n, 4)));
+        }
+        let svc = CoverService::with(sys0, Runtime::global(), ExecPolicy::sequential().workers(2))
+            .with_compaction_policy(CompactionPolicy::at_live_ratio(THRESHOLD));
+        let mut min_live_ratio = f64::INFINITY;
+        for round in 0..rounds {
+            let elems = random_subset_elems(&mut rng, n, 1 + round % 4);
+            let (_, id) = svc.add_set(&elems);
+            live.push(id);
+            let epoch = svc.remove_set(live.remove(0));
+            if let Some((at, map)) = svc.last_compaction() {
+                if at == epoch {
+                    live = map.remap_ids(&live);
+                }
+            }
+            let ratio = svc.live_ratio();
+            min_live_ratio = min_live_ratio.min(ratio);
+            assert!(
+                ratio >= THRESHOLD,
+                "service soak live ratio {ratio:.3} fell below {THRESHOLD} at round {round}"
+            );
+        }
+        let stats = svc.stats();
+
+        rows.push(MutationRow {
+            scale,
+            n,
+            inserts: cat.num_inserts(),
+            deletes: cat.num_deletes(),
+            apply_ns,
+            compact_ns,
+            tombstone_ratio,
+            reclaimed_bits,
+            window_w: w,
+            window_apply_ns,
+            snapshot_ns,
+            window_solve_ns,
+            service_rounds: rounds,
+            service_compactions: stats.compactions,
+            service_min_live_ratio: min_live_ratio,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1145,6 +1336,26 @@ fn main() {
             r.guess_workers,
             r.run_ns / 1e6,
             r.speedup_vs_1
+        );
+    }
+    let mutation_rows = bench_mutation(seed, smoke);
+    for r in &mutation_rows {
+        eprintln!(
+            "  mutation/{}: n={} ins={} del={} apply {:.0}ns/op, compact {:.2}ms (garbage {:.0}%, reclaimed {} bits), window w={} apply {:.0}ns/op snapshot {:.2}ms, soak {} rounds {} compactions min-live {:.2} (identity asserted)",
+            r.scale,
+            r.n,
+            r.inserts,
+            r.deletes,
+            r.apply_ns,
+            r.compact_ns / 1e6,
+            r.tombstone_ratio * 100.0,
+            r.reclaimed_bits,
+            r.window_w,
+            r.window_apply_ns,
+            r.snapshot_ns / 1e6,
+            r.service_rounds,
+            r.service_compactions,
+            r.service_min_live_ratio
         );
     }
     let service_rows = bench_service(seed, smoke);
@@ -1380,6 +1591,44 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"mutation\": [");
+    for (i, r) in mutation_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", r.scale);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"inserts\": {},", r.inserts);
+        let _ = writeln!(json, "      \"deletes\": {},", r.deletes);
+        let _ = writeln!(json, "      \"apply_ns_per_op\": {:.2},", r.apply_ns);
+        let _ = writeln!(json, "      \"compact_ns\": {:.0},", r.compact_ns);
+        let _ = writeln!(json, "      \"tombstone_ratio\": {:.4},", r.tombstone_ratio);
+        let _ = writeln!(json, "      \"reclaimed_bits\": {},", r.reclaimed_bits);
+        let _ = writeln!(json, "      \"window_w\": {},", r.window_w);
+        let _ = writeln!(
+            json,
+            "      \"window_apply_ns_per_op\": {:.2},",
+            r.window_apply_ns
+        );
+        let _ = writeln!(json, "      \"snapshot_ns\": {:.0},", r.snapshot_ns);
+        let _ = writeln!(json, "      \"window_solve_ns\": {:.0},", r.window_solve_ns);
+        let _ = writeln!(json, "      \"service_rounds\": {},", r.service_rounds);
+        let _ = writeln!(
+            json,
+            "      \"service_compactions\": {},",
+            r.service_compactions
+        );
+        let _ = writeln!(
+            json,
+            "      \"service_min_live_ratio\": {:.4},",
+            r.service_min_live_ratio
+        );
+        let _ = writeln!(json, "      \"identity\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < mutation_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"greedy\": [");
     for (i, r) in greedy.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -1470,6 +1719,29 @@ fn main() {
                 failed.push(format!(
                     "service threads={}: cache hit-rate {:.4} not > 0",
                     r.threads, r.hit_rate
+                ));
+            }
+        }
+        for r in &mutation_rows {
+            // The identity gates (replay ≡ materialization, compaction
+            // remap commutes, windowed snapshot ≡ reference rebuild, soak
+            // live-ratio bound) were asserted unconditionally inside the
+            // arm; here --check requires that the arm measured the real
+            // thing: the mix produced garbage, compaction reclaimed it,
+            // and the soak's policy actually fired.
+            if r.tombstone_ratio <= 0.0 {
+                failed.push(format!(
+                    "mutation/{}: delete mix produced no tombstone garbage",
+                    r.scale
+                ));
+            }
+            if r.reclaimed_bits == 0 {
+                failed.push(format!("mutation/{}: compaction reclaimed 0 bits", r.scale));
+            }
+            if r.service_compactions == 0 {
+                failed.push(format!(
+                    "mutation/{}: service soak never compacted",
+                    r.scale
                 ));
             }
         }

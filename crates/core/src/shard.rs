@@ -373,9 +373,17 @@ impl ShardedStore {
         self.shards.iter().map(|s| s.total_incidences()).sum()
     }
 
-    /// Sum of the paper-accounting bits the shard arenas actually store.
+    /// Sum of the paper-accounting bits the shard arenas actually store
+    /// (tombstone charges included — see [`SetStore::stored_bits`]).
     pub fn stored_bits(&self) -> u64 {
         self.shards.iter().map(|s| s.stored_bits()).sum()
+    }
+
+    /// Paper-accounting bits still occupied by tombstoned slots across all
+    /// shard arenas — the garbage a windowed stream's bucket-expiry leaves
+    /// behind until whole buckets drop.
+    pub fn tombstone_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.tombstone_bits()).sum()
     }
 }
 
@@ -640,6 +648,23 @@ mod tests {
             }
         }
         assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn sharded_tombstone_bits_sum_over_shards() {
+        let mut a = SetStore::new(1024);
+        a.push_sorted(&[0, 1, 2, 3]); // sparse: 40 bits
+        let mut b = SetStore::new(1024);
+        b.push_sorted(&(0..200).collect::<Vec<u32>>()); // dense: 1024 bits
+        b.push_sorted(&[9]);
+        let mut st = ShardedStore::from_shard_stores(1024, ReprPolicy::Auto, vec![a, b]);
+        let before = st.stored_bits();
+        assert_eq!(st.tombstone_bits(), 0);
+        // Tombstone one slot per shard through the shard arenas.
+        st.shards[0].remove(0);
+        st.shards[1].remove(0);
+        assert_eq!(st.tombstone_bits(), 40 + 1024);
+        assert_eq!(st.stored_bits(), before, "charges persist across shards");
     }
 
     #[test]

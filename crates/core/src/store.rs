@@ -19,6 +19,12 @@
 //! algebra. Binary operations dispatch to kernels specialized per
 //! representation pair: merge-walks for sparse×sparse, word ops for
 //! dense×dense, and probes for the mixed cases.
+//!
+//! Deletion is tombstoning ([`SetStore::remove`]): the slot reads as empty
+//! while its arena bytes remain resident — and remain *charged* by
+//! [`SetStore::stored_bits`] — until [`SetStore::compact`] rebuilds the
+//! arenas, drops the garbage, and renumbers the survivors through a
+//! [`CompactionMap`].
 
 use crate::bitset::BitSet;
 use crate::ceil_log2;
@@ -90,6 +96,14 @@ pub struct SetStore {
     descs: Vec<SetDesc>,
     sparse: Vec<u32>,
     dense: Vec<u64>,
+    /// Tombstone flag per descriptor (aligned with `descs`): `true` means
+    /// the slot was [`remove`](Self::remove)d — it reads as empty but its
+    /// arena bytes are still resident until [`compact`](Self::compact).
+    tombstones: Vec<bool>,
+    /// Paper-accounting bits of the tombstoned descriptors' *original*
+    /// representations, charged by [`stored_bits`](Self::stored_bits)
+    /// until compaction reclaims the arena.
+    tombstone_bits: u64,
 }
 
 impl SetStore {
@@ -108,6 +122,8 @@ impl SetStore {
             descs: Vec::new(),
             sparse: Vec::new(),
             dense: Vec::new(),
+            tombstones: Vec::new(),
+            tombstone_bits: 0,
         }
     }
 
@@ -189,8 +205,7 @@ impl SetStore {
                 }
             }
         };
-        self.descs.push(desc);
-        self.descs.len() - 1
+        self.push_desc(desc)
     }
 
     /// Appends a set given as an arbitrary element iterator (sorted and
@@ -230,8 +245,7 @@ impl SetStore {
                 SetDesc { repr, off, card }
             }
         };
-        self.descs.push(desc);
-        self.descs.len() - 1
+        self.push_desc(desc)
     }
 
     /// Appends a copy of an existing view, preserving its representation
@@ -267,16 +281,28 @@ impl SetStore {
                 }
             }
         };
+        self.push_desc(desc)
+    }
+
+    /// Records a freshly built descriptor (every push path funnels through
+    /// here so the tombstone flags stay aligned with `descs`).
+    fn push_desc(&mut self, desc: SetDesc) -> usize {
         self.descs.push(desc);
+        self.tombstones.push(false);
         self.descs.len() - 1
     }
 
     /// Tombstones the set at `i`: its descriptor becomes the empty sparse
-    /// set while its arena bytes stay in place (arena compaction is a
-    /// planned follow-on — see ROADMAP). Every read path observes an empty
-    /// set afterwards, so solvers simply never pick it, and the ids of all
-    /// other sets are unchanged — the property the serving layer's
-    /// `remove_set` mutation relies on. Idempotent.
+    /// set while its arena bytes stay in place until
+    /// [`compact`](Self::compact) reclaims them. Every read path observes
+    /// an empty set afterwards, so solvers simply never pick it, and the
+    /// ids of all other sets are unchanged — the property the serving
+    /// layer's `remove_set` mutation relies on. The removed
+    /// representation's paper-accounting bits move into
+    /// [`tombstone_bits`](Self::tombstone_bits) — still charged by
+    /// [`stored_bits`](Self::stored_bits), because the arena still holds
+    /// them. Idempotent (a second removal of the same slot charges
+    /// nothing).
     ///
     /// # Panics
     /// Panics if `i` is out of range.
@@ -286,11 +312,75 @@ impl SetStore {
             "remove: set {i} out of range (m = {})",
             self.descs.len()
         );
+        if !self.tombstones[i] {
+            self.tombstone_bits += self.get(i).stored_bits();
+            self.tombstones[i] = true;
+        }
         self.descs[i] = SetDesc {
             repr: SetRepr::Sparse,
             off: 0,
             card: 0,
         };
+    }
+
+    /// Whether the slot at `i` was [`remove`](Self::remove)d (it reads as
+    /// empty either way; the flag distinguishes a tombstone from a
+    /// genuinely pushed empty set).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn is_tombstoned(&self, i: usize) -> bool {
+        self.tombstones[i]
+    }
+
+    /// Number of tombstoned slots.
+    pub fn num_tombstones(&self) -> usize {
+        self.tombstones.iter().filter(|&&t| t).count()
+    }
+
+    /// Paper-accounting bits still occupied by tombstoned descriptors'
+    /// arena bytes (0 after [`compact`](Self::compact)).
+    pub fn tombstone_bits(&self) -> u64 {
+        self.tombstone_bits
+    }
+
+    /// Fraction of the stored bits that belong to live sets:
+    /// `live / (live + tombstone)`, defined as `1.0` for a store with no
+    /// stored bits at all. The garbage gauge compaction policies watch.
+    pub fn live_ratio(&self) -> f64 {
+        let live: u64 = (0..self.len()).map(|i| self.get(i).stored_bits()).sum();
+        let total = live + self.tombstone_bits;
+        if total == 0 {
+            1.0
+        } else {
+            live as f64 / total as f64
+        }
+    }
+
+    /// Rebuilds the element/word arenas, dropping every tombstoned
+    /// descriptor and renumbering the survivors densely; returns the old →
+    /// new id mapping. Live sets keep their representation verbatim (the
+    /// [`push_ref`](Self::push_ref) path, no policy re-evaluation) and
+    /// their relative order, so compacting a tombstone-free store is a
+    /// structural no-op and answers computed after compaction are
+    /// byte-identical to answers computed before, modulo the id remap.
+    /// Afterwards [`tombstone_bits`](Self::tombstone_bits) is 0.
+    pub fn compact(&mut self) -> CompactionMap {
+        let mut out = SetStore::with_policy(self.universe, self.policy);
+        out.descs.reserve(self.descs.len() - self.num_tombstones());
+        out.sparse.reserve(self.sparse.len());
+        out.dense.reserve(self.dense.len());
+        let mut forward = Vec::with_capacity(self.descs.len());
+        for i in 0..self.descs.len() {
+            if self.tombstones[i] {
+                forward.push(None);
+            } else {
+                forward.push(Some(out.push_ref(self.get(i))));
+            }
+        }
+        let len_after = out.len();
+        *self = out;
+        CompactionMap { forward, len_after }
     }
 
     /// Borrowed view of the set at `i`.
@@ -319,9 +409,69 @@ impl SetStore {
     }
 
     /// Sum over sets of the bits the *actual* representation costs under
-    /// the paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense).
+    /// the paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense), **plus**
+    /// the bits of tombstoned descriptors whose arena bytes have not been
+    /// reclaimed yet ([`tombstone_bits`](Self::tombstone_bits)) — removal
+    /// alone must not make stored state look cheaper than the arena it
+    /// still occupies.
     pub fn stored_bits(&self) -> u64 {
-        (0..self.len()).map(|i| self.get(i).stored_bits()).sum()
+        let live: u64 = (0..self.len()).map(|i| self.get(i).stored_bits()).sum();
+        live + self.tombstone_bits
+    }
+}
+
+/// The old → new id mapping returned by [`SetStore::compact`] /
+/// `SetSystem::compact`: live sets keep their relative order and get dense
+/// new ids; tombstoned slots map to `None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactionMap {
+    /// `forward[old] = Some(new)` for survivors, `None` for dropped slots.
+    forward: Vec<Option<usize>>,
+    len_after: usize,
+}
+
+impl CompactionMap {
+    /// Number of slots before compaction (tombstones included).
+    pub fn len_before(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of live sets after compaction.
+    pub fn len_after(&self) -> usize {
+        self.len_after
+    }
+
+    /// The new id of old set `old`, or `None` if it was tombstoned and
+    /// dropped.
+    ///
+    /// # Panics
+    /// Panics if `old` is out of range.
+    pub fn new_id(&self, old: usize) -> Option<usize> {
+        self.forward[old]
+    }
+
+    /// Translates a solution stated in pre-compaction ids into
+    /// post-compaction ids — solvers never pick a tombstoned (empty) set,
+    /// so every id of a real solution survives.
+    ///
+    /// # Panics
+    /// Panics if any id was dropped by the compaction or is out of range.
+    pub fn remap_ids(&self, ids: &[usize]) -> Vec<usize> {
+        ids.iter()
+            .map(|&old| {
+                self.forward[old]
+                    .unwrap_or_else(|| panic!("set {old} was dropped by the compaction"))
+            })
+            .collect()
+    }
+
+    /// Whether the compaction changed nothing: every slot survived with
+    /// its old id (the tombstone-free case).
+    pub fn is_identity(&self) -> bool {
+        self.forward
+            .iter()
+            .enumerate()
+            .all(|(old, &new)| new == Some(old))
     }
 }
 
@@ -1500,6 +1650,117 @@ mod tests {
         assert_eq!(st.get(1).stored_bits_sparse(), 2000);
         assert_eq!(st.stored_bits(), 40 + 1024);
         assert_eq!(st.total_incidences(), 204);
+    }
+
+    #[test]
+    fn remove_charges_tombstone_bits_until_compaction() {
+        // Regression: tombstoned descriptors used to be invisible to
+        // stored_bits — the arena still holds their bytes, so removal must
+        // not make the store look cheaper until compact() reclaims them.
+        let mut st = SetStore::new(1024);
+        st.push_sorted(&[0, 1, 2, 3]); // sparse: 40 bits
+        st.push_sorted(&(0..200).collect::<Vec<u32>>()); // dense: 1024 bits
+        st.push_sorted(&[7, 9]); // sparse: 20 bits
+        let before = st.stored_bits();
+        assert_eq!(before, 40 + 1024 + 20);
+        st.remove(1);
+        assert!(st.is_tombstoned(1));
+        assert!(!st.is_tombstoned(0));
+        assert_eq!(st.tombstone_bits(), 1024);
+        assert_eq!(st.num_tombstones(), 1);
+        assert_eq!(
+            st.stored_bits(),
+            before,
+            "removal alone reclaims nothing — the charge must persist"
+        );
+        // Idempotent: a second removal charges nothing more.
+        st.remove(1);
+        assert_eq!(st.tombstone_bits(), 1024);
+        assert_eq!(st.num_tombstones(), 1);
+        let lr = st.live_ratio();
+        assert!((lr - 60.0 / 1084.0).abs() < 1e-12, "live_ratio = {lr}");
+        // Compaction reclaims the arena and zeroes the charge.
+        let map = st.compact();
+        assert_eq!(st.stored_bits(), 60);
+        assert_eq!(st.tombstone_bits(), 0);
+        assert_eq!(st.num_tombstones(), 0);
+        assert_eq!(st.live_ratio(), 1.0);
+        assert_eq!(map.len_before(), 3);
+        assert_eq!(map.len_after(), 2);
+        assert_eq!(map.new_id(0), Some(0));
+        assert_eq!(map.new_id(1), None);
+        assert_eq!(map.new_id(2), Some(1));
+        assert_eq!(map.remap_ids(&[2, 0]), vec![1, 0]);
+        assert!(!map.is_identity());
+        assert_eq!(st.get(1).to_vec(), vec![7, 9]);
+    }
+
+    #[test]
+    fn compacting_a_tombstone_free_store_is_a_structural_noop() {
+        for policy in [
+            ReprPolicy::Auto,
+            ReprPolicy::ForceSparse,
+            ReprPolicy::ForceDense,
+        ] {
+            let mut st = SetStore::with_policy(300, policy);
+            st.push_sorted(&[0, 1, 2]);
+            st.push_sorted(&[]);
+            st.push_sorted(&(0..250).collect::<Vec<u32>>());
+            st.push_sorted(&[5, 70, 299]);
+            let orig = st.clone();
+            let map = st.compact();
+            assert!(map.is_identity(), "{policy:?}");
+            assert_eq!(map.len_before(), 4);
+            assert_eq!(map.len_after(), 4);
+            assert_eq!(
+                st, orig,
+                "{policy:?}: no-op compaction must be byte-identical (reprs \
+                 copied verbatim, same arena layout)"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_survivor_reprs_and_order() {
+        // Force-sparse source stored into an Auto store keeps its repr
+        // through compact() — the push_ref seam, not a policy re-choice.
+        let src = store_with(
+            ReprPolicy::ForceSparse,
+            64,
+            &[&(0..40).collect::<Vec<u32>>()],
+        );
+        let mut st = SetStore::new(64);
+        st.push_ref(src.get(0)); // sparse despite Auto preferring dense
+        st.push_sorted(&[1, 2]);
+        st.push_sorted(&[3]);
+        st.remove(1);
+        let map = st.compact();
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.get(0).repr(), SetRepr::Sparse, "repr survives verbatim");
+        assert_eq!(st.get(0), src.get(0));
+        assert_eq!(st.get(map.new_id(2).unwrap()).to_vec(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped by the compaction")]
+    fn remap_of_a_dropped_id_panics() {
+        let mut st = SetStore::new(8);
+        st.push_sorted(&[0]);
+        st.remove(0);
+        st.compact().remap_ids(&[0]);
+    }
+
+    #[test]
+    fn removing_a_pushed_empty_set_charges_nothing() {
+        let mut st = SetStore::new(64);
+        st.push_sorted(&[]);
+        st.remove(0);
+        assert!(st.is_tombstoned(0));
+        assert_eq!(st.tombstone_bits(), 0, "an empty set occupies no arena");
+        assert_eq!(st.live_ratio(), 1.0, "no stored bits at all");
+        let map = st.compact();
+        assert_eq!(st.len(), 0);
+        assert_eq!(map.len_after(), 0);
     }
 
     #[test]

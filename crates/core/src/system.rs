@@ -3,7 +3,7 @@
 
 use crate::bitset::BitSet;
 use crate::shard::{split_ranges, ShardPlan, ShardedStore, StoreShard};
-use crate::store::{ReprPolicy, SetRef, SetStore};
+use crate::store::{CompactionMap, ReprPolicy, SetRef, SetStore};
 use std::fmt;
 
 /// Identifier of a set within a [`SetSystem`] (its stream position).
@@ -140,6 +140,37 @@ impl SetSystem {
     pub fn remove_set(&mut self, id: SetId) {
         self.epoch += 1;
         self.store.remove(id);
+    }
+
+    /// Rebuilds the backing arenas dropping every tombstoned slot
+    /// ([`SetStore::compact`]) and bumps the [`epoch`](Self::epoch) — ids
+    /// change, so every cached answer keyed on the old epoch is dead. The
+    /// returned [`CompactionMap`] translates old ids to new ids; live sets
+    /// keep their relative order and representation, so a tombstone-free
+    /// system compacts to an identical system (`is_identity` map) and
+    /// answers computed after compaction equal answers computed before,
+    /// modulo the remap.
+    pub fn compact(&mut self) -> CompactionMap {
+        self.epoch += 1;
+        self.store.compact()
+    }
+
+    /// Paper-accounting bits still occupied by tombstoned slots' arena
+    /// bytes (0 right after [`compact`](Self::compact)).
+    pub fn tombstone_bits(&self) -> u64 {
+        self.store.tombstone_bits()
+    }
+
+    /// Number of tombstoned slots.
+    pub fn num_tombstones(&self) -> usize {
+        self.store.num_tombstones()
+    }
+
+    /// Fraction of stored bits belonging to live sets — the garbage gauge
+    /// a serving-layer `CompactionPolicy` watches (see
+    /// [`SetStore::live_ratio`]).
+    pub fn live_ratio(&self) -> f64 {
+        self.store.live_ratio()
     }
 
     /// Universe size `n`.
@@ -412,6 +443,40 @@ mod tests {
         let id = s.add_set(&[2, 3]);
         assert_eq!(id, m);
         assert_eq!(s.set(id).to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_remaps() {
+        let mut s = demo();
+        let before_bits = s.stored_bits();
+        s.remove_set(1);
+        s.remove_set(4); // the genuinely empty set — charges 0 but drops
+        assert_eq!(s.stored_bits(), before_bits, "tombstones stay charged");
+        assert_eq!(s.num_tombstones(), 2);
+        assert!(s.live_ratio() < 1.0);
+        let epoch = s.epoch();
+        let map = s.compact();
+        assert_eq!(s.epoch(), epoch + 1, "compaction is a mutation");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.tombstone_bits(), 0);
+        assert_eq!(s.num_tombstones(), 0);
+        assert_eq!(s.live_ratio(), 1.0);
+        // Survivors keep relative order; answers translate through the map.
+        assert_eq!(map.remap_ids(&[0, 2, 3]), vec![0, 1, 2]);
+        assert_eq!(s.set(0).to_vec(), vec![0, 1, 2]);
+        assert_eq!(s.set(1).to_vec(), vec![3, 4, 5]);
+        assert_eq!(s.set(2).to_vec(), vec![0, 5]);
+        assert!(s.is_cover(&map.remap_ids(&[0, 2])));
+    }
+
+    #[test]
+    fn compact_without_tombstones_is_semantic_noop() {
+        let mut s = demo();
+        let orig = s.clone();
+        let map = s.compact();
+        assert!(map.is_identity());
+        assert_eq!(s, orig);
+        assert_eq!(s.epoch(), orig.epoch() + 1, "the epoch still bumps");
     }
 
     #[test]

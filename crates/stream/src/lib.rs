@@ -13,7 +13,13 @@
 //!   Algorithms take both through `run_in`; the legacy `run` delegates to
 //!   the lazily-initialized sequential runtime.
 //! * [`stream::SetStream`] — multi-pass set streams with enforced pass
-//!   counting; adversarial and random-arrival orders ([`stream::Arrival`]).
+//!   counting; adversarial, random-arrival and sliding-window orders
+//!   ([`stream::Arrival`]).
+//! * [`stream::TurnstileStream`] — the deletion-aware ingest path:
+//!   [`stream::Update`] inserts/deletes against an unbounded resident
+//!   system (tombstone + compact) or a sliding window of per-bucket
+//!   arenas dropped whole on expiry; insertion-only update sequences
+//!   reproduce the insertion-only model byte-identically.
 //! * [`meter::SpaceMeter`] — bit-exact working-memory accounting (the
 //!   paper's cost model), with RAII [`meter::ChargeGuard`]s so early
 //!   returns can never leak live bits, and explicit [`meter::MeterFold`]
@@ -38,7 +44,9 @@
 //!   `cover_for_subset` / budgeted `max_cover` / `what_if` queries with
 //!   epoch-keyed caching, single-flight request coalescing and incremental
 //!   CELF-chain reuse — every response byte-identical to a fresh
-//!   single-threaded run at its epoch.
+//!   single-threaded run at its epoch. An opt-in
+//!   [`service::CompactionPolicy`] auto-compacts tombstone garbage under
+//!   the mutation write lock, keeping long-lived churn bounded.
 //!
 //! Set cover algorithms ([`algo`]):
 //! * [`algo::HarPeledAssadi`] — **Algorithm 1**: `(α+ε)`-approximation,
@@ -138,7 +146,7 @@ pub use parallel::ParallelPass;
 pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
 pub use runtime::{default_workers, ExecPolicy, Runtime};
 pub use service::{
-    Answer, CoverAnswer, CoverService, Mutation, Query, Request, Response, ServiceStats,
-    StreamAnswer,
+    Answer, CompactionPolicy, CoverAnswer, CoverService, Mutation, Query, Request, Response,
+    ServiceStats, StreamAnswer,
 };
-pub use stream::{Arrival, SetStream};
+pub use stream::{Arrival, SetStream, TurnstileStream, Update};

@@ -22,7 +22,15 @@
 //!   lists for thin projections, bitmaps past the density cutover — so the
 //!   measured curves track the paper's cost model instead of a worst-case
 //!   convention (see [`Accounting`]);
-//! * counters and thresholds cost one word (64 bits).
+//! * counters and thresholds cost one word (64 bits);
+//! * a **tombstoned** set (deleted but not yet compacted) keeps costing the
+//!   bits of the representation its arena bytes still occupy —
+//!   `SetStore::stored_bits` includes `tombstone_bits`, so retraction never
+//!   makes stored state look cheaper; only `SetStore::compact` (or a
+//!   whole-bucket window drop) gives the bits back;
+//! * a sliding-**window bucket** is charged wholesale while resident:
+//!   expired-in-place slots count as tombstones until their bucket is
+//!   dropped whole (see `TurnstileStream::windowed` in [`crate::stream`]).
 
 use std::cell::Cell;
 
@@ -374,5 +382,41 @@ mod tests {
         let m = SpaceMeter::default();
         assert_eq!(m.live_bits(), 0);
         assert_eq!(m.peak_bits(), 0);
+    }
+
+    #[test]
+    fn tombstones_stay_charged_until_compaction() {
+        // Regression for the hole ISSUE 8 closes: a retained system's
+        // stored_bits must keep charging tombstoned slots, so a meter fed
+        // from it cannot under-report after a delete. Only compaction may
+        // release bits.
+        use streamcover_core::SetSystem;
+        let mut sys = SetSystem::new(256);
+        sys.add_set(&[0, 1, 2, 3]);
+        sys.add_set(&(0..200).collect::<Vec<u32>>());
+        let full = sys.stored_bits();
+
+        let m = SpaceMeter::new();
+        let mut g = m.guard(sys.stored_bits());
+        sys.remove_set(1);
+        assert_eq!(
+            sys.stored_bits(),
+            full,
+            "retraction must not make stored state look cheaper"
+        );
+        assert_eq!(sys.tombstone_bits(), 256, "dense slot keeps its n bits");
+
+        // Re-metering after compaction: only now do the bits come back.
+        let reclaimed = sys.tombstone_bits();
+        sys.compact();
+        drop(g);
+        g = m.guard(sys.stored_bits());
+        assert_eq!(m.live_bits(), full - reclaimed);
+        assert_eq!(
+            m.peak_bits(),
+            full,
+            "peak saw the honest pre-compact charge"
+        );
+        drop(g);
     }
 }

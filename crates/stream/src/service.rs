@@ -43,6 +43,21 @@
 //! mutation against a private clone — the resident system and its caches
 //! are untouched.
 //!
+//! **Garbage.** Removes tombstone: the arena bytes stay resident *and
+//! charged* ([`CoverService::tombstone_bits`]) until a compaction reclaims
+//! them, so a long-lived service under churn accretes garbage. An opt-in
+//! [`CompactionPolicy`]
+//! ([`with_compaction_policy`](CoverService::with_compaction_policy))
+//! auto-compacts *under the mutation write lock* whenever the live ratio
+//! falls below its threshold: ids are renumbered through a
+//! [`CompactionMap`] (published via
+//! [`last_compaction`](CoverService::last_compaction)), the epoch bumps
+//! again, and the ordinary invalidation path republishes it — in-flight
+//! queries still hold the read lock at the *old* epoch, so the cache and
+//! singleflight entries stay structurally safe. Without a policy the
+//! service never renumbers ids on its own (the default, which raw-id replay
+//! harnesses rely on).
+//!
 //! [`max_cover`]: CoverService::max_cover
 
 use crate::report::{CoverRun, SetCoverStreamer};
@@ -55,8 +70,39 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use streamcover_core::{
-    greedy_cover_until, greedy_cover_until_sharded_in, BitSet, CelfHeap, SetId, SetSystem,
+    greedy_cover_until, greedy_cover_until_sharded_in, BitSet, CelfHeap, CompactionMap, SetId,
+    SetSystem,
 };
+
+/// When the service reclaims tombstoned arena bytes: compact as soon as
+/// the resident system's [`live_ratio`](SetSystem::live_ratio) drops below
+/// `min_live_ratio`. Compaction renumbers ids (see
+/// [`CoverService::last_compaction`]), so the policy is opt-in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    min_live_ratio: f64,
+}
+
+impl CompactionPolicy {
+    /// Compact whenever less than `min_live_ratio` of the stored bits
+    /// belong to live sets. `1.0` compacts on every remove; values near
+    /// `0.0` tolerate almost-all-garbage arenas.
+    ///
+    /// # Panics
+    /// Panics unless `min_live_ratio ∈ [0, 1]`.
+    pub fn at_live_ratio(min_live_ratio: f64) -> CompactionPolicy {
+        assert!(
+            (0.0..=1.0).contains(&min_live_ratio),
+            "live ratio threshold out of range: {min_live_ratio}"
+        );
+        CompactionPolicy { min_live_ratio }
+    }
+
+    /// The configured threshold.
+    pub fn min_live_ratio(&self) -> f64 {
+        self.min_live_ratio
+    }
+}
 
 /// A read-only coverage question against the resident system.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -213,6 +259,8 @@ pub struct ServiceStats {
     pub computed: u64,
     /// Mutations committed.
     pub mutations: u64,
+    /// Automatic compactions triggered by the [`CompactionPolicy`].
+    pub compactions: u64,
 }
 
 /// Canonical identity of a query at one epoch — the cache key.
@@ -344,14 +392,19 @@ impl Chain {
 pub struct CoverService {
     rt: &'static Runtime,
     policy: ExecPolicy,
+    compaction: Option<CompactionPolicy>,
     resident: RwLock<SetSystem>,
     cache: Mutex<Cache>,
     chain: Mutex<Option<Chain>>,
+    /// The most recent auto-compaction: `(epoch it produced, id remap)`.
+    /// Updated under the resident write lock.
+    last_compaction: Mutex<Option<(u64, CompactionMap)>>,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
     computed: AtomicU64,
     mutations: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl CoverService {
@@ -371,18 +424,36 @@ impl CoverService {
         CoverService {
             rt,
             policy,
+            compaction: None,
             resident: RwLock::new(system),
             cache: Mutex::new(Cache {
                 epoch,
                 entries: HashMap::new(),
             }),
             chain: Mutex::new(None),
+            last_compaction: Mutex::new(None),
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
+    }
+
+    /// Opts in to automatic garbage reclamation: after any
+    /// [`remove_set`](Self::remove_set) that drops the resident system's
+    /// live ratio below the policy threshold, the service compacts *while
+    /// still holding the mutation write lock* — ids renumber through the
+    /// map published by [`last_compaction`](Self::last_compaction), the
+    /// epoch bumps a second time, and every cached answer dies with the
+    /// old epoch, exactly like any other mutation.
+    ///
+    /// Off by default: an unconfigured service never renumbers ids on its
+    /// own.
+    pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> CoverService {
+        self.compaction = Some(policy);
+        self
     }
 
     /// Dispatches a [`Request`]. The typed methods are thin wrappers over
@@ -586,14 +657,59 @@ impl CoverService {
     /// on, other ids unchanged). Bumps the epoch, invalidates every cached
     /// answer, and returns the new epoch.
     ///
+    /// With a [`CompactionPolicy`] configured, a remove that drops the
+    /// live ratio below the threshold triggers a compaction before the
+    /// write lock is released: ids renumber (see
+    /// [`last_compaction`](Self::last_compaction)) and the returned epoch
+    /// reflects the post-compaction system.
+    ///
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn remove_set(&self, id: SetId) -> u64 {
         let mut sys = self.resident.write().expect("resident system poisoned");
         sys.remove_set(id);
+        if let Some(policy) = &self.compaction {
+            if sys.live_ratio() < policy.min_live_ratio() {
+                let map = sys.compact();
+                *self
+                    .last_compaction
+                    .lock()
+                    .expect("compaction log poisoned") = Some((sys.epoch(), map));
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let epoch = sys.epoch();
         self.invalidate(epoch);
         epoch
+    }
+
+    /// The most recent automatic compaction, as `(epoch it produced, old
+    /// id → new id map)` — what an id-holding client consults after a
+    /// remove to re-translate its handles. `None` until the policy first
+    /// fires.
+    pub fn last_compaction(&self) -> Option<(u64, CompactionMap)> {
+        self.last_compaction
+            .lock()
+            .expect("compaction log poisoned")
+            .clone()
+    }
+
+    /// Paper-accounting bits still occupied by tombstoned slots of the
+    /// resident system (0 right after a compaction).
+    pub fn tombstone_bits(&self) -> u64 {
+        self.resident
+            .read()
+            .expect("resident system poisoned")
+            .tombstone_bits()
+    }
+
+    /// Fraction of the resident system's stored bits belonging to live
+    /// sets — the gauge the [`CompactionPolicy`] watches.
+    pub fn live_ratio(&self) -> f64 {
+        self.resident
+            .read()
+            .expect("resident system poisoned")
+            .live_ratio()
     }
 
     /// Snapshot of the service counters.
@@ -605,6 +721,7 @@ impl CoverService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             computed: self.computed.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -949,6 +1066,102 @@ mod tests {
             3,
             "everyone else waits or hits (stats: {s:?})"
         );
+    }
+
+    #[test]
+    fn auto_compaction_fires_renumbers_and_republishes() {
+        let svc =
+            CoverService::new(demo()).with_compaction_policy(CompactionPolicy::at_live_ratio(0.99));
+        assert!(svc.last_compaction().is_none());
+        // The remove tombstones (epoch 1), the policy sees the ratio drop
+        // below 0.99 and compacts (epoch 2) under the same write lock.
+        let epoch = svc.remove_set(1);
+        assert_eq!(epoch, 2, "tombstone bump + compaction bump");
+        assert_eq!(svc.epoch(), 2);
+        assert_eq!(svc.num_sets(), 4, "slot physically gone");
+        assert_eq!(svc.tombstone_bits(), 0);
+        assert_eq!(svc.live_ratio(), 1.0);
+        let (at, map) = svc.last_compaction().expect("policy fired");
+        assert_eq!(at, 2);
+        assert_eq!(map.len_before(), 5);
+        assert_eq!(map.len_after(), 4);
+        assert_eq!(map.new_id(1), None);
+        assert_eq!(map.new_id(4), Some(3));
+        let s = svc.stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(
+            s.mutations, 1,
+            "one committed mutation, compaction included"
+        );
+        // Answers are byte-identical to a fresh run on the compacted system.
+        let a = svc.max_cover(2);
+        let fresh = greedy_max_coverage(&svc.snapshot(), 2);
+        assert_eq!(a.solution, fresh.ids);
+        assert_eq!(a.epoch, 2);
+    }
+
+    #[test]
+    fn unconfigured_service_never_renumbers() {
+        let svc = CoverService::new(demo());
+        svc.remove_set(1);
+        assert_eq!(svc.num_sets(), 5, "tombstone only — ids stable");
+        assert!(svc.tombstone_bits() > 0, "garbage charged, not reclaimed");
+        assert!(svc.last_compaction().is_none());
+        assert_eq!(svc.stats().compactions, 0);
+    }
+
+    #[test]
+    fn soak_sustained_churn_keeps_tombstone_bits_bounded() {
+        use streamcover_core::random_subset_elems;
+        // A long add/remove mix against a policy-managed service: the
+        // live-ratio floor must hold after every mutation, id handles must
+        // stay translatable through the published maps, and answers must
+        // stay byte-identical to fresh runs on the resident system.
+        const THRESHOLD: f64 = 0.8;
+        let mut rng = StdRng::seed_from_u64(42);
+        let svc = CoverService::new(SetSystem::new(64))
+            .with_compaction_policy(CompactionPolicy::at_live_ratio(THRESHOLD));
+        let mut live: Vec<SetId> = Vec::new();
+        for round in 0..240usize {
+            let size = 1 + round % 4;
+            let (_, id) = svc.add_set(&random_subset_elems(&mut rng, 64, size));
+            live.push(id);
+            // Remove roughly every other round, oldest-first — a steady
+            // delete pressure that forces repeated compactions.
+            if round % 2 == 1 {
+                let epoch = svc.remove_set(live.remove(0));
+                if let Some((at, map)) = svc.last_compaction() {
+                    if at == epoch {
+                        live = map.remap_ids(&live);
+                    }
+                }
+            }
+            assert!(
+                svc.live_ratio() >= THRESHOLD,
+                "round {round}: live ratio {} under the policy floor",
+                svc.live_ratio()
+            );
+        }
+        let s = svc.stats();
+        assert!(s.compactions >= 1, "churn must have forced compactions");
+        assert_eq!(s.mutations, 240 + 120);
+        // Tombstone garbage is bounded by the policy: at most
+        // (1 − threshold) of the stored bits, never unbounded accretion.
+        let stored = svc.snapshot().stored_bits();
+        assert!(
+            svc.tombstone_bits() as f64 <= (1.0 - THRESHOLD) * stored as f64,
+            "tombstone bits {} of stored {stored} exceed the policy bound",
+            svc.tombstone_bits()
+        );
+        // Every tracked handle is live and answers match a fresh run.
+        let snap = svc.snapshot();
+        for &id in &live {
+            assert!(id < snap.len(), "tracked handle out of range");
+        }
+        let a = svc.max_cover(3);
+        let fresh = greedy_max_coverage(&snap, 3);
+        assert_eq!(a.solution, fresh.ids);
+        assert_eq!(a.covered, fresh.coverage());
     }
 
     #[test]

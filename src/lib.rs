@@ -15,7 +15,7 @@
 //! |-------|----------|
 //! | [`core`] | bitsets, set systems, offline greedy/exact solvers |
 //! | [`dist`] | the hard distributions `D_Disj`, `D_SC`, `D^rnd_SC`, `D_GHD`, `D_MC` and realistic workloads |
-//! | [`stream`] | the streaming substrate (pass counting, bit metering) and the algorithms: Algorithm 1 with ablation knobs, threshold greedy, store-all, online-prune, and streaming max coverage |
+//! | [`stream`] | the streaming substrate (pass counting, bit metering, turnstile + sliding-window ingest) and the algorithms: Algorithm 1 with ablation knobs, threshold greedy, store-all, online-prune, and streaming max coverage |
 //! | [`comm`] | the two-party communication model, concrete protocols, and the executable reductions of Lemmas 3.4/4.5 + the Theorem 1 adapter |
 //! | [`info`] | entropy/MI estimators, the paper's concentration bounds, Facts A.1–A.4, information-cost estimation |
 //!
@@ -56,19 +56,20 @@ pub mod prelude {
     };
     pub use streamcover_core::{
         exact_max_coverage, exact_set_cover, greedy_cover_until, greedy_max_coverage,
-        greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CoverError, ExactCover, KernelTier,
-        SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
+        greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CompactionMap, CoverError, ExactCover,
+        KernelTier, SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
         blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
-        uniform_random, zipf_query_mix, McParams, ScParams, ZipfQueryMix,
+        turnstile_catalog, uniform_random, zipf_query_mix, CatalogOp, McParams, ScParams,
+        TurnstileCatalog, ZipfQueryMix,
     };
     pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
     pub use streamcover_stream::{
-        Accounting, Answer, Arrival, CoverAnswer, CoverRun, CoverService, ElementSampling,
-        ExecPolicy, GuessDriver, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer, MeterFold,
-        Mutation, OnlinePrune, ParallelPass, Query, Request, Response, Runtime, SahaGetoorSwap,
-        ServiceStats, SetCoverStreamer, SieveStream, SpaceMeter, StoreAll, StreamAnswer,
-        ThresholdGreedy,
+        Accounting, Answer, Arrival, CompactionPolicy, CoverAnswer, CoverRun, CoverService,
+        ElementSampling, ExecPolicy, GuessDriver, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer,
+        MeterFold, Mutation, OnlinePrune, ParallelPass, Query, Request, Response, Runtime,
+        SahaGetoorSwap, ServiceStats, SetCoverStreamer, SetStream, SieveStream, SpaceMeter,
+        StoreAll, StreamAnswer, ThresholdGreedy, TurnstileStream, Update,
     };
 }

@@ -1,0 +1,185 @@
+//! The deletion-aware stack's standing invariants, property-tested:
+//!
+//! 1. An **insertion-only turnstile stream** reproduces the insertion-only
+//!    model byte-identically — solution, passes and peak bits — across all
+//!    four streaming set-cover algorithms and both arrival orders.
+//! 2. **Compact-then-solve ≡ solve-then-remap**: answers computed after a
+//!    compaction equal answers computed before it, modulo the
+//!    `CompactionMap` id translation.
+//! 3. Compacting a **tombstone-free** system is a semantic no-op.
+//! 4. A **windowed turnstile snapshot** equals the reference rebuild that
+//!    keeps the last `w` arrivals and blanks the expired ones.
+//! 5. Replaying a generated `turnstile_catalog` through a
+//!    `TurnstileStream` matches the catalog's own materialization.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use streamcover::prelude::*;
+
+/// Strategy: canonical (strictly increasing) element lists over `[n]`.
+fn arb_lists() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
+    (2usize..24, 1usize..10).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 0..n), m).prop_map(
+            move |mut lists| {
+                for l in &mut lists {
+                    l.sort_unstable();
+                    l.dedup();
+                }
+                (n, lists)
+            },
+        )
+    })
+}
+
+fn build(n: usize, lists: &[Vec<u32>]) -> SetSystem {
+    let mut sys = SetSystem::new(n);
+    for l in lists {
+        sys.add_set(l);
+    }
+    sys
+}
+
+/// Runs streaming algorithm `algo` (0..4) with a fresh seeded rng.
+fn run_algo(algo: usize, sys: &SetSystem, arrival: Arrival) -> CoverRun {
+    let mut rng = StdRng::seed_from_u64(7);
+    match algo {
+        0 => ThresholdGreedy.run(sys, arrival, &mut rng),
+        1 => OnlinePrune.run(sys, arrival, &mut rng),
+        2 => StoreAll::default().run(sys, arrival, &mut rng),
+        _ => HarPeledAssadi::scaled(3, 0.5).run(sys, arrival, &mut rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Invariant 1: the turnstile ingest path is invisible to the
+    // insertion-only model.
+    #[test]
+    fn insertion_only_turnstile_reproduces_reports(input in arb_lists()) {
+        let (n, lists) = input;
+        let mut ts = TurnstileStream::new(n);
+        for (i, l) in lists.iter().enumerate() {
+            prop_assert_eq!(ts.apply(Update::Insert(l.clone())), Some(i));
+        }
+        let direct = build(n, &lists);
+        let resident = ts.system().expect("unbounded mode");
+        prop_assert_eq!(resident, &direct);
+        prop_assert_eq!(resident.stored_bits(), direct.stored_bits());
+        for arrival in [Arrival::Adversarial, Arrival::Random { seed: 11 }] {
+            for algo in 0..4 {
+                let a = run_algo(algo, resident, arrival);
+                let b = run_algo(algo, &direct, arrival);
+                prop_assert_eq!(&a.solution, &b.solution, "algo {} solution", algo);
+                prop_assert_eq!(a.passes, b.passes, "algo {} passes", algo);
+                prop_assert_eq!(a.peak_bits, b.peak_bits, "algo {} peak bits", algo);
+                prop_assert_eq!(a.feasible, b.feasible, "algo {} feasibility", algo);
+            }
+        }
+    }
+
+    // Invariant 2: answers commute with compaction modulo the id remap.
+    #[test]
+    fn compact_then_solve_equals_solve_then_remap(
+        input in arb_lists(),
+        removal_mask in proptest::collection::vec(proptest::bool::ANY, 10),
+    ) {
+        let (n, lists) = input;
+        let mut sys = build(n, &lists);
+        for (id, &kill) in removal_mask.iter().take(sys.len()).enumerate() {
+            if kill {
+                sys.remove_set(id);
+            }
+        }
+        let before = sys.clone();
+        let mut compacted = sys.clone();
+        let map = compacted.compact();
+        prop_assert_eq!(map.len_before(), before.len());
+        prop_assert_eq!(map.len_after(), compacted.len());
+        prop_assert_eq!(compacted.tombstone_bits(), 0);
+
+        // Offline greedy on the tombstoned system vs the compacted one.
+        let old = greedy_set_cover(&before);
+        let new = greedy_set_cover(&compacted);
+        prop_assert_eq!(map.remap_ids(&old.ids), new.ids.clone());
+        prop_assert_eq!(old.coverage(), new.coverage());
+        prop_assert_eq!(old.is_feasible(), new.is_feasible());
+
+        // Streaming threshold greedy: the pick sequence remaps too.
+        let so = ThresholdGreedy.run(&before, Arrival::Adversarial,
+            &mut StdRng::seed_from_u64(3));
+        let sn = ThresholdGreedy.run(&compacted, Arrival::Adversarial,
+            &mut StdRng::seed_from_u64(3));
+        prop_assert_eq!(map.remap_ids(&so.solution), sn.solution);
+        prop_assert_eq!(so.feasible, sn.feasible);
+    }
+
+    // Invariant 3: compaction without tombstones changes nothing.
+    #[test]
+    fn tombstone_free_compaction_is_a_semantic_noop(input in arb_lists()) {
+        let (n, lists) = input;
+        let mut sys = build(n, &lists);
+        let orig = sys.clone();
+        let map = sys.compact();
+        prop_assert!(map.is_identity());
+        prop_assert_eq!(&sys, &orig);
+        prop_assert_eq!(sys.stored_bits(), orig.stored_bits());
+    }
+
+    // Invariant 4: the windowed snapshot equals the reference rebuild.
+    #[test]
+    fn windowed_snapshot_matches_reference_rebuild(
+        input in arb_lists(),
+        w in 1usize..8,
+    ) {
+        let (n, lists) = input;
+        let mut ts = TurnstileStream::windowed(n, w);
+        for l in &lists {
+            ts.apply(Update::Insert(l.clone()));
+        }
+        let snap = ts.snapshot();
+        let base = ts.base_id();
+        let live_from = lists.len().saturating_sub(w);
+        prop_assert!(base <= live_from, "live arrivals must be retained");
+        let mut reference = SetSystem::new(n);
+        for (arrival, l) in lists.iter().enumerate().skip(base) {
+            if arrival >= live_from {
+                reference.add_set(l);
+            } else {
+                reference.add_set(&[]); // expired in place, not yet dropped
+            }
+        }
+        prop_assert_eq!(&snap, &reference);
+        prop_assert!(ts.retained() <= w + w.div_ceil(8).max(1));
+    }
+
+    // Invariant 5: the generated catalog and the turnstile agree.
+    #[test]
+    fn catalog_replay_through_turnstile_matches_materialization(
+        seed in 0u64..u64::MAX,
+        delete_pct in 0u32..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = turnstile_catalog(&mut rng, 32, 120, f64::from(delete_pct) / 100.0, 0.5, 1.0);
+        let mut ts = TurnstileStream::new(32);
+        for op in cat.ops() {
+            match op {
+                CatalogOp::Insert { elems } => {
+                    ts.apply(Update::Insert(elems.clone()));
+                }
+                CatalogOp::Delete { insert } => {
+                    ts.apply(Update::Delete(*insert));
+                }
+            }
+        }
+        prop_assert_eq!(ts.arrivals(), cat.num_inserts());
+        prop_assert_eq!(ts.num_deletes(), cat.num_deletes());
+        prop_assert_eq!(ts.system().expect("unbounded"), &cat.materialize());
+        // And compaction leaves a system equal to rebuilding from the
+        // survivors alone.
+        let map = ts.compact().expect("unbounded compacts");
+        let compacted = ts.system().expect("unbounded");
+        prop_assert_eq!(compacted.len(), map.len_after());
+        prop_assert_eq!(ts.tombstone_bits(), 0);
+    }
+}
