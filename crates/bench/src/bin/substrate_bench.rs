@@ -17,7 +17,11 @@
 //!   vector hardware — effective-tier ratios are recorded alongside;
 //!   batched sweep ≥ 2× the frozen pre-tier branchy
 //!   probe loop; lazy greedy beats eager at `m ≥ 4096`; the service arm's
-//!   cache hit-rate is nonzero under the Zipf mix);
+//!   cache hit-rate is nonzero under the Zipf mix; the `repr` arm's
+//!   chunked encoding compresses the runs-structured Zipf catalog to
+//!   ≤ 0.6× the best flat sparse/dense encoding, with gains identity
+//!   across every store-repr × residual-repr kernel pairing asserted
+//!   unconditionally in-arm);
 //! * `--out` — output path (default `BENCH_substrate.json`).
 //!
 //! The kernel scales model the paper's own regime: `m` sets of average
@@ -56,7 +60,7 @@ use std::time::Instant;
 use streamcover_core::{
     bernoulli_elems, bernoulli_subset, greedy_cover_until, greedy_cover_until_eager,
     greedy_set_cover, random_subset_elems, BatchedSweep, BitSet, KernelTier, ReprPolicy, SetId,
-    SetRef, SetSystem, ShardPlan, ShardedStore,
+    SetRef, SetStore, SetSystem, ShardPlan, ShardedStore,
 };
 use streamcover_dist::{
     planted_cover, stress_cover, stress_cover_shards, turnstile_catalog, zipf_query_mix, CatalogOp,
@@ -208,14 +212,16 @@ impl SweepRow {
 }
 
 /// Benchmarks the batched columnar sweep against the per-set kernel loop:
-/// gains of all `m` sets vs one residual, paper-regime sets (`Auto` policy,
-/// `|S| ≈ n^{1/3}` ⇒ sparse backend) and a Bernoulli(½) residual whose
+/// gains of all `m` sets vs one residual, paper-regime sets (pinned to the
+/// sparse backend — `|S| ≈ n^{1/3}` scattered sets now auto-cut to
+/// Elias–Fano, and this row measures the *sparse* sweep; the `repr` arm
+/// covers the compressed pairings) and a Bernoulli(½) residual whose
 /// membership bits defeat the branch predictor in the per-set probe loop.
 fn bench_sweep(name: &'static str, n: usize, m: usize, seed: u64) -> SweepRow {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
     let target_size = (n as f64).powf(1.0 / 3.0);
     let p = target_size / n as f64;
-    let mut sys = SetSystem::new(n);
+    let mut sys = SetSystem::with_policy(n, ReprPolicy::ForceSparse);
     for _ in 0..m {
         sys.push_sorted(&bernoulli_elems(&mut rng, n, p));
     }
@@ -248,6 +254,7 @@ fn bench_sweep(name: &'static str, n: usize, m: usize, seed: u64) -> SweepRow {
                     .zip(words)
                     .map(|(x, y)| (x & y).count_ones() as usize)
                     .sum(),
+                _ => unreachable!("sweep bench store is pinned to ForceSparse"),
             };
             acc = acc.wrapping_add(c as u64);
         }
@@ -272,6 +279,181 @@ fn bench_sweep(name: &'static str, n: usize, m: usize, seed: u64) -> SweepRow {
         per_set_ns: time_ns_per_op(m as u64, samples, per_set),
         branchy_ns: time_ns_per_op(m as u64, samples, branchy),
         batched_ns: time_ns_per_op(m as u64, samples, batched),
+    }
+}
+
+/// Names for the four storable representations, indexed like the forced
+/// [`ReprPolicy`] list in [`bench_repr`].
+const REPR_NAMES: [&str; 4] = ["sparse", "dense", "chunked", "ef"];
+
+struct ReprPairRow {
+    store_repr: &'static str,
+    residual_repr: &'static str,
+    sweep_ns_per_set: f64,
+}
+
+struct ReprRow {
+    scale: &'static str,
+    n: usize,
+    m: usize,
+    incidences: u64,
+    /// Measured `stored_bits()` under each forcing, `REPR_NAMES` order.
+    bits: [u64; 4],
+    /// Measured `stored_bits()` under `ReprPolicy::Auto`.
+    auto_bits: u64,
+    /// Batched-sweep throughput for every store-repr × residual-repr
+    /// pairing (gains asserted identical in-arm before timing).
+    pairings: Vec<ReprPairRow>,
+}
+
+impl ReprRow {
+    /// The PR 2 baseline: the better of the two flat encodings.
+    fn best_flat_bits(&self) -> u64 {
+        self.bits[0].min(self.bits[1]).max(1)
+    }
+
+    fn ratio(&self, repr: usize) -> f64 {
+        self.bits[repr] as f64 / self.best_flat_bits() as f64
+    }
+
+    fn auto_ratio(&self) -> f64 {
+        self.auto_bits as f64 / self.best_flat_bits() as f64
+    }
+}
+
+/// Builds a runs-structured Zipf catalog: set of popularity rank `r` is a
+/// union of `≈ nblocks/2/(r+1)` contiguous episode runs, one per sampled
+/// 2048-element block. This is the regime compressed containers exist
+/// for — run-heavy event catalogs where a per-element sparse list pays
+/// `⌈log₂ n⌉` bits for every element of every run.
+fn runs_zipf_catalog(rng: &mut StdRng, n: usize, m: usize) -> Vec<Vec<(u32, u32)>> {
+    const BLOCK: u32 = 2048;
+    let nblocks = (n as u32 / BLOCK) as usize;
+    let mut idx: Vec<u32> = (0..nblocks as u32).collect();
+    (0..m)
+        .map(|r| {
+            let want = (nblocks / 2 / (r + 1)).max(1);
+            // Partial Fisher–Yates: `want` distinct blocks.
+            for i in 0..want {
+                let j = rng.gen_range(i..nblocks);
+                idx.swap(i, j);
+            }
+            let mut picks = idx[..want].to_vec();
+            picks.sort_unstable();
+            picks
+                .iter()
+                .map(|&b| {
+                    let off = rng.gen_range(0..BLOCK as usize / 2) as u32;
+                    // Cap below the block end so runs from adjacent blocks
+                    // never touch (push_runs would merge them anyway, but
+                    // keeping episodes distinct keeps the workload honest).
+                    let len = 1 + rng.gen_range(0..(BLOCK - off - 1) as usize) as u32;
+                    (b * BLOCK + off, len)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The `repr` arm: measured compression ratio of the chunked / Elias–Fano
+/// encodings against the best flat (sparse/dense) encoding on a
+/// runs-structured Zipf catalog, plus batched-sweep throughput for every
+/// store-repr × residual-repr kernel pairing. Identity is hard-gated
+/// in-arm: every pairing must reproduce the ForceSparse gains vector
+/// bit-for-bit before anything is timed. `--check` additionally requires
+/// the chunked encoding to land at ≤ 0.6× the best flat encoding (and
+/// Auto to be no worse than every forcing).
+fn bench_repr(scale: &'static str, n: usize, m: usize, seed: u64, smoke: bool) -> ReprRow {
+    const FORCED: [ReprPolicy; 4] = [
+        ReprPolicy::ForceSparse,
+        ReprPolicy::ForceDense,
+        ReprPolicy::ForceChunked,
+        ReprPolicy::ForceEliasFano,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e47_0de5);
+    let catalog = runs_zipf_catalog(&mut rng, n, m);
+    let build = |policy: ReprPolicy| -> SetSystem {
+        let mut sys = SetSystem::with_policy(n, policy);
+        for runs in &catalog {
+            sys.push_runs(runs);
+        }
+        sys
+    };
+    let stores: Vec<SetSystem> = FORCED.iter().map(|&p| build(p)).collect();
+    let auto = build(ReprPolicy::Auto);
+    let bits = [
+        stores[0].stored_bits(),
+        stores[1].stored_bits(),
+        stores[2].stored_bits(),
+        stores[3].stored_bits(),
+    ];
+
+    // Residual (~half the universe, run-structured like the catalog) in
+    // every stored representation, via one-set stores.
+    let mut residual_runs: Vec<(u32, u32)> = Vec::new();
+    for b in 0..n as u32 / 2048 {
+        if rng.gen_bool(0.5) {
+            residual_runs.push((b * 2048, 1 + rng.gen_range(0u32..1024)));
+        }
+    }
+    let rstores: Vec<SetStore> = FORCED
+        .iter()
+        .map(|&p| {
+            let mut st = SetStore::with_policy(n, p);
+            st.push_runs(&residual_runs);
+            st
+        })
+        .collect();
+    let residual = rstores[0].get(0).to_bitset();
+
+    // Identity gate, asserted unconditionally: the full pairing matrix
+    // (plus Auto and the columnar dense walk) reproduces one gains vector.
+    let mut sweep = BatchedSweep::new();
+    let expect = sweep
+        .gains_vs_ref(stores[0].store(), rstores[0].get(0))
+        .to_vec();
+    for (si, st) in stores.iter().chain(std::iter::once(&auto)).enumerate() {
+        assert_eq!(
+            sweep.gains(st.store(), &residual),
+            &expect[..],
+            "repr/{scale}: columnar gains diverged for store {si}"
+        );
+        for (ri, rs) in rstores.iter().enumerate() {
+            assert_eq!(
+                sweep.gains_vs_ref(st.store(), rs.get(0)),
+                &expect[..],
+                "repr/{scale}: gains diverged for store {si} × residual {ri}"
+            );
+        }
+    }
+
+    let samples = if smoke { 3 } else { 5 };
+    let mut pairings = Vec::with_capacity(16);
+    for (si, st) in stores.iter().enumerate() {
+        for (ri, rs) in rstores.iter().enumerate() {
+            let rref = rs.get(0);
+            let ns = time_ns_per_op(m as u64, samples, || {
+                sweep
+                    .gains_vs_ref(st.store(), rref)
+                    .iter()
+                    .fold(0u64, |a, &g| a.wrapping_add(g as u64))
+            });
+            pairings.push(ReprPairRow {
+                store_repr: REPR_NAMES[si],
+                residual_repr: REPR_NAMES[ri],
+                sweep_ns_per_set: ns,
+            });
+        }
+    }
+
+    ReprRow {
+        scale,
+        n,
+        m,
+        incidences: stores[0].total_incidences() as u64,
+        bits,
+        auto_bits: auto.stored_bits(),
+        pairings,
     }
 }
 
@@ -1264,6 +1446,39 @@ fn main() {
             row
         })
         .collect();
+    let repr_scales: &[(&'static str, usize, usize)] = if smoke {
+        &[("small", 1 << 20, 256)]
+    } else {
+        &[("small", 1 << 20, 256), ("large", 1 << 22, 512)]
+    };
+    let repr_rows: Vec<ReprRow> = repr_scales
+        .iter()
+        .map(|&(name, n, m)| {
+            let row = bench_repr(name, n, m, seed, smoke);
+            eprintln!(
+                "  repr/{name}: n={n} m={m} inc={} — sparse {} KiB, dense {} KiB, chunked {} KiB ({:.3}x), ef {} KiB ({:.3}x), auto {} KiB ({:.3}x) (gains identical across all pairings)",
+                row.incidences,
+                row.bits[0] / 8192,
+                row.bits[1] / 8192,
+                row.bits[2] / 8192,
+                row.ratio(2),
+                row.bits[3] / 8192,
+                row.ratio(3),
+                row.auto_bits / 8192,
+                row.auto_ratio()
+            );
+            for store in REPR_NAMES {
+                let cells: Vec<String> = row
+                    .pairings
+                    .iter()
+                    .filter(|p| p.store_repr == store)
+                    .map(|p| format!("{} {:.0}ns", p.residual_repr, p.sweep_ns_per_set))
+                    .collect();
+                eprintln!("    sweep[{store} × residual]: {}", cells.join(", "));
+            }
+            row
+        })
+        .collect();
     let greedy: Vec<GreedyRow> = greedy_scales
         .iter()
         .map(|&(n, m, opt)| {
@@ -1461,6 +1676,40 @@ fn main() {
             json,
             "    }}{}",
             if i + 1 < sweeps.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"repr\": [");
+    for (i, r) in repr_rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", r.scale);
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"m\": {},", r.m);
+        let _ = writeln!(json, "      \"incidences\": {},", r.incidences);
+        for (j, name) in REPR_NAMES.iter().enumerate() {
+            let _ = writeln!(json, "      \"{name}_bits\": {},", r.bits[j]);
+        }
+        let _ = writeln!(json, "      \"auto_bits\": {},", r.auto_bits);
+        let _ = writeln!(json, "      \"chunked_ratio\": {:.4},", r.ratio(2));
+        let _ = writeln!(json, "      \"ef_ratio\": {:.4},", r.ratio(3));
+        let _ = writeln!(json, "      \"auto_ratio\": {:.4},", r.auto_ratio());
+        let _ = writeln!(json, "      \"pairings\": [");
+        for (j, p) in r.pairings.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{ \"store\": \"{}\", \"residual\": \"{}\", \"sweep_ns_per_set\": {:.2} }}{}",
+                p.store_repr,
+                p.residual_repr,
+                p.sweep_ns_per_set,
+                if j + 1 < r.pairings.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(json, "      \"gains_identical\": true");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < repr_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ],");
@@ -1673,6 +1922,27 @@ fn main() {
                     "sweep/{}: batched speedup {:.2} < 2.0 vs the legacy branchy loop",
                     r.name,
                     r.legacy_speedup()
+                ));
+            }
+        }
+        for r in &repr_rows {
+            // Pairing identity was asserted unconditionally inside the
+            // arm; the checkable perf criterion is the measured
+            // compression: on the runs-structured Zipf catalog the chunked
+            // encoding must land at ≤ 0.6× the best flat encoding, and
+            // Auto (the measured argmin) can never lose to a forcing.
+            if r.ratio(2) > 0.6 {
+                failed.push(format!(
+                    "repr/{}: chunked ratio {:.3} > 0.6x best-of-sparse/dense",
+                    r.scale,
+                    r.ratio(2)
+                ));
+            }
+            let best = r.bits.iter().copied().min().unwrap_or(0);
+            if r.auto_bits > best {
+                failed.push(format!(
+                    "repr/{}: auto stored_bits {} exceeds best forcing {best}",
+                    r.scale, r.auto_bits
                 ));
             }
         }

@@ -655,7 +655,7 @@ mod tests {
         let mut a = SetStore::new(1024);
         a.push_sorted(&[0, 1, 2, 3]); // sparse: 40 bits
         let mut b = SetStore::new(1024);
-        b.push_sorted(&(0..200).collect::<Vec<u32>>()); // dense: 1024 bits
+        b.push_sorted(&(0..1024).step_by(2).collect::<Vec<u32>>()); // dense
         b.push_sorted(&[9]);
         let mut st = ShardedStore::from_shard_stores(1024, ReprPolicy::Auto, vec![a, b]);
         let before = st.stored_bits();

@@ -1,24 +1,35 @@
-//! The hybrid sparse/dense set storage engine.
+//! The hybrid sparse/dense/compressed set storage engine.
 //!
 //! The paper's own regime — `m` sets of size `≈ n^{1/α}` over a large
 //! universe — makes a dense `Θ(m·n)`-bit `Vec<BitSet>` layout the wrong
 //! substrate: almost every set is tiny. This module stores a whole set
 //! system in one contiguous CSR-style arena ([`SetStore`]) where each set is
-//! kept in one of two backends ([`SetRepr`]):
+//! kept in one of four backends ([`SetRepr`]):
 //!
 //! * **Sparse** — a sorted `u32` element list (`|S|·32` bits of arena, and
 //!   `|S|·⌈log₂ n⌉` bits under the paper's accounting);
-//! * **Dense** — the classic word-packed bitmap (`n` bits).
+//! * **Dense** — the classic word-packed bitmap (`n` bits);
+//! * **Chunked** — Roaring-style 2^16-element containers, each
+//!   independently array- / bitmap- / run-encoded, with 128-bit container
+//!   descriptors in the `u32` arena (bitmap payloads live in the `u64`
+//!   arena); charged at its *measured* encoded size;
+//! * **EliasFano** — the monotone-list encoding (a low-bits array plus a
+//!   unary high-bits bitmap, `≈ |S|·(2 + log₂(n/|S|))` bits), also charged
+//!   at its measured size.
 //!
 //! The backend is chosen per set at insertion time by a [`ReprPolicy`]; the
-//! default `Auto` cutover picks whichever representation is cheaper under
-//! the paper's bit accounting (`|S|·⌈log₂ n⌉` vs `n`), so the stored layout
-//! *is* the cost model the `SpaceMeter` charges.
+//! default `Auto` cutover picks the cheapest of the four — the paper's
+//! modeled cost for Sparse/Dense (`|S|·⌈log₂ n⌉` vs `n`) and the measured
+//! encoded size for Chunked/EliasFano — so the stored layout *is* the cost
+//! model the `SpaceMeter` charges.
 //!
 //! Reads go through [`SetRef`], a `Copy` borrowed view with the full set
 //! algebra. Binary operations dispatch to kernels specialized per
 //! representation pair: merge-walks for sparse×sparse, word ops for
-//! dense×dense, and probes for the mixed cases.
+//! dense×dense, probes for the mixed cases, container-aligned AND-popcounts
+//! for chunked pairs, and block-decoded probes for Elias–Fano against word
+//! slabs; the rare cold pairs (e.g. chunked × Elias–Fano) decode to a
+//! scratch list and reuse the sparse kernels.
 //!
 //! Deletion is tombstoning ([`SetStore::remove`]): the slot reads as empty
 //! while its arena bytes remain resident — and remain *charged* by
@@ -37,49 +48,167 @@ pub enum SetRepr {
     Sparse,
     /// Word-packed bitmap over the universe.
     Dense,
+    /// Roaring-style 2^16-element containers (array / bitmap / run encoded
+    /// per container), measured bit accounting.
+    Chunked,
+    /// Elias–Fano monotone-list encoding (low-bits array + unary high-bits
+    /// bitmap), measured bit accounting.
+    EliasFano,
 }
 
 /// How a [`SetStore`] chooses the representation of an inserted set.
+///
+/// `Auto` is a measured argmin over all four backends, so forcing a
+/// representation can never beat it on stored bits — and the choice
+/// never changes what readers see:
+///
+/// ```
+/// use streamcover_core::{ReprPolicy, SetRepr, SetStore};
+///
+/// let policies = [
+///     ReprPolicy::ForceSparse,
+///     ReprPolicy::ForceDense,
+///     ReprPolicy::ForceChunked,
+///     ReprPolicy::ForceEliasFano,
+/// ];
+/// // A run-structured set over a 2^20 universe: two contiguous episodes.
+/// let runs = [(4_096u32, 2_000u32), (700_000, 3_000)];
+/// let mut bits = Vec::new();
+/// for policy in policies {
+///     let mut st = SetStore::with_policy(1 << 20, policy);
+///     st.push_runs(&runs);
+///     assert_eq!(st.get(0).len(), 5_000);               // same logical set
+///     assert!(st.get(0).contains(4_096) && !st.get(0).contains(4_095));
+///     bits.push(st.get(0).stored_bits());
+/// }
+/// let mut auto = SetStore::with_policy(1 << 20, ReprPolicy::Auto);
+/// auto.push_runs(&runs);
+/// // Runs compress: the measured argmin picks Chunked run containers
+/// // (a few hundred bits) over the 100 KiB sparse list / 1 Mib bitmap.
+/// assert_eq!(auto.get(0).repr(), SetRepr::Chunked);
+/// assert!(bits.iter().all(|&b| auto.get(0).stored_bits() <= b));
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ReprPolicy {
-    /// Pick whichever representation is cheaper under the paper's bit
-    /// accounting: sparse iff `|S|·⌈log₂ n⌉ ≤ n`.
+    /// Pick the cheapest representation under the store's bit accounting:
+    /// the modeled `|S|·⌈log₂ n⌉` (sparse) vs `n` (dense) costs of the
+    /// paper, against the *measured* encoded sizes of the compressed
+    /// backends (Chunked container sum, Elias–Fano word count). Ties break
+    /// deterministically Sparse ≺ Dense ≺ Chunked ≺ EliasFano, so a layout
+    /// is a pure function of the inserted set.
     #[default]
     Auto,
     /// Always store sorted element lists (testing / ablation).
     ForceSparse,
     /// Always store bitmaps (the pre-refactor layout; testing / ablation).
     ForceDense,
+    /// Always store Roaring-style containers (testing / ablation).
+    ForceChunked,
+    /// Always store Elias–Fano encodings (testing / ablation).
+    ForceEliasFano,
 }
 
 impl ReprPolicy {
     /// The representation this policy assigns to a set of `len` elements
-    /// over `[universe]`.
+    /// over `[universe]`, judged on cardinality alone: `Auto` here compares
+    /// the sparse/dense models with the (cardinality-determined) Elias–Fano
+    /// size. The Chunked candidate depends on the element *distribution*,
+    /// so the store's push paths refine this decision with the measured
+    /// container cost; `choose` is the distribution-blind planning rule.
     #[inline]
     pub fn choose(self, len: usize, universe: usize) -> SetRepr {
+        self.choose_measured(len, universe, u64::MAX)
+    }
+
+    /// The full `Auto` cutover: like [`choose`](Self::choose) but with the
+    /// measured Chunked encoding cost supplied by the caller.
+    #[inline]
+    fn choose_measured(self, len: usize, universe: usize, chunked_bits: u64) -> SetRepr {
         match self {
             ReprPolicy::ForceSparse => SetRepr::Sparse,
             ReprPolicy::ForceDense => SetRepr::Dense,
+            ReprPolicy::ForceChunked => SetRepr::Chunked,
+            ReprPolicy::ForceEliasFano => SetRepr::EliasFano,
             ReprPolicy::Auto => {
                 let logn = u64::from(ceil_log2(universe.max(2)));
-                if len as u64 * logn <= universe as u64 {
-                    SetRepr::Sparse
-                } else {
-                    SetRepr::Dense
+                // argmin with the documented deterministic tie-break order.
+                let mut best = (len as u64 * logn, SetRepr::Sparse);
+                if (universe as u64) < best.0 {
+                    best = (universe as u64, SetRepr::Dense);
                 }
+                if chunked_bits < best.0 {
+                    best = (chunked_bits, SetRepr::Chunked);
+                }
+                if ef_cost_bits(universe, len) < best.0 {
+                    best = (ef_cost_bits(universe, len), SetRepr::EliasFano);
+                }
+                best.1
             }
         }
     }
 }
 
-/// Per-set descriptor: which arena, where, and the cached cardinality.
+/// Per-set descriptor: which arena(s), where, and the cached cardinality.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SetDesc {
     repr: SetRepr,
-    /// Offset into the `sparse` (elements) or `dense` (words) arena.
+    /// Primary arena offset: `sparse` (elements) for Sparse, `dense`
+    /// (words) for Dense and EliasFano, container metadata start in
+    /// `sparse` for Chunked.
     off: usize,
     /// Number of elements in the set.
     card: usize,
+    /// Chunked only: offset of this set's bitmap-container payload block in
+    /// the `dense` arena.
+    off2: usize,
+    /// Chunked only: number of containers.
+    aux: usize,
+    /// Chunked only: `u32` payload words following the container metadata.
+    len32: usize,
+    /// Chunked: `u64` payload words at `off2`. EliasFano: total words
+    /// (high + low) at `off`.
+    len64: usize,
+}
+
+impl SetDesc {
+    /// The all-zero empty sparse descriptor tombstoned slots read as.
+    const EMPTY: SetDesc = SetDesc::sparse(0, 0);
+
+    const fn sparse(off: usize, card: usize) -> SetDesc {
+        SetDesc {
+            repr: SetRepr::Sparse,
+            off,
+            card,
+            off2: 0,
+            aux: 0,
+            len32: 0,
+            len64: 0,
+        }
+    }
+
+    const fn dense(off: usize, card: usize) -> SetDesc {
+        SetDesc {
+            repr: SetRepr::Dense,
+            off,
+            card,
+            off2: 0,
+            aux: 0,
+            len32: 0,
+            len64: 0,
+        }
+    }
+
+    const fn elias_fano(off: usize, card: usize, len64: usize) -> SetDesc {
+        SetDesc {
+            repr: SetRepr::EliasFano,
+            off,
+            card,
+            off2: 0,
+            aux: 0,
+            len32: 0,
+            len64,
+        }
+    }
 }
 
 /// A contiguous CSR-style arena holding every set of a system.
@@ -104,6 +233,10 @@ pub struct SetStore {
     /// representations, charged by [`stored_bits`](Self::stored_bits)
     /// until compaction reclaims the arena.
     tombstone_bits: u64,
+    /// Accounting bits of all *live* descriptors, maintained incrementally
+    /// on push/remove so [`stored_bits`](Self::stored_bits) and
+    /// [`live_ratio`](Self::live_ratio) are O(1) instead of an O(m) rescan.
+    live_bits: u64,
 }
 
 impl SetStore {
@@ -124,6 +257,7 @@ impl SetStore {
             dense: Vec::new(),
             tombstones: Vec::new(),
             tombstone_bits: 0,
+            live_bits: 0,
         }
     }
 
@@ -149,14 +283,19 @@ impl SetStore {
         self.policy
     }
 
-    /// `(sparse, dense)` counts of stored representations.
-    pub fn repr_counts(&self) -> (usize, usize) {
-        let sparse = self
-            .descs
-            .iter()
-            .filter(|d| d.repr == SetRepr::Sparse)
-            .count();
-        (sparse, self.descs.len() - sparse)
+    /// Counts of stored representations, indexed
+    /// `[sparse, dense, chunked, elias_fano]`.
+    pub fn repr_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for d in &self.descs {
+            counts[match d.repr {
+                SetRepr::Sparse => 0,
+                SetRepr::Dense => 1,
+                SetRepr::Chunked => 2,
+                SetRepr::EliasFano => 3,
+            }] += 1;
+        }
+        counts
     }
 
     /// Appends a set given as a strictly increasing element list.
@@ -180,16 +319,28 @@ impl SetStore {
                 self.universe
             );
         }
-        let repr = self.policy.choose(elems.len(), self.universe);
+        // Only the policies that need the measured container cost (Auto's
+        // argmin, or an actual Chunked encode) pay for the run scan.
+        let repr = match self.policy {
+            ReprPolicy::Auto | ReprPolicy::ForceChunked => {
+                let runs = runs_from_sorted(elems);
+                let chunked_bits = chunked_cost_bits(&runs, self.universe);
+                let repr = self
+                    .policy
+                    .choose_measured(elems.len(), self.universe, chunked_bits);
+                if repr == SetRepr::Chunked {
+                    let desc = self.encode_chunked(elems.len(), &runs);
+                    return self.push_desc(desc);
+                }
+                repr
+            }
+            p => p.choose(elems.len(), self.universe),
+        };
         let desc = match repr {
             SetRepr::Sparse => {
                 let off = self.sparse.len();
                 self.sparse.extend_from_slice(elems);
-                SetDesc {
-                    repr,
-                    off,
-                    card: elems.len(),
-                }
+                SetDesc::sparse(off, elems.len())
             }
             SetRepr::Dense => {
                 let off = self.dense.len();
@@ -198,12 +349,10 @@ impl SetStore {
                 for &e in elems {
                     words[e as usize / 64] |= 1u64 << (e % 64);
                 }
-                SetDesc {
-                    repr,
-                    off,
-                    card: elems.len(),
-                }
+                SetDesc::dense(off, elems.len())
             }
+            SetRepr::EliasFano => self.encode_ef(elems.len(), elems.iter().copied()),
+            SetRepr::Chunked => unreachable!("Chunked is encoded above"),
         };
         self.push_desc(desc)
     }
@@ -231,21 +380,222 @@ impl SetStore {
             self.universe
         );
         let card = set.len();
-        let repr = self.policy.choose(card, self.universe);
+        let repr = match self.policy {
+            ReprPolicy::Auto | ReprPolicy::ForceChunked => {
+                let runs = runs_from_words(set.words());
+                let chunked_bits = chunked_cost_bits(&runs, self.universe);
+                let repr = self
+                    .policy
+                    .choose_measured(card, self.universe, chunked_bits);
+                if repr == SetRepr::Chunked {
+                    let desc = self.encode_chunked(card, &runs);
+                    return self.push_desc(desc);
+                }
+                repr
+            }
+            p => p.choose(card, self.universe),
+        };
         let desc = match repr {
             SetRepr::Sparse => {
                 let off = self.sparse.len();
                 self.sparse.extend(set.iter().map(|e| e as u32));
-                SetDesc { repr, off, card }
+                SetDesc::sparse(off, card)
             }
             SetRepr::Dense => {
                 let off = self.dense.len();
                 self.dense.extend_from_slice(set.words());
                 debug_assert_eq!(self.dense.len() - off, self.words_per_set);
-                SetDesc { repr, off, card }
+                SetDesc::dense(off, card)
+            }
+            SetRepr::EliasFano => self.encode_ef(card, set.iter().map(|e| e as u32)),
+            SetRepr::Chunked => unreachable!("Chunked is encoded above"),
+        };
+        self.push_desc(desc)
+    }
+
+    /// Appends a set given as sorted, non-overlapping `(start, len)` runs of
+    /// consecutive elements — the closed-form ingestion path for
+    /// run-structured catalogs (episode blocks, planted partitions) and the
+    /// `universe_2_30` demo: the representation decision and the Chunked /
+    /// Dense / Elias–Fano encodings all stream straight off the runs, so a
+    /// multi-million-element set never materializes an element list unless
+    /// it is actually *stored* sparse. Adjacent runs are merged to the
+    /// canonical form, so pushing runs and pushing the equivalent element
+    /// list choose identical layouts.
+    ///
+    /// # Panics
+    /// Panics if a run is empty, runs overlap or are out of order, or an
+    /// element would fall outside the universe.
+    pub fn push_runs(&mut self, runs: &[(u32, u32)]) -> usize {
+        let mut clipped: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+        let mut prev_end: u64 = 0;
+        for &(start, len) in runs {
+            assert!(len > 0, "push_runs: empty run at {start}");
+            assert!(
+                u64::from(start) >= prev_end,
+                "push_runs: run {start}+{len} overlaps or precedes its predecessor"
+            );
+            assert!(
+                u64::from(start) + u64::from(len) <= self.universe as u64,
+                "push_runs: run {start}+{len} out of universe [{}]",
+                self.universe
+            );
+            // Merge adjacency, then split at chunk boundaries so every
+            // clipped run lives inside one 2^16-element chunk (the
+            // canonical form runs_from_sorted produces).
+            let (mut s, mut rem) = (start, len);
+            if let Some(last) = clipped.last_mut() {
+                if u64::from(last.0) + u64::from(last.1) == u64::from(s)
+                    && s & CHUNK_MASK as u32 != 0
+                {
+                    let take = rem.min(CHUNK as u32 - (s & CHUNK_MASK as u32));
+                    last.1 += take;
+                    s += take;
+                    rem -= take;
+                }
+            }
+            while rem > 0 {
+                let take = rem.min(CHUNK as u32 - (s & CHUNK_MASK as u32));
+                clipped.push((s, take));
+                s += take;
+                rem -= take;
+            }
+            prev_end = u64::from(start) + u64::from(len);
+        }
+        let card: usize = clipped.iter().map(|&(_, l)| l as usize).sum();
+        let run_elems = || clipped.iter().flat_map(|&(s, l)| s..s + l);
+        let chunked_bits = chunked_cost_bits(&clipped, self.universe);
+        let desc = match self
+            .policy
+            .choose_measured(card, self.universe, chunked_bits)
+        {
+            SetRepr::Chunked => self.encode_chunked(card, &clipped),
+            SetRepr::EliasFano => self.encode_ef(card, run_elems()),
+            SetRepr::Sparse => {
+                let off = self.sparse.len();
+                self.sparse.extend(run_elems());
+                SetDesc::sparse(off, card)
+            }
+            SetRepr::Dense => {
+                let off = self.dense.len();
+                self.dense.resize(off + self.words_per_set, 0);
+                for &(s, l) in &clipped {
+                    set_bit_range(&mut self.dense[off..], s as usize, (s + l) as usize);
+                }
+                SetDesc::dense(off, card)
             }
         };
         self.push_desc(desc)
+    }
+
+    /// Encodes a set (given as chunk-clipped runs) as Roaring-style
+    /// containers appended to the arenas: 4 `u32` metadata words per
+    /// container (`[key, tag|nruns«8, card, payload offset]`) followed by
+    /// the `u32` payloads (packed `u16` arrays, `(start, len-1)` run pairs),
+    /// with bitmap payloads in the `u64` arena. Payload offsets are
+    /// *relative* to the set's own payload blocks, so `push_ref`/`compact`
+    /// copy a chunked set as two verbatim arena ranges.
+    fn encode_chunked(&mut self, card: usize, clipped: &[(u32, u32)]) -> SetDesc {
+        let off = self.sparse.len();
+        let off2 = self.dense.len();
+        // Group boundaries: clipped runs are sorted, so each chunk's runs
+        // are one contiguous slice.
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        let mut g_start = 0usize;
+        for i in 1..clipped.len() {
+            if clipped[i].0 >> CHUNK_BITS != clipped[g_start].0 >> CHUNK_BITS {
+                groups.push((g_start, i));
+                g_start = i;
+            }
+        }
+        if !clipped.is_empty() {
+            groups.push((g_start, clipped.len()));
+        }
+        let nc = groups.len();
+        self.sparse.resize(off + CONTAINER_META * nc, 0);
+        let payload32 = off + CONTAINER_META * nc;
+        for (g, &(gs, ge)) in groups.iter().enumerate() {
+            let group = &clipped[gs..ge];
+            let key = group[0].0 >> CHUNK_BITS;
+            let base = (key as usize) << CHUNK_BITS;
+            let gcard: usize = group.iter().map(|&(_, l)| l as usize).sum();
+            let (tag, _) = container_choice(group, self.universe, key);
+            let (tagw, rel) = match tag {
+                TAG_ARRAY => {
+                    let rel = self.sparse.len() - payload32;
+                    let start = self.sparse.len();
+                    self.sparse.resize(start + gcard.div_ceil(2), 0);
+                    let mut i = 0usize;
+                    for &(s, l) in group {
+                        for e in s..s + l {
+                            let local = e - base as u32;
+                            self.sparse[start + i / 2] |= local << ((i % 2) * 16);
+                            i += 1;
+                        }
+                    }
+                    (TAG_ARRAY, rel)
+                }
+                TAG_RUNS => {
+                    let rel = self.sparse.len() - payload32;
+                    for &(s, l) in group {
+                        self.sparse.push((s - base as u32) | (l - 1) << 16);
+                    }
+                    (TAG_RUNS | (group.len() as u32) << 8, rel)
+                }
+                _ => {
+                    let rel = self.dense.len() - off2;
+                    let start = self.dense.len();
+                    self.dense
+                        .resize(start + chunk_span_words(self.universe, key), 0);
+                    for &(s, l) in group {
+                        let lo = s as usize - base;
+                        set_bit_range(&mut self.dense[start..], lo, lo + l as usize);
+                    }
+                    (TAG_BITMAP, rel)
+                }
+            };
+            let m = off + CONTAINER_META * g;
+            self.sparse[m] = key;
+            self.sparse[m + 1] = tagw;
+            self.sparse[m + 2] = gcard as u32;
+            self.sparse[m + 3] = rel as u32;
+        }
+        SetDesc {
+            repr: SetRepr::Chunked,
+            off,
+            card,
+            off2,
+            aux: nc,
+            len32: self.sparse.len() - payload32,
+            len64: self.dense.len() - off2,
+        }
+    }
+
+    /// Encodes a sorted element stream as Elias–Fano words appended to the
+    /// `u64` arena: `⌈(|S| + ⌈(n-1)/2^l⌉ + 1)/64⌉` high (unary) words
+    /// followed by `⌈|S|·l/64⌉` low words, `l = ⌊log₂(n/|S|)⌋`. All sizes
+    /// derive from `(universe, card)`, so the descriptor only records the
+    /// total word count.
+    fn encode_ef(&mut self, card: usize, elems: impl Iterator<Item = u32>) -> SetDesc {
+        let l = ef_low_bits(self.universe, card);
+        let hw = ef_high_words(self.universe, card, l);
+        let lw = ef_low_words(card, l);
+        let off = self.dense.len();
+        self.dense.resize(off + hw + lw, 0);
+        let (high, low) = self.dense[off..].split_at_mut(hw);
+        for (i, e) in elems.enumerate() {
+            let p = ((e as usize) >> l) + i;
+            high[p / 64] |= 1u64 << (p % 64);
+            if l > 0 {
+                let bit = i * l as usize;
+                let v = u64::from(e) & ((1u64 << l) - 1);
+                low[bit / 64] |= v << (bit % 64);
+                if bit % 64 + l as usize > 64 {
+                    low[bit / 64 + 1] |= v >> (64 - bit % 64);
+                }
+            }
+        }
+        SetDesc::elias_fano(off, card, hw + lw)
     }
 
     /// Appends a copy of an existing view, preserving its representation
@@ -265,31 +615,59 @@ impl SetStore {
             SetRef::Sparse { elems, .. } => {
                 let off = self.sparse.len();
                 self.sparse.extend_from_slice(elems);
-                SetDesc {
-                    repr: SetRepr::Sparse,
-                    off,
-                    card: elems.len(),
-                }
+                SetDesc::sparse(off, elems.len())
             }
             SetRef::Dense { words, .. } => {
                 let off = self.dense.len();
                 self.dense.extend_from_slice(words);
+                SetDesc::dense(off, set.len())
+            }
+            SetRef::Chunked {
+                meta,
+                data32,
+                data64,
+                card,
+                ..
+            } => {
+                // Payload offsets are relative to the set's own payload
+                // blocks, so two verbatim range copies preserve the
+                // encoding bit for bit.
+                let off = self.sparse.len();
+                self.sparse.extend_from_slice(meta);
+                self.sparse.extend_from_slice(data32);
+                let off2 = self.dense.len();
+                self.dense.extend_from_slice(data64);
                 SetDesc {
-                    repr: SetRepr::Dense,
+                    repr: SetRepr::Chunked,
                     off,
-                    card: set.len(),
+                    card,
+                    off2,
+                    aux: meta.len() / CONTAINER_META,
+                    len32: data32.len(),
+                    len64: data64.len(),
                 }
+            }
+            SetRef::EliasFano {
+                high, low, card, ..
+            } => {
+                let off = self.dense.len();
+                self.dense.extend_from_slice(high);
+                self.dense.extend_from_slice(low);
+                SetDesc::elias_fano(off, card, high.len() + low.len())
             }
         };
         self.push_desc(desc)
     }
 
     /// Records a freshly built descriptor (every push path funnels through
-    /// here so the tombstone flags stay aligned with `descs`).
+    /// here so the tombstone flags and the incremental live-bits counter
+    /// stay aligned with `descs`).
     fn push_desc(&mut self, desc: SetDesc) -> usize {
         self.descs.push(desc);
         self.tombstones.push(false);
-        self.descs.len() - 1
+        let id = self.descs.len() - 1;
+        self.live_bits += self.get(id).stored_bits();
+        id
     }
 
     /// Tombstones the set at `i`: its descriptor becomes the empty sparse
@@ -313,14 +691,12 @@ impl SetStore {
             self.descs.len()
         );
         if !self.tombstones[i] {
-            self.tombstone_bits += self.get(i).stored_bits();
+            let bits = self.get(i).stored_bits();
+            self.tombstone_bits += bits;
+            self.live_bits -= bits;
             self.tombstones[i] = true;
         }
-        self.descs[i] = SetDesc {
-            repr: SetRepr::Sparse,
-            off: 0,
-            card: 0,
-        };
+        self.descs[i] = SetDesc::EMPTY;
     }
 
     /// Whether the slot at `i` was [`remove`](Self::remove)d (it reads as
@@ -346,14 +722,15 @@ impl SetStore {
 
     /// Fraction of the stored bits that belong to live sets:
     /// `live / (live + tombstone)`, defined as `1.0` for a store with no
-    /// stored bits at all. The garbage gauge compaction policies watch.
+    /// stored bits at all. The garbage gauge compaction policies watch —
+    /// O(1) off the incremental counter (the old O(m) rescan made every
+    /// `CompactionPolicy` probe a full arena walk).
     pub fn live_ratio(&self) -> f64 {
-        let live: u64 = (0..self.len()).map(|i| self.get(i).stored_bits()).sum();
-        let total = live + self.tombstone_bits;
+        let total = self.live_bits + self.tombstone_bits;
         if total == 0 {
             1.0
         } else {
-            live as f64 / total as f64
+            self.live_bits as f64 / total as f64
         }
     }
 
@@ -400,6 +777,52 @@ impl SetStore {
                 universe: self.universe,
                 card: d.card,
             },
+            SetRepr::Chunked => {
+                let meta_end = d.off + CONTAINER_META * d.aux;
+                SetRef::Chunked {
+                    meta: &self.sparse[d.off..meta_end],
+                    data32: &self.sparse[meta_end..meta_end + d.len32],
+                    data64: &self.dense[d.off2..d.off2 + d.len64],
+                    universe: self.universe,
+                    card: d.card,
+                }
+            }
+            SetRepr::EliasFano => {
+                let l = ef_low_bits(self.universe, d.card);
+                let hw = ef_high_words(self.universe, d.card, l);
+                let (high, low) = self.dense[d.off..d.off + d.len64].split_at(hw);
+                SetRef::EliasFano {
+                    high,
+                    low,
+                    low_bits: l,
+                    universe: self.universe,
+                    card: d.card,
+                }
+            }
+        }
+    }
+
+    /// Internal borrowed container view of a chunked descriptor.
+    fn chunk_view(&self, d: SetDesc) -> ChunkView<'_> {
+        let meta_end = d.off + CONTAINER_META * d.aux;
+        ChunkView {
+            meta: &self.sparse[d.off..meta_end],
+            data32: &self.sparse[meta_end..meta_end + d.len32],
+            data64: &self.dense[d.off2..d.off2 + d.len64],
+            universe: self.universe,
+        }
+    }
+
+    /// Internal borrowed view of an Elias–Fano descriptor.
+    fn ef_view(&self, d: SetDesc) -> EfView<'_> {
+        let l = ef_low_bits(self.universe, d.card);
+        let hw = ef_high_words(self.universe, d.card, l);
+        let (high, low) = self.dense[d.off..d.off + d.len64].split_at(hw);
+        EfView {
+            high,
+            low,
+            l,
+            card: d.card,
         }
     }
 
@@ -408,15 +831,15 @@ impl SetStore {
         self.descs.iter().map(|d| d.card).sum()
     }
 
-    /// Sum over sets of the bits the *actual* representation costs under
-    /// the paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense), **plus**
-    /// the bits of tombstoned descriptors whose arena bytes have not been
-    /// reclaimed yet ([`tombstone_bits`](Self::tombstone_bits)) — removal
-    /// alone must not make stored state look cheaper than the arena it
-    /// still occupies.
+    /// Sum over sets of the bits the *actual* representation costs —
+    /// `|S|·⌈log₂ n⌉` sparse and `n` dense under the paper's model, the
+    /// measured encoded size for Chunked/Elias–Fano — **plus** the bits of
+    /// tombstoned descriptors whose arena bytes have not been reclaimed yet
+    /// ([`tombstone_bits`](Self::tombstone_bits)) — removal alone must not
+    /// make stored state look cheaper than the arena it still occupies.
+    /// O(1) off the incremental live-bits counter.
     pub fn stored_bits(&self) -> u64 {
-        let live: u64 = (0..self.len()).map(|i| self.get(i).stored_bits()).sum();
-        live + self.tombstone_bits
+        self.live_bits + self.tombstone_bits
     }
 }
 
@@ -558,7 +981,7 @@ impl BatchedSweep {
         self.gains.reserve(ids.len());
         for &i in ids {
             self.gains
-                .push(sweep_one(store, store.descs[i], words, kernel, dense));
+                .push(sweep_one(store, &store.descs[i], words, kernel, dense));
         }
         &self.gains
     }
@@ -595,7 +1018,7 @@ impl BatchedSweep {
         self.gains.clear();
         self.gains.reserve(span.len());
         for d in &store.descs[span] {
-            self.gains.push(sweep_one(store, *d, words, kernel, dense));
+            self.gains.push(sweep_one(store, d, words, kernel, dense));
         }
         &self.gains
     }
@@ -620,11 +1043,14 @@ impl BatchedSweep {
                 self.gains.clear();
                 self.gains.reserve(store.len());
                 for d in &store.descs {
-                    self.gains.push(sweep_one(store, *d, words, kernel, dense));
+                    self.gains.push(sweep_one(store, d, words, kernel, dense));
                 }
                 &self.gains
             }
-            SetRef::Sparse { .. } => {
+            // Sparse and compressed residual views dispatch to the pairwise
+            // kernels per stored set (sparse×sparse keeps the SSE2 block
+            // merge; chunked/EF pairs use their container/decode kernels).
+            _ => {
                 let tier = self.tier();
                 self.gains.clear();
                 self.gains.reserve(store.len());
@@ -817,11 +1243,16 @@ fn dense_and_popcount(a: &[u64], b: &[u64]) -> usize {
 }
 
 /// Gain of one descriptor against a residual word slab (callers have
-/// asserted the slab spans the store's universe).
-#[inline]
+/// asserted the slab spans the store's universe). Chunked descriptors walk
+/// their containers columnar-style — each container dispatches to the
+/// tier's dense kernel (bitmap), the tier's sparse probe over decoded
+/// 256-element blocks (array), or masked range popcounts (runs); Elias–Fano
+/// descriptors decode in 256-element blocks through the tier's sparse
+/// probe.
+#[inline(always)]
 fn sweep_one(
     store: &SetStore,
-    d: SetDesc,
+    d: &SetDesc,
     words: &[u64],
     sparse_kernel: fn(&[u32], &[u64]) -> usize,
     dense_kernel: fn(&[u64], &[u64]) -> usize,
@@ -829,6 +1260,10 @@ fn sweep_one(
     match d.repr {
         SetRepr::Sparse => sparse_kernel(&store.sparse[d.off..d.off + d.card], words),
         SetRepr::Dense => dense_kernel(&store.dense[d.off..d.off + store.words_per_set], words),
+        SetRepr::Chunked => {
+            chunked_vs_words(store.chunk_view(*d), words, sparse_kernel, dense_kernel)
+        }
+        SetRepr::EliasFano => ef_vs_words(store.ef_view(*d), words, sparse_kernel),
     }
 }
 
@@ -970,7 +1405,673 @@ fn sweep_sparse(elems: &[u32], words: &[u64]) -> usize {
     c.iter().sum()
 }
 
-/// A borrowed, `Copy` view of one stored set — either backend.
+// ---------------------------------------------------------------------------
+// Chunked (Roaring-style) containers.
+//
+// A chunked set partitions the universe into 2^16-element chunks; each
+// non-empty chunk is one container described by 4 u32 metadata words
+// `[key, tag | nruns«8, card, payload offset]`. Array payloads pack two u16
+// chunk-local elements per u32 word; run payloads store one
+// `local | (len-1)«16` word per run; bitmap payloads are
+// `⌈min(2^16, n - key·2^16)/64⌉` u64 words (the last chunk is ragged).
+// Payload offsets are relative to the set's own payload blocks so the whole
+// encoding copies verbatim.
+// ---------------------------------------------------------------------------
+
+/// log₂ of the chunk span.
+const CHUNK_BITS: u32 = 16;
+/// Elements per chunk.
+const CHUNK: usize = 1 << CHUNK_BITS;
+/// Low-bits mask extracting the chunk-local element.
+const CHUNK_MASK: usize = CHUNK - 1;
+/// `u32` metadata words per container descriptor.
+const CONTAINER_META: usize = 4;
+/// Container payload tags (low byte of the second metadata word).
+const TAG_ARRAY: u32 = 0;
+const TAG_BITMAP: u32 = 1;
+const TAG_RUNS: u32 = 2;
+
+/// Elements the chunk `key` actually spans (the last chunk is ragged).
+#[inline]
+fn chunk_span(universe: usize, key: u32) -> usize {
+    CHUNK.min(universe - ((key as usize) << CHUNK_BITS))
+}
+
+/// Words of a bitmap payload for chunk `key`.
+#[inline]
+fn chunk_span_words(universe: usize, key: u32) -> usize {
+    chunk_span(universe, key).div_ceil(64)
+}
+
+/// Borrowed pieces of one chunked set.
+#[derive(Clone, Copy)]
+struct ChunkView<'a> {
+    meta: &'a [u32],
+    data32: &'a [u32],
+    data64: &'a [u64],
+    universe: usize,
+}
+
+/// One decoded container descriptor.
+#[derive(Clone, Copy)]
+struct Container<'a> {
+    key: u32,
+    tag: u32,
+    nruns: usize,
+    card: usize,
+    /// Array / run payload words (empty for bitmap containers).
+    a32: &'a [u32],
+    /// Bitmap payload words (empty for array / run containers).
+    words: &'a [u64],
+}
+
+impl<'a> ChunkView<'a> {
+    #[inline]
+    fn ncontainers(self) -> usize {
+        self.meta.len() / CONTAINER_META
+    }
+
+    #[inline]
+    fn key(self, c: usize) -> u32 {
+        self.meta[CONTAINER_META * c]
+    }
+
+    #[inline]
+    fn container(self, c: usize) -> Container<'a> {
+        let m = &self.meta[CONTAINER_META * c..CONTAINER_META * (c + 1)];
+        let (key, tagw, card, off) = (m[0], m[1], m[2] as usize, m[3] as usize);
+        let (tag, nruns) = (tagw & 0xff, (tagw >> 8) as usize);
+        match tag {
+            TAG_BITMAP => Container {
+                key,
+                tag,
+                nruns: 0,
+                card,
+                a32: &[],
+                words: &self.data64[off..off + chunk_span_words(self.universe, key)],
+            },
+            TAG_RUNS => Container {
+                key,
+                tag,
+                nruns,
+                card,
+                a32: &self.data32[off..off + nruns],
+                words: &[],
+            },
+            _ => Container {
+                key,
+                tag,
+                nruns: 0,
+                card,
+                a32: &self.data32[off..off + card.div_ceil(2)],
+                words: &[],
+            },
+        }
+    }
+}
+
+impl Container<'_> {
+    /// First element of this chunk in universe coordinates.
+    #[inline]
+    fn base(self) -> usize {
+        (self.key as usize) << CHUNK_BITS
+    }
+
+    /// The `i`-th chunk-local element of an array container.
+    #[inline]
+    fn local(self, i: usize) -> u32 {
+        self.a32[i >> 1] >> ((i & 1) * 16) & 0xffff
+    }
+
+    /// The `r`-th `(local start, len)` run of a run container.
+    #[inline]
+    fn run(self, r: usize) -> (u32, u32) {
+        let w = self.a32[r];
+        (w & 0xffff, (w >> 16) + 1)
+    }
+}
+
+/// Maximal consecutive runs of a strictly sorted element list, split at
+/// chunk boundaries (the canonical clipped-run form every chunked encode
+/// path consumes).
+fn runs_from_sorted(elems: &[u32]) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for &e in elems {
+        match out.last_mut() {
+            Some(last) if last.0 + last.1 == e && e as usize & CHUNK_MASK != 0 => last.1 += 1,
+            _ => out.push((e, 1)),
+        }
+    }
+    out
+}
+
+/// [`runs_from_sorted`] off a word slab, with an all-ones word fast path
+/// (chunk boundaries are word-aligned, so a full word never straddles one
+/// internally).
+fn runs_from_words(words: &[u64]) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let word_base = (wi * 64) as u32;
+        if w == !0u64 {
+            match out.last_mut() {
+                Some(last)
+                    if last.0 + last.1 == word_base && word_base as usize & CHUNK_MASK != 0 =>
+                {
+                    last.1 += 64
+                }
+                _ => out.push((word_base, 64)),
+            }
+            continue;
+        }
+        let mut x = w;
+        while x != 0 {
+            let e = word_base + x.trailing_zeros();
+            x &= x - 1;
+            match out.last_mut() {
+                Some(last) if last.0 + last.1 == e && e as usize & CHUNK_MASK != 0 => last.1 += 1,
+                _ => out.push((e, 1)),
+            }
+        }
+    }
+    out
+}
+
+/// The payload tag the encoder picks for one chunk's clipped runs, and its
+/// payload bits: the minimum of `32·⌈card/2⌉` (array), `32·nruns` (runs)
+/// and `64·span_words` (bitmap), ties breaking Array ≺ Runs ≺ Bitmap.
+fn container_choice(group: &[(u32, u32)], universe: usize, key: u32) -> (u32, u64) {
+    let card: usize = group.iter().map(|&(_, l)| l as usize).sum();
+    let arr = 32 * card.div_ceil(2) as u64;
+    let run = 32 * group.len() as u64;
+    let bmp = 64 * chunk_span_words(universe, key) as u64;
+    if arr <= run && arr <= bmp {
+        (TAG_ARRAY, arr)
+    } else if run <= bmp {
+        (TAG_RUNS, run)
+    } else {
+        (TAG_BITMAP, bmp)
+    }
+}
+
+/// Measured bits of the chunked encoding of a clipped-run list: 128
+/// metadata bits per container plus the chosen payload.
+fn chunked_cost_bits(clipped: &[(u32, u32)], universe: usize) -> u64 {
+    let mut bits = 0u64;
+    let mut g = 0usize;
+    while g < clipped.len() {
+        let key = clipped[g].0 >> CHUNK_BITS;
+        let mut e = g + 1;
+        while e < clipped.len() && clipped[e].0 >> CHUNK_BITS == key {
+            e += 1;
+        }
+        bits += 32 * CONTAINER_META as u64 + container_choice(&clipped[g..e], universe, key).1;
+        g = e;
+    }
+    bits
+}
+
+/// Mask selecting the bits of word `wi` that fall inside the bit window
+/// `[lo, hi)` (all positions in the same coordinate system as `wi·64`).
+#[inline]
+fn word_window_mask(wi: usize, lo: usize, hi: usize) -> u64 {
+    let (wb, we) = (wi * 64, wi * 64 + 64);
+    let lo = lo.max(wb);
+    let hi = hi.min(we);
+    if lo >= hi {
+        return 0;
+    }
+    (!0u64 << (lo - wb)) & (!0u64 >> (we - hi))
+}
+
+/// Popcount of `words` restricted to the bit range `[lo, hi)`.
+#[inline]
+fn popcount_range(words: &[u64], lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        return 0;
+    }
+    let (wl, wh) = (lo / 64, (hi - 1) / 64);
+    let first = !0u64 << (lo % 64);
+    let last = !0u64 >> (63 - (hi - 1) % 64);
+    if wl == wh {
+        (words[wl] & first & last).count_ones() as usize
+    } else {
+        (words[wl] & first).count_ones() as usize
+            + words[wl + 1..wh]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+            + (words[wh] & last).count_ones() as usize
+    }
+}
+
+/// Sets the bit range `[lo, hi)` of a word slab.
+fn set_bit_range(words: &mut [u64], lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let (wl, wh) = (lo / 64, (hi - 1) / 64);
+    let first = !0u64 << (lo % 64);
+    let last = !0u64 >> (63 - (hi - 1) % 64);
+    if wl == wh {
+        words[wl] |= first & last;
+    } else {
+        words[wl] |= first;
+        for w in &mut words[wl + 1..wh] {
+            *w = !0;
+        }
+        words[wh] |= last;
+    }
+}
+
+/// Clears the bit range `[lo, hi)` of a word slab.
+fn clear_bit_range(words: &mut [u64], lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let (wl, wh) = (lo / 64, (hi - 1) / 64);
+    let first = !0u64 << (lo % 64);
+    let last = !0u64 >> (63 - (hi - 1) % 64);
+    if wl == wh {
+        words[wl] &= !(first & last);
+    } else {
+        words[wl] &= !first;
+        for w in &mut words[wl + 1..wh] {
+            *w = 0;
+        }
+        words[wh] &= !last;
+    }
+}
+
+/// Gain of one chunked view against a residual word slab spanning the
+/// universe: containers dispatch per payload kind, reusing the tier's
+/// kernels on the chunk's word sub-slab.
+fn chunked_vs_words(
+    v: ChunkView<'_>,
+    words: &[u64],
+    sparse_kernel: fn(&[u32], &[u64]) -> usize,
+    dense_kernel: fn(&[u64], &[u64]) -> usize,
+) -> usize {
+    let mut gain = 0;
+    for c in 0..v.ncontainers() {
+        let cont = v.container(c);
+        let wbase = cont.base() / 64;
+        let sub = &words[wbase..wbase + chunk_span_words(v.universe, cont.key)];
+        gain += container_vs_words(cont, sub, sparse_kernel, dense_kernel);
+    }
+    gain
+}
+
+/// Gain of one container against its chunk's word sub-slab.
+fn container_vs_words(
+    c: Container<'_>,
+    sub: &[u64],
+    sparse_kernel: fn(&[u32], &[u64]) -> usize,
+    dense_kernel: fn(&[u64], &[u64]) -> usize,
+) -> usize {
+    match c.tag {
+        TAG_BITMAP => dense_kernel(c.words, sub),
+        TAG_RUNS => (0..c.nruns)
+            .map(|r| {
+                let (s, len) = c.run(r);
+                popcount_range(sub, s as usize, (s + len) as usize)
+            })
+            .sum(),
+        _ => {
+            // Decode chunk-local elements in blocks and reuse the tier's
+            // columnar probe against the sub-slab (locals are < span, so
+            // the unchecked probe stays in bounds).
+            let mut gain = 0;
+            let mut buf = [0u32; 256];
+            let mut i = 0;
+            while i < c.card {
+                let k = (c.card - i).min(256);
+                for (j, slot) in buf[..k].iter_mut().enumerate() {
+                    *slot = c.local(i + j);
+                }
+                gain += sparse_kernel(&buf[..k], sub);
+                i += k;
+            }
+            gain
+        }
+    }
+}
+
+/// `|A ∩ B|` of two chunked views: containers merge by key; aligned pairs
+/// dispatch per payload combination (bitmap×bitmap runs the tier's dense
+/// kernel, array/run × bitmap reuse [`container_vs_words`], the word-free
+/// pairs merge in chunk-local coordinates).
+fn chunked_vs_chunked(
+    a: ChunkView<'_>,
+    b: ChunkView<'_>,
+    sparse_kernel: fn(&[u32], &[u64]) -> usize,
+    dense_kernel: fn(&[u64], &[u64]) -> usize,
+) -> usize {
+    let (mut i, mut j, mut gain) = (0, 0, 0);
+    while i < a.ncontainers() && j < b.ncontainers() {
+        let (ka, kb) = (a.key(i), b.key(j));
+        if ka < kb {
+            i += 1;
+        } else if kb < ka {
+            j += 1;
+        } else {
+            gain +=
+                container_pair_gain(a.container(i), b.container(j), sparse_kernel, dense_kernel);
+            i += 1;
+            j += 1;
+        }
+    }
+    gain
+}
+
+/// `|X ∩ Y|` of two key-aligned containers.
+fn container_pair_gain(
+    x: Container<'_>,
+    y: Container<'_>,
+    sparse_kernel: fn(&[u32], &[u64]) -> usize,
+    dense_kernel: fn(&[u64], &[u64]) -> usize,
+) -> usize {
+    match (x.tag, y.tag) {
+        (TAG_BITMAP, TAG_BITMAP) => dense_kernel(x.words, y.words),
+        (TAG_BITMAP, _) => container_vs_words(y, x.words, sparse_kernel, dense_kernel),
+        (_, TAG_BITMAP) => container_vs_words(x, y.words, sparse_kernel, dense_kernel),
+        (TAG_ARRAY, TAG_ARRAY) => {
+            let (mut p, mut q, mut c) = (0, 0, 0);
+            while p < x.card && q < y.card {
+                let (u, v) = (x.local(p), y.local(q));
+                c += usize::from(u == v);
+                p += usize::from(u <= v);
+                q += usize::from(v <= u);
+            }
+            c
+        }
+        (TAG_ARRAY, TAG_RUNS) => array_vs_runs(x, y),
+        (TAG_RUNS, TAG_ARRAY) => array_vs_runs(y, x),
+        _ => {
+            // runs × runs: interval-overlap walk over disjoint sorted runs.
+            let (mut p, mut q, mut c) = (0, 0, 0);
+            while p < x.nruns && q < y.nruns {
+                let (sa, la) = x.run(p);
+                let (sb, lb) = y.run(q);
+                let lo = sa.max(sb);
+                let hi = (sa + la).min(sb + lb);
+                if hi > lo {
+                    c += (hi - lo) as usize;
+                }
+                if sa + la <= sb + lb {
+                    p += 1;
+                } else {
+                    q += 1;
+                }
+            }
+            c
+        }
+    }
+}
+
+/// `|array ∩ runs|` of two key-aligned containers, chunk-local coordinates.
+fn array_vs_runs(arr: Container<'_>, runs: Container<'_>) -> usize {
+    let (mut p, mut c) = (0, 0);
+    for r in 0..runs.nruns {
+        let (s, len) = runs.run(r);
+        while p < arr.card && arr.local(p) < s {
+            p += 1;
+        }
+        while p < arr.card && arr.local(p) < s + len {
+            c += 1;
+            p += 1;
+        }
+    }
+    c
+}
+
+/// `|chunked ∩ sorted list|`: the list is cursored chunk group by chunk
+/// group (a `partition_point` per container), each group intersecting its
+/// key-aligned container in chunk-local coordinates.
+fn chunked_vs_sorted(v: ChunkView<'_>, elems: &[u32]) -> usize {
+    let (mut ci, mut p, mut gain) = (0, 0, 0);
+    while ci < v.ncontainers() && p < elems.len() {
+        let key = v.key(ci);
+        let ekey = elems[p] >> CHUNK_BITS;
+        if ekey < key {
+            p += elems[p..].partition_point(|&e| e >> CHUNK_BITS < key);
+            continue;
+        }
+        if ekey > key {
+            ci += 1;
+            continue;
+        }
+        let q = p + elems[p..].partition_point(|&e| e >> CHUNK_BITS == ekey);
+        gain += container_vs_group(v.container(ci), &elems[p..q]);
+        p = q;
+        ci += 1;
+    }
+    gain
+}
+
+/// `|container ∩ group|` where `group` is the (absolute) slice of a sorted
+/// list falling inside the container's chunk.
+fn container_vs_group(c: Container<'_>, group: &[u32]) -> usize {
+    match c.tag {
+        TAG_BITMAP => group
+            .iter()
+            .filter(|&&e| {
+                let local = e as usize & CHUNK_MASK;
+                c.words[local / 64] >> (local % 64) & 1 == 1
+            })
+            .count(),
+        TAG_RUNS => {
+            let (mut p, mut gain) = (0, 0);
+            for r in 0..c.nruns {
+                let (s, len) = c.run(r);
+                while p < group.len() && (group[p] as usize & CHUNK_MASK) < s as usize {
+                    p += 1;
+                }
+                while p < group.len() && (group[p] as usize & CHUNK_MASK) < (s + len) as usize {
+                    gain += 1;
+                    p += 1;
+                }
+            }
+            gain
+        }
+        _ => {
+            let (mut p, mut q, mut gain) = (0, 0, 0);
+            while p < c.card && q < group.len() {
+                let (u, v) = (c.local(p), group[q] as usize as u32 & CHUNK_MASK as u32);
+                gain += usize::from(u == v);
+                p += usize::from(u <= v);
+                q += usize::from(v <= u);
+            }
+            gain
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elias–Fano encoding.
+//
+// With `l = ⌊log₂(n/|S|)⌋` low bits per element, element `i` contributes its
+// low `l` bits to a packed array and one unary bit at position
+// `(e_i >> l) + i` of the high bitmap. Every size below derives from
+// `(universe, card)`, so views reconstruct without stored metadata.
+// ---------------------------------------------------------------------------
+
+/// Low bits per element.
+#[inline]
+fn ef_low_bits(universe: usize, card: usize) -> u32 {
+    if card == 0 {
+        return 0;
+    }
+    let q = universe / card;
+    if q <= 1 {
+        0
+    } else {
+        q.ilog2()
+    }
+}
+
+/// Words of the unary high bitmap.
+#[inline]
+fn ef_high_words(universe: usize, card: usize, l: u32) -> usize {
+    if card == 0 {
+        0
+    } else {
+        (card + ((universe - 1) >> l) + 1).div_ceil(64)
+    }
+}
+
+/// Words of the packed low-bits array.
+#[inline]
+fn ef_low_words(card: usize, l: u32) -> usize {
+    (card * l as usize).div_ceil(64)
+}
+
+/// Measured bits of the Elias–Fano encoding (whole arena words).
+#[inline]
+fn ef_cost_bits(universe: usize, card: usize) -> u64 {
+    let l = ef_low_bits(universe, card);
+    64 * (ef_high_words(universe, card, l) + ef_low_words(card, l)) as u64
+}
+
+/// The `i`-th packed low value.
+#[inline]
+fn ef_low(low: &[u64], i: usize, l: u32) -> u64 {
+    if l == 0 {
+        return 0;
+    }
+    let bit = i * l as usize;
+    let (w, b) = (bit / 64, bit % 64);
+    let mut v = low[w] >> b;
+    if b + l as usize > 64 {
+        v |= low[w + 1] << (64 - b);
+    }
+    v & ((1u64 << l) - 1)
+}
+
+/// Borrowed pieces of one Elias–Fano set.
+#[derive(Clone, Copy)]
+struct EfView<'a> {
+    high: &'a [u64],
+    low: &'a [u64],
+    l: u32,
+    card: usize,
+}
+
+impl<'a> EfView<'a> {
+    fn iter(self) -> EfIter<'a> {
+        EfIter {
+            high: self.high,
+            low: self.low,
+            l: self.l,
+            card: self.card,
+            i: 0,
+            word: 0,
+            cur: self.high.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Sequential Elias–Fano decoder: pops high-bitmap ones left to right; the
+/// `i`-th one at bit position `p` decodes to `((p - i) << l) | low(i)`.
+pub struct EfIter<'a> {
+    high: &'a [u64],
+    low: &'a [u64],
+    l: u32,
+    card: usize,
+    i: usize,
+    word: usize,
+    cur: u64,
+}
+
+impl Iterator for EfIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.i == self.card {
+            return None;
+        }
+        // The high bitmap holds exactly `card` ones, so with i < card a set
+        // bit is guaranteed before the slab ends.
+        while self.cur == 0 {
+            self.word += 1;
+            self.cur = self.high[self.word];
+        }
+        let p = self.word * 64 + self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        let e = (p - self.i) << self.l | ef_low(self.low, self.i, self.l) as usize;
+        self.i += 1;
+        Some(e)
+    }
+}
+
+/// Gain of an Elias–Fano view against a residual word slab: decode in
+/// 256-element blocks and reuse the tier's columnar probe.
+fn ef_vs_words(v: EfView<'_>, words: &[u64], sparse_kernel: fn(&[u32], &[u64]) -> usize) -> usize {
+    let mut it = v.iter();
+    let mut buf = [0u32; 256];
+    let mut gain = 0;
+    loop {
+        let mut k = 0;
+        for slot in buf.iter_mut() {
+            match it.next() {
+                Some(e) => {
+                    *slot = e as u32;
+                    k += 1;
+                }
+                None => break,
+            }
+        }
+        if k == 0 {
+            break;
+        }
+        gain += sparse_kernel(&buf[..k], words);
+        if k < buf.len() {
+            break;
+        }
+    }
+    gain
+}
+
+/// `|EF ∩ sorted list|`: sequential decode galloping a cursor through the
+/// list with a `partition_point` per decoded element.
+fn ef_vs_sorted(v: EfView<'_>, elems: &[u32]) -> usize {
+    let (mut p, mut gain) = (0, 0);
+    for e in v.iter() {
+        p += elems[p..].partition_point(|&x| (x as usize) < e);
+        if p == elems.len() {
+            break;
+        }
+        if elems[p] as usize == e {
+            gain += 1;
+            p += 1;
+        }
+    }
+    gain
+}
+
+/// `|A ∩ B|` of two Elias–Fano views: a sequential merge of the two
+/// decoders.
+fn ef_vs_ef(a: EfView<'_>, b: EfView<'_>) -> usize {
+    let (mut ia, mut ib) = (a.iter(), b.iter());
+    let (mut x, mut y) = (ia.next(), ib.next());
+    let mut gain = 0;
+    while let (Some(u), Some(v)) = (x, y) {
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => x = ia.next(),
+            std::cmp::Ordering::Greater => y = ib.next(),
+            std::cmp::Ordering::Equal => {
+                gain += 1;
+                x = ia.next();
+                y = ib.next();
+            }
+        }
+    }
+    gain
+}
+
+/// A borrowed, `Copy` view of one stored set — any backend.
 ///
 /// Binary operations dispatch to representation-specialized kernels:
 /// merge-walk for sparse×sparse, word ops for dense×dense, probing for the
@@ -996,6 +2097,34 @@ pub enum SetRef<'a> {
         /// (e.g. [`BitSet::as_set_ref`]).
         card: usize,
     },
+    /// Roaring-style chunked containers (2^16-element chunks, each
+    /// independently array / bitmap / run encoded).
+    Chunked {
+        /// 4 `u32` words per container: `[key, tag | nruns«8, card, off]`.
+        meta: &'a [u32],
+        /// Array and run payloads (offsets in `meta` index into this).
+        data32: &'a [u32],
+        /// Bitmap payloads (offsets in `meta` index into this).
+        data64: &'a [u64],
+        /// Universe size `n`.
+        universe: usize,
+        /// Total cardinality across containers.
+        card: usize,
+    },
+    /// Elias–Fano monotone-list encoding (unary high bitmap + packed low
+    /// bits); all sizes derive from `(universe, card)`.
+    EliasFano {
+        /// Unary high bitmap: one set bit per element at `(e >> l) + i`.
+        high: &'a [u64],
+        /// Packed low bits, `low_bits` per element.
+        low: &'a [u64],
+        /// Low bits per element `l`.
+        low_bits: u32,
+        /// Universe size `n`.
+        universe: usize,
+        /// Cardinality.
+        card: usize,
+    },
 }
 
 /// Sentinel cardinality for dense views built without a popcount (resolved
@@ -1007,7 +2136,10 @@ impl<'a> SetRef<'a> {
     #[inline]
     pub fn universe(self) -> usize {
         match self {
-            SetRef::Sparse { universe, .. } | SetRef::Dense { universe, .. } => universe,
+            SetRef::Sparse { universe, .. }
+            | SetRef::Dense { universe, .. }
+            | SetRef::Chunked { universe, .. }
+            | SetRef::EliasFano { universe, .. } => universe,
         }
     }
 
@@ -1017,6 +2149,8 @@ impl<'a> SetRef<'a> {
         match self {
             SetRef::Sparse { .. } => SetRepr::Sparse,
             SetRef::Dense { .. } => SetRepr::Dense,
+            SetRef::Chunked { .. } => SetRepr::Chunked,
+            SetRef::EliasFano { .. } => SetRepr::EliasFano,
         }
     }
 
@@ -1032,6 +2166,7 @@ impl<'a> SetRef<'a> {
                     card
                 }
             }
+            SetRef::Chunked { card, .. } | SetRef::EliasFano { card, .. } => card,
         }
     }
 
@@ -1046,6 +2181,47 @@ impl<'a> SetRef<'a> {
                     card == 0
                 }
             }
+            SetRef::Chunked { card, .. } | SetRef::EliasFano { card, .. } => card == 0,
+        }
+    }
+
+    /// The container pieces of a [`SetRef::Chunked`] view.
+    #[inline]
+    fn chunk_pieces(self) -> ChunkView<'a> {
+        match self {
+            SetRef::Chunked {
+                meta,
+                data32,
+                data64,
+                universe,
+                ..
+            } => ChunkView {
+                meta,
+                data32,
+                data64,
+                universe,
+            },
+            _ => unreachable!("chunk_pieces on a non-chunked view"),
+        }
+    }
+
+    /// The decoder pieces of a [`SetRef::EliasFano`] view.
+    #[inline]
+    fn ef_pieces(self) -> EfView<'a> {
+        match self {
+            SetRef::EliasFano {
+                high,
+                low,
+                low_bits,
+                card,
+                ..
+            } => EfView {
+                high,
+                low,
+                l: low_bits,
+                card,
+            },
+            _ => unreachable!("ef_pieces on a non-EF view"),
         }
     }
 
@@ -1057,6 +2233,57 @@ impl<'a> SetRef<'a> {
             SetRef::Dense {
                 words, universe, ..
             } => e < universe && words[e / 64] >> (e % 64) & 1 == 1,
+            SetRef::Chunked { universe, .. } => {
+                if e >= universe {
+                    return false;
+                }
+                let v = self.chunk_pieces();
+                let key = (e >> CHUNK_BITS) as u32;
+                let (mut lo, mut hi) = (0, v.ncontainers());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if v.key(mid) < key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo == v.ncontainers() || v.key(lo) != key {
+                    return false;
+                }
+                let cont = v.container(lo);
+                let local = (e & CHUNK_MASK) as u32;
+                match cont.tag {
+                    TAG_BITMAP => cont.words[local as usize / 64] >> (local % 64) & 1 == 1,
+                    TAG_RUNS => (0..cont.nruns).any(|r| {
+                        let (s, len) = cont.run(r);
+                        (s..s + len).contains(&local)
+                    }),
+                    _ => {
+                        let (mut a, mut b) = (0, cont.card);
+                        while a < b {
+                            let m = a + (b - a) / 2;
+                            if cont.local(m) < local {
+                                a = m + 1;
+                            } else {
+                                b = m;
+                            }
+                        }
+                        a < cont.card && cont.local(a) == local
+                    }
+                }
+            }
+            // EF has no random access without a select structure: scan the
+            // decoder with a monotone early exit. Fine for tests and the
+            // occasional probe; hot paths use the sequential kernels.
+            SetRef::EliasFano { .. } => {
+                for x in self.ef_pieces().iter() {
+                    if x >= e {
+                        return x == e;
+                    }
+                }
+                false
+            }
         }
     }
 
@@ -1069,6 +2296,12 @@ impl<'a> SetRef<'a> {
                 word_idx: 0,
                 current: words.first().copied().unwrap_or(0),
             },
+            SetRef::Chunked { .. } => SetRefIter::Chunked(ChunkedIter {
+                view: self.chunk_pieces(),
+                ci: 0,
+                cursor: None,
+            }),
+            SetRef::EliasFano { .. } => SetRefIter::EliasFano(self.ef_pieces().iter()),
         }
     }
 
@@ -1086,6 +2319,9 @@ impl<'a> SetRef<'a> {
             SetRef::Dense {
                 words, universe, ..
             } => BitSet::from_words(universe, words),
+            SetRef::Chunked { universe, .. } | SetRef::EliasFano { universe, .. } => {
+                BitSet::from_iter(universe, self.iter())
+            }
         }
     }
 
@@ -1123,6 +2359,46 @@ impl<'a> SetRef<'a> {
                     "sparse element out of the dense universe"
                 );
                 sparse_sweep_kernel_for(tier)(elems, words)
+            }
+            // Compressed hot pairs stay decode-free: containers dispatch
+            // against word sub-slabs / sorted groups, EF decodes are
+            // sequential merges. The tier's sparse/dense kernels do the
+            // inner counting, so AVX2/AVX-512 still apply.
+            (c @ SetRef::Chunked { .. }, d @ SetRef::Chunked { .. }) => chunked_vs_chunked(
+                c.chunk_pieces(),
+                d.chunk_pieces(),
+                sparse_sweep_kernel_for(tier),
+                dense_sweep_kernel_for(tier),
+            ),
+            (c @ SetRef::Chunked { .. }, SetRef::Dense { words, .. })
+            | (SetRef::Dense { words, .. }, c @ SetRef::Chunked { .. }) => chunked_vs_words(
+                c.chunk_pieces(),
+                words,
+                sparse_sweep_kernel_for(tier),
+                dense_sweep_kernel_for(tier),
+            ),
+            (c @ SetRef::Chunked { .. }, SetRef::Sparse { elems, .. })
+            | (SetRef::Sparse { elems, .. }, c @ SetRef::Chunked { .. }) => {
+                chunked_vs_sorted(c.chunk_pieces(), elems)
+            }
+            (a @ SetRef::EliasFano { .. }, b @ SetRef::EliasFano { .. }) => {
+                ef_vs_ef(a.ef_pieces(), b.ef_pieces())
+            }
+            (e @ SetRef::EliasFano { .. }, SetRef::Dense { words, .. })
+            | (SetRef::Dense { words, .. }, e @ SetRef::EliasFano { .. }) => {
+                ef_vs_words(e.ef_pieces(), words, sparse_sweep_kernel_for(tier))
+            }
+            (e @ SetRef::EliasFano { .. }, SetRef::Sparse { elems, .. })
+            | (SetRef::Sparse { elems, .. }, e @ SetRef::EliasFano { .. }) => {
+                ef_vs_sorted(e.ef_pieces(), elems)
+            }
+            // The long-tail pair: decode the EF side to scratch once, then
+            // run the chunked×sorted path (documented decode-to-scratch
+            // fallback).
+            (c @ SetRef::Chunked { .. }, e @ SetRef::EliasFano { .. })
+            | (e @ SetRef::EliasFano { .. }, c @ SetRef::Chunked { .. }) => {
+                let scratch: Vec<u32> = e.ef_pieces().iter().map(|x| x as u32).collect();
+                chunked_vs_sorted(c.chunk_pieces(), &scratch)
             }
         }
     }
@@ -1172,6 +2448,11 @@ impl<'a> SetRef<'a> {
             | (SetRef::Dense { words, .. }, SetRef::Sparse { elems, .. }) => elems
                 .iter()
                 .all(|&e| words[e as usize / 64] >> (e % 64) & 1 == 0),
+            // Compressed pairs: the counting kernels already early-exit per
+            // container / per merge step internally at worst linearly; an
+            // exact-zero check through them is correct if not maximally
+            // lazy.
+            _ => self.intersection_len(other) == 0,
         }
     }
 
@@ -1227,6 +2508,11 @@ impl<'a> SetRef<'a> {
                 }
                 out
             }
+            SetRef::Chunked { .. } | SetRef::EliasFano { .. } => self
+                .iter()
+                .filter(|&e| domain.contains(e))
+                .map(|e| e as u32)
+                .collect(),
         }
     }
 
@@ -1242,11 +2528,118 @@ impl<'a> SetRef<'a> {
     }
 
     /// Bits the *actual* representation costs — the accounting rule the
-    /// refactored `SpaceMeter` call sites charge.
+    /// refactored `SpaceMeter` call sites charge. For the compressed
+    /// backends this is *measured* encoded size (every arena word the
+    /// encoding occupies), not a model.
     pub fn stored_bits(self) -> u64 {
-        match self.repr() {
-            SetRepr::Sparse => self.stored_bits_sparse(),
-            SetRepr::Dense => self.stored_bits_dense(),
+        match self {
+            SetRef::Sparse { .. } => self.stored_bits_sparse(),
+            SetRef::Dense { .. } => self.stored_bits_dense(),
+            SetRef::Chunked {
+                meta,
+                data32,
+                data64,
+                ..
+            } => 32 * (meta.len() + data32.len()) as u64 + 64 * data64.len() as u64,
+            SetRef::EliasFano { high, low, .. } => 64 * (high.len() + low.len()) as u64,
+        }
+    }
+
+    /// `|self ∩ words[wlo..whi]|` where `words` is a universe-spanning
+    /// residual slab and the window is a word range — the primitive the
+    /// parallel pass block-partitions gains over. Every backend clips to
+    /// the window without materializing.
+    pub fn intersection_len_in_words(self, words: &[u64], wlo: usize, whi: usize) -> usize {
+        match self {
+            SetRef::Sparse { elems, .. } => {
+                let lo = elems.partition_point(|&e| (e as usize) < wlo * 64);
+                let hi = elems.partition_point(|&e| (e as usize) < whi * 64);
+                elems[lo..hi]
+                    .iter()
+                    .filter(|&&e| words[e as usize / 64] >> (e % 64) & 1 == 1)
+                    .count()
+            }
+            SetRef::Dense { words: sw, .. } => {
+                let hi = whi.min(sw.len()).min(words.len());
+                if wlo >= hi {
+                    return 0;
+                }
+                sw[wlo..hi]
+                    .iter()
+                    .zip(&words[wlo..hi])
+                    .map(|(a, b)| (a & b).count_ones() as usize)
+                    .sum()
+            }
+            SetRef::Chunked { .. } => {
+                let v = self.chunk_pieces();
+                let (blo, bhi) = (wlo * 64, whi * 64);
+                let mut gain = 0;
+                for ci in 0..v.ncontainers() {
+                    let key = v.key(ci);
+                    let base = (key as usize) << CHUNK_BITS;
+                    let span = chunk_span(v.universe, key);
+                    if base >= bhi {
+                        break;
+                    }
+                    if base + span <= blo {
+                        continue;
+                    }
+                    let c = v.container(ci);
+                    // Window clipped to this chunk, in chunk-local bits.
+                    let clo = blo.saturating_sub(base);
+                    let chi = (bhi - base).min(span);
+                    let wbase = base / 64;
+                    gain += match c.tag {
+                        TAG_BITMAP => {
+                            let sub = &words[wbase..wbase + c.words.len()];
+                            if clo == 0 && chi == span {
+                                dense_and_popcount(c.words, sub)
+                            } else {
+                                c.words
+                                    .iter()
+                                    .zip(sub)
+                                    .enumerate()
+                                    .map(|(wi, (a, b))| {
+                                        let m = word_window_mask(wi, clo, chi);
+                                        (a & b & m).count_ones() as usize
+                                    })
+                                    .sum()
+                            }
+                        }
+                        TAG_RUNS => (0..c.nruns)
+                            .map(|r| {
+                                let (s, len) = c.run(r);
+                                let lo = (s as usize).max(clo);
+                                let hi = ((s + len) as usize).min(chi);
+                                popcount_range(words, base + lo.min(hi), base + hi)
+                            })
+                            .sum(),
+                        _ => (0..c.card)
+                            .map(|i| c.local(i) as usize)
+                            .skip_while(|&l| l < clo)
+                            .take_while(|&l| l < chi)
+                            .filter(|&l| {
+                                let e = base + l;
+                                words[e / 64] >> (e % 64) & 1 == 1
+                            })
+                            .count(),
+                    };
+                }
+                gain
+            }
+            SetRef::EliasFano { .. } => {
+                let (blo, bhi) = (wlo * 64, whi * 64);
+                let mut gain = 0;
+                for e in self.ef_pieces().iter() {
+                    if e >= bhi {
+                        break;
+                    }
+                    if e >= blo && words[e / 64] >> (e % 64) & 1 == 1 {
+                        gain += 1;
+                    }
+                }
+                gain
+            }
         }
     }
 
@@ -1395,6 +2788,90 @@ pub enum SetRefIter<'a> {
         /// Remaining bits of the current word.
         current: u64,
     },
+    /// Walks containers in key order, decoding each per its payload tag.
+    Chunked(ChunkedIter<'a>),
+    /// Sequential Elias–Fano decode.
+    EliasFano(EfIter<'a>),
+}
+
+/// Container-by-container decoder behind [`SetRefIter::Chunked`].
+pub struct ChunkedIter<'a> {
+    view: ChunkView<'a>,
+    ci: usize,
+    cursor: Option<ChunkCursor>,
+}
+
+/// Decode position inside one container.
+#[derive(Clone, Copy)]
+enum ChunkCursor {
+    /// Next array index.
+    Array(usize),
+    /// Current run index and offset inside it.
+    Runs(usize, u32),
+    /// Current bitmap word index and its remaining bits.
+    Bitmap(usize, u64),
+}
+
+impl Iterator for ChunkedIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.ci >= self.view.ncontainers() {
+                return None;
+            }
+            let c = self.view.container(self.ci);
+            let state = self.cursor.get_or_insert_with(|| match c.tag {
+                TAG_RUNS => ChunkCursor::Runs(0, 0),
+                TAG_BITMAP => ChunkCursor::Bitmap(0, c.words.first().copied().unwrap_or(0)),
+                _ => ChunkCursor::Array(0),
+            });
+            let local = match state {
+                ChunkCursor::Array(i) => {
+                    if *i < c.card {
+                        let l = c.local(*i);
+                        *i += 1;
+                        Some(l as usize)
+                    } else {
+                        None
+                    }
+                }
+                ChunkCursor::Runs(r, off) => {
+                    if *r < c.nruns {
+                        let (s, len) = c.run(*r);
+                        let l = s + *off;
+                        *off += 1;
+                        if *off == len {
+                            *r += 1;
+                            *off = 0;
+                        }
+                        Some(l as usize)
+                    } else {
+                        None
+                    }
+                }
+                ChunkCursor::Bitmap(w, cur) => loop {
+                    if *cur != 0 {
+                        let l = *w * 64 + cur.trailing_zeros() as usize;
+                        *cur &= *cur - 1;
+                        break Some(l);
+                    }
+                    *w += 1;
+                    if *w >= c.words.len() {
+                        break None;
+                    }
+                    *cur = c.words[*w];
+                },
+            };
+            match local {
+                Some(l) => return Some(c.base() + l),
+                None => {
+                    self.ci += 1;
+                    self.cursor = None;
+                }
+            }
+        }
+    }
 }
 
 impl Iterator for SetRefIter<'_> {
@@ -1419,6 +2896,8 @@ impl Iterator for SetRefIter<'_> {
                 *current &= *current - 1;
                 Some(*word_idx * 64 + bit)
             }
+            SetRefIter::Chunked(it) => it.next(),
+            SetRefIter::EliasFano(it) => it.next(),
         }
     }
 }
@@ -1471,6 +2950,8 @@ impl fmt::Debug for SetRef<'_> {
         let tag = match self.repr() {
             SetRepr::Sparse => "sparse",
             SetRepr::Dense => "dense",
+            SetRepr::Chunked => "chunked",
+            SetRepr::EliasFano => "ef",
         };
         write!(f, "SetRef<{tag}>[{}]{{", self.universe())?;
         for (i, e) in self.iter().enumerate() {
@@ -1504,6 +2985,41 @@ impl BitSet {
                     *a |= b;
                 }
             }
+            SetRef::Chunked { .. } => {
+                let v = r.chunk_pieces();
+                for ci in 0..v.ncontainers() {
+                    let c = v.container(ci);
+                    let base = c.base();
+                    match c.tag {
+                        TAG_BITMAP => {
+                            let wbase = base / 64;
+                            for (wi, &w) in c.words.iter().enumerate() {
+                                self.words_mut()[wbase + wi] |= w;
+                            }
+                        }
+                        TAG_RUNS => {
+                            for rn in 0..c.nruns {
+                                let (s, len) = c.run(rn);
+                                set_bit_range(
+                                    self.words_mut(),
+                                    base + s as usize,
+                                    base + (s + len) as usize,
+                                );
+                            }
+                        }
+                        _ => {
+                            for i in 0..c.card {
+                                self.insert(base + c.local(i) as usize);
+                            }
+                        }
+                    }
+                }
+            }
+            SetRef::EliasFano { .. } => {
+                for e in r.iter() {
+                    self.insert(e);
+                }
+            }
         }
     }
 
@@ -1519,6 +3035,41 @@ impl BitSet {
             SetRef::Dense { words, .. } => {
                 for (a, b) in self.words_mut().iter_mut().zip(words) {
                     *a &= !b;
+                }
+            }
+            SetRef::Chunked { .. } => {
+                let v = r.chunk_pieces();
+                for ci in 0..v.ncontainers() {
+                    let c = v.container(ci);
+                    let base = c.base();
+                    match c.tag {
+                        TAG_BITMAP => {
+                            let wbase = base / 64;
+                            for (wi, &w) in c.words.iter().enumerate() {
+                                self.words_mut()[wbase + wi] &= !w;
+                            }
+                        }
+                        TAG_RUNS => {
+                            for rn in 0..c.nruns {
+                                let (s, len) = c.run(rn);
+                                clear_bit_range(
+                                    self.words_mut(),
+                                    base + s as usize,
+                                    base + (s + len) as usize,
+                                );
+                            }
+                        }
+                        _ => {
+                            for i in 0..c.card {
+                                self.remove(base + c.local(i) as usize);
+                            }
+                        }
+                    }
+                }
+            }
+            SetRef::EliasFano { .. } => {
+                for e in r.iter() {
+                    self.remove(e);
                 }
             }
         }
@@ -1556,7 +3107,7 @@ mod tests {
         st.push_sorted(&(0..11).collect::<Vec<u32>>());
         assert_eq!(st.get(0).repr(), SetRepr::Sparse);
         assert_eq!(st.get(1).repr(), SetRepr::Dense);
-        assert_eq!(st.repr_counts(), (1, 1));
+        assert_eq!(st.repr_counts(), [1, 1, 0, 0]);
     }
 
     #[test]
@@ -1639,17 +3190,19 @@ mod tests {
 
     #[test]
     fn stored_bits_accounting_rules() {
-        // n = 1024 ⇒ 10 bits/element.
+        // n = 1024 ⇒ 10 bits/element. Every other element is incompressible
+        // structure: runs are singletons, EF needs 1536 bits, a chunked
+        // bitmap 1152 — the plain 1024-bit bitmap wins the measured argmin.
         let mut st = SetStore::new(1024);
         st.push_sorted(&[0, 1, 2, 3]); // sparse: 40 bits
-        st.push_sorted(&(0..200).collect::<Vec<u32>>()); // dense: 1024 bits
+        st.push_sorted(&(0..1024).step_by(2).collect::<Vec<u32>>()); // dense
         assert_eq!(st.get(0).repr(), SetRepr::Sparse);
         assert_eq!(st.get(0).stored_bits(), 40);
         assert_eq!(st.get(1).repr(), SetRepr::Dense);
         assert_eq!(st.get(1).stored_bits(), 1024);
-        assert_eq!(st.get(1).stored_bits_sparse(), 2000);
+        assert_eq!(st.get(1).stored_bits_sparse(), 5120);
         assert_eq!(st.stored_bits(), 40 + 1024);
-        assert_eq!(st.total_incidences(), 204);
+        assert_eq!(st.total_incidences(), 516);
     }
 
     #[test]
@@ -1659,7 +3212,7 @@ mod tests {
         // not make the store look cheaper until compact() reclaims them.
         let mut st = SetStore::new(1024);
         st.push_sorted(&[0, 1, 2, 3]); // sparse: 40 bits
-        st.push_sorted(&(0..200).collect::<Vec<u32>>()); // dense: 1024 bits
+        st.push_sorted(&(0..1024).step_by(2).collect::<Vec<u32>>()); // dense
         st.push_sorted(&[7, 9]); // sparse: 20 bits
         let before = st.stored_bits();
         assert_eq!(before, 40 + 1024 + 20);
@@ -1969,6 +3522,220 @@ mod tests {
             let _ = BatchedSweep::with_tier(KernelTier::Avx512);
         } else {
             panic!("kernel tier avx512 not supported on this CPU (synthetic)");
+        }
+    }
+
+    /// A mixed-texture element list exercising all three container kinds in
+    /// one chunked set: a long run (run container), a scattered tail
+    /// (array container), and a half-full stretch (bitmap container).
+    fn mixed_texture(n: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..3000).collect(); // chunk 0: run
+        v.extend((CHUNK as u32..CHUNK as u32 + 4000).step_by(2)); // chunk 1: dense-ish scatter
+        v.extend((2 * CHUNK as u32..n).step_by(997)); // tail chunks: sparse arrays
+        v
+    }
+
+    #[test]
+    fn chunked_and_ef_round_trip() {
+        let n = 5 * CHUNK + 1234;
+        let elems = mixed_texture(n as u32);
+        for policy in [ReprPolicy::ForceChunked, ReprPolicy::ForceEliasFano] {
+            let st = store_with(policy, n, &[&elems]);
+            let s = st.get(0);
+            assert_eq!(
+                s.repr(),
+                match policy {
+                    ReprPolicy::ForceChunked => SetRepr::Chunked,
+                    _ => SetRepr::EliasFano,
+                }
+            );
+            assert_eq!(s.len(), elems.len());
+            assert_eq!(
+                s.to_vec(),
+                elems.iter().map(|&e| e as usize).collect::<Vec<_>>(),
+                "{policy:?} decode round-trip"
+            );
+            for &e in &[0u32, 2999, 3000, elems[elems.len() - 1]] {
+                assert!(s.contains(e as usize) == elems.binary_search(&e).is_ok());
+            }
+            assert!(!s.contains(n), "out-of-universe probe");
+        }
+    }
+
+    #[test]
+    fn push_runs_equals_push_sorted() {
+        // The run-native emitter must produce byte-identical descriptors to
+        // the element-list path for the same set, under every policy.
+        let n = 3 * CHUNK;
+        let runs: &[(u32, u32)] = &[
+            (0, 5000),                     // crosses nothing, long run
+            (CHUNK as u32 - 10, 20),       // straddles the chunk 0/1 boundary
+            (2 * CHUNK as u32 + 100, 1),   // singleton
+            (2 * CHUNK as u32 + 200, 300), // mid-chunk run
+        ];
+        let elems: Vec<u32> = runs.iter().flat_map(|&(s, l)| s..s + l).collect();
+        for policy in [
+            ReprPolicy::Auto,
+            ReprPolicy::ForceSparse,
+            ReprPolicy::ForceDense,
+            ReprPolicy::ForceChunked,
+            ReprPolicy::ForceEliasFano,
+        ] {
+            let mut a = SetStore::with_policy(n, policy);
+            a.push_runs(runs);
+            let b = store_with(policy, n, &[&elems]);
+            assert_eq!(a.get(0).repr(), b.get(0).repr(), "{policy:?}");
+            assert_eq!(a.get(0), b.get(0), "{policy:?}");
+            assert_eq!(a.stored_bits(), b.stored_bits(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn push_runs_merges_adjacent_and_validates() {
+        let mut st = SetStore::with_policy(CHUNK, ReprPolicy::ForceChunked);
+        // Adjacent runs merge into one maximal run (canonical form).
+        st.push_runs(&[(0, 10), (10, 10)]);
+        let mut other = SetStore::with_policy(CHUNK, ReprPolicy::ForceChunked);
+        other.push_runs(&[(0, 20)]);
+        assert_eq!(st.stored_bits(), other.stored_bits());
+        assert_eq!(st.get(0), other.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps or precedes its predecessor")]
+    fn push_runs_rejects_overlap() {
+        let mut st = SetStore::new(1024);
+        st.push_runs(&[(0, 10), (5, 10)]);
+    }
+
+    #[test]
+    fn auto_prefers_smallest_measured_encoding() {
+        // One long run over a large universe: chunked run container (160
+        // bits/chunk) beats sparse, dense, and EF by orders of magnitude.
+        let n = 593 * 64; // ragged vs CHUNK on purpose
+        let mut st = SetStore::new(n);
+        st.push_sorted(&(100..137).collect::<Vec<u32>>());
+        assert_eq!(st.get(0).repr(), SetRepr::Chunked);
+        assert_eq!(st.get(0).stored_bits(), 160, "meta 128 + one run word 32");
+        // Scattered far-apart elements: EF beats the 32-bit sparse list.
+        let mut st = SetStore::new(1 << 22);
+        let scattered: Vec<u32> = (0..4096).map(|i| i * 1024 + (i % 7)).collect();
+        st.push_sorted(&scattered);
+        assert_eq!(st.get(0).repr(), SetRepr::EliasFano);
+        let s = st.get(0);
+        assert!(
+            s.stored_bits() < s.stored_bits_sparse() && s.stored_bits() < s.stored_bits_dense(),
+            "EF measured {} vs sparse model {} / dense model {}",
+            s.stored_bits(),
+            s.stored_bits_sparse(),
+            s.stored_bits_dense()
+        );
+        // Auto never exceeds any forcing (measured == charged argmin).
+        let elems = mixed_texture((1 << 18) as u32);
+        for policy in [
+            ReprPolicy::ForceSparse,
+            ReprPolicy::ForceDense,
+            ReprPolicy::ForceChunked,
+            ReprPolicy::ForceEliasFano,
+        ] {
+            let auto = store_with(ReprPolicy::Auto, 1 << 18, &[&elems]);
+            let forced = store_with(policy, 1 << 18, &[&elems]);
+            assert!(
+                auto.stored_bits() <= forced.stored_bits(),
+                "auto {} > {policy:?} {}",
+                auto.stored_bits(),
+                forced.stored_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn live_bits_counter_matches_rescan() {
+        // Satellite pin: the O(1) counters must equal a full descriptor
+        // rescan after every mutation kind (push × 4 reprs, push_runs,
+        // push_ref, remove, compact).
+        let rescan = |st: &SetStore| -> u64 {
+            (0..st.len())
+                .filter(|&i| !st.is_tombstoned(i))
+                .map(|i| st.get(i).stored_bits())
+                .sum()
+        };
+        let n = 2 * CHUNK;
+        let mut st = SetStore::new(n);
+        st.push_sorted(&[1, 2, 3]);
+        st.push_sorted(&(0..(n as u32)).step_by(2).collect::<Vec<u32>>());
+        st.push_sorted(&(500..9000).collect::<Vec<u32>>());
+        st.push_runs(&[(40000, 2000), (70000, 9)]);
+        let src = store_with(ReprPolicy::ForceEliasFano, n, &[&[7, 9000, 65000]]);
+        st.push_ref(src.get(0));
+        assert_eq!(st.stored_bits(), rescan(&st), "after pushes");
+        st.remove(1);
+        st.remove(3);
+        assert_eq!(
+            st.stored_bits(),
+            rescan(&st) + st.tombstone_bits(),
+            "tombstones stay charged"
+        );
+        st.compact();
+        assert_eq!(st.stored_bits(), rescan(&st), "after compaction");
+        assert_eq!(st.tombstone_bits(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_compressed_reprs() {
+        let n = 4 * CHUNK;
+        let elems = mixed_texture(n as u32);
+        let mut st = SetStore::new(n);
+        let chunked_src = store_with(ReprPolicy::ForceChunked, n, &[&elems]);
+        let ef_src = store_with(ReprPolicy::ForceEliasFano, n, &[&elems]);
+        st.push_ref(chunked_src.get(0));
+        st.push_sorted(&[3, 5]);
+        st.push_ref(ef_src.get(0));
+        st.remove(1);
+        let before_chunked = st.get(0).stored_bits();
+        let before_ef = st.get(2).stored_bits();
+        let map = st.compact();
+        assert_eq!(st.len(), 2);
+        let c = st.get(map.new_id(0).unwrap());
+        let e = st.get(map.new_id(2).unwrap());
+        assert_eq!(c.repr(), SetRepr::Chunked, "chunked survives verbatim");
+        assert_eq!(e.repr(), SetRepr::EliasFano, "EF survives verbatim");
+        assert_eq!(c.stored_bits(), before_chunked);
+        assert_eq!(e.stored_bits(), before_ef);
+        assert_eq!(c, chunked_src.get(0));
+        assert_eq!(e, ef_src.get(0));
+    }
+
+    #[test]
+    fn window_kernel_matches_full_kernel() {
+        // intersection_len_in_words over a partition of the slab must sum
+        // to the unwindowed intersection, for every backend.
+        let n = 3 * CHUNK + 777;
+        let elems = mixed_texture(n as u32);
+        let residual = BitSet::from_iter(n, (0..n).filter(|e| e % 3 != 1));
+        let words = residual.words();
+        let expect = elems
+            .iter()
+            .filter(|&&e| residual.contains(e as usize))
+            .count();
+        for policy in [
+            ReprPolicy::ForceSparse,
+            ReprPolicy::ForceDense,
+            ReprPolicy::ForceChunked,
+            ReprPolicy::ForceEliasFano,
+        ] {
+            let st = store_with(policy, n, &[&elems]);
+            let s = st.get(0);
+            for block in [1usize, 7, 64, 1000, 4096, words.len()] {
+                let mut total = 0;
+                let mut wlo = 0;
+                while wlo < words.len() {
+                    let whi = (wlo + block).min(words.len());
+                    total += s.intersection_len_in_words(words, wlo, whi);
+                    wlo = whi;
+                }
+                assert_eq!(total, expect, "{policy:?}, block {block}");
+            }
         }
     }
 }

@@ -84,6 +84,17 @@ impl SetSystem {
         self.store.push_sorted(elems)
     }
 
+    /// Appends a set given as sorted disjoint `(start, len)` runs — the
+    /// run-native emitter path for huge-universe catalogs (no per-element
+    /// list is ever materialized; see [`SetStore::push_runs`]).
+    ///
+    /// # Panics
+    /// Panics if runs are empty, unsorted, overlapping, or out of universe.
+    pub fn push_runs(&mut self, runs: &[(u32, u32)]) -> SetId {
+        self.epoch += 1;
+        self.store.push_runs(runs)
+    }
+
     /// Appends a set from an arbitrary element iterator (sorted and
     /// deduplicated internally).
     pub fn push_elems(&mut self, elems: impl IntoIterator<Item = usize>) -> SetId {
@@ -206,13 +217,15 @@ impl SetSystem {
         &self.store
     }
 
-    /// `(sparse, dense)` counts of stored representations.
-    pub fn repr_counts(&self) -> (usize, usize) {
+    /// `[sparse, dense, chunked, elias_fano]` counts of stored
+    /// representations.
+    pub fn repr_counts(&self) -> [usize; 4] {
         self.store.repr_counts()
     }
 
     /// Sum over sets of the bits the actual representation costs under the
-    /// paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense).
+    /// paper's accounting (`|S|·⌈log₂ n⌉` sparse, `n` dense, measured
+    /// encoded size for the compressed backends).
     pub fn stored_bits(&self) -> u64 {
         self.store.stored_bits()
     }
@@ -383,10 +396,10 @@ impl Eq for SetSystem {}
 
 impl fmt::Debug for SetSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (sp, de) = self.repr_counts();
+        let [sp, de, ch, ef] = self.repr_counts();
         write!(
             f,
-            "SetSystem{{n={}, m={}, sparse={sp}, dense={de}}}",
+            "SetSystem{{n={}, m={}, sparse={sp}, dense={de}, chunked={ch}, ef={ef}}}",
             self.universe(),
             self.len()
         )
@@ -552,7 +565,7 @@ mod tests {
         // Auto: ⌈log₂ 64⌉ = 6 ⇒ size-3 set sparse (18 ≤ 64), size-60 dense.
         assert_eq!(auto.set(0).repr(), SetRepr::Sparse);
         assert_eq!(auto.set(1).repr(), SetRepr::Dense);
-        assert_eq!(sparse.repr_counts(), (2, 0));
+        assert_eq!(sparse.repr_counts(), [2, 0, 0, 0]);
         // Semantic equality holds across policies.
         assert_eq!(auto, sparse);
     }

@@ -2,11 +2,11 @@
 //! must agree bit-for-bit across the storage backends.
 //!
 //! Strategy: generate random element lists over random universes, build the
-//! same system three ways — forced-sparse arena, forced-dense arena, and
-//! the auto-cutover arena — plus reference `BitSet`s, and check that every
-//! operation ([`SetRef`] kernels, system-level aggregates, the `BitSet`
-//! mutation kernels) produces identical results no matter which backend
-//! either operand lives in.
+//! same system five ways — one arena per forced representation (sparse,
+//! dense, chunked, Elias–Fano) plus the auto-cutover arena — and reference
+//! `BitSet`s, then check that every operation ([`SetRef`] kernels,
+//! system-level aggregates, the `BitSet` mutation kernels) produces
+//! identical results no matter which backend either operand lives in.
 //!
 //! The check bodies live in plain helper functions returning
 //! `Result<_, TestCaseError>`, and each `proptest!` argument is a single
@@ -15,7 +15,16 @@
 
 use proptest::prelude::*;
 use proptest::TestCaseError;
-use streamcover_core::{BitSet, KernelTier, ReprPolicy, SetSystem};
+use streamcover_core::{BitSet, KernelTier, ReprPolicy, SetRepr, SetSystem};
+
+/// Every storage policy: the four forcings plus auto-cutover.
+const POLICIES: [ReprPolicy; 5] = [
+    ReprPolicy::ForceSparse,
+    ReprPolicy::ForceDense,
+    ReprPolicy::ForceChunked,
+    ReprPolicy::ForceEliasFano,
+    ReprPolicy::Auto,
+];
 
 /// A universe plus random element lists (possibly with duplicates — the
 /// construction paths must canonicalize identically).
@@ -43,11 +52,8 @@ fn reference_bitsets(n: usize, lists: &[Vec<usize>]) -> Vec<BitSet> {
 
 fn check_pairwise_algebra(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
     {
-        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
-        let dense = build(n, &lists, ReprPolicy::ForceDense);
-        let auto = build(n, &lists, ReprPolicy::Auto);
+        let systems: Vec<SetSystem> = POLICIES.iter().map(|&p| build(n, &lists, p)).collect();
         let refs = reference_bitsets(n, &lists);
-        let systems = [&sparse, &dense, &auto];
 
         for i in 0..lists.len() {
             for j in 0..lists.len() {
@@ -57,9 +63,10 @@ fn check_pairwise_algebra(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCa
                 let expect_ham = refs[i].hamming_distance(&refs[j]);
                 let expect_disj = refs[i].is_disjoint(&refs[j]);
                 let expect_sub = refs[i].is_subset_of(&refs[j]);
-                // Every backend pairing, including mixed sparse×dense.
-                for sa in systems {
-                    for sb in systems {
+                // Every backend pairing — all 25 policy combinations, which
+                // exercises the full 4×4 representation kernel matrix.
+                for sa in &systems {
+                    for sb in &systems {
                         let (a, b) = (sa.set(i), sb.set(j));
                         prop_assert_eq!(a.intersection_len(b), expect_inter);
                         prop_assert_eq!(a.union_len(b), expect_union);
@@ -80,14 +87,12 @@ fn check_pairwise_algebra(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCa
 
 fn check_views_and_aggregates(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
     {
-        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
-        let dense = build(n, &lists, ReprPolicy::ForceDense);
-        let auto = build(n, &lists, ReprPolicy::Auto);
+        let systems: Vec<SetSystem> = POLICIES.iter().map(|&p| build(n, &lists, p)).collect();
+        let auto = systems.last().unwrap();
         let refs = reference_bitsets(n, &lists);
 
-        prop_assert_eq!(&sparse, &dense);
-        prop_assert_eq!(&sparse, &auto);
-        for sys in [&sparse, &dense, &auto] {
+        for sys in &systems {
+            prop_assert_eq!(sys, &systems[0]);
             for (i, s) in sys.iter() {
                 prop_assert_eq!(s.len(), refs[i].len());
                 prop_assert_eq!(s.is_empty(), refs[i].is_empty());
@@ -100,11 +105,18 @@ fn check_views_and_aggregates(n: usize, lists: Vec<Vec<usize>>) -> Result<(), Te
                 // Paper-accounting figures are representation-independent…
                 prop_assert_eq!(s.stored_bits_sparse(), refs[i].stored_bits_sparse());
                 prop_assert_eq!(s.stored_bits_dense(), refs[i].stored_bits_dense());
-                // …and the actual charge is whichever the backend holds.
-                prop_assert!(
-                    s.stored_bits() == s.stored_bits_sparse()
-                        || s.stored_bits() == s.stored_bits_dense()
-                );
+                // …and the actual charge matches the backend: the two model
+                // costs exactly for the modeled reprs, measured encoded size
+                // (whole arena words, so nonzero iff the set is) for the
+                // compressed ones.
+                match s.repr() {
+                    SetRepr::Sparse => prop_assert_eq!(s.stored_bits(), s.stored_bits_sparse()),
+                    SetRepr::Dense => prop_assert_eq!(s.stored_bits(), s.stored_bits_dense()),
+                    SetRepr::Chunked | SetRepr::EliasFano => {
+                        prop_assert_eq!(s.stored_bits() > 0, !s.is_empty());
+                        prop_assert_eq!(s.stored_bits() % 32, 0);
+                    }
+                }
             }
             prop_assert_eq!(
                 sys.total_incidences(),
@@ -118,10 +130,9 @@ fn check_views_and_aggregates(n: usize, lists: Vec<Vec<usize>>) -> Result<(), Te
             prop_assert_eq!(sys.coverage(&all), cov.clone());
             prop_assert_eq!(sys.coverage_len(&all), cov.len());
             prop_assert_eq!(sys.is_coverable(), cov.is_full());
+            // Auto's measured argmin is no worse than any forcing.
+            prop_assert!(auto.stored_bits() <= sys.stored_bits());
         }
-        // Auto stores each set at its cheaper accounting cost.
-        prop_assert!(auto.stored_bits() <= sparse.stored_bits());
-        prop_assert!(auto.stored_bits() <= dense.stored_bits());
     }
 
     Ok(())
@@ -134,8 +145,7 @@ fn check_mutation_kernels(
     acc_elems: Vec<usize>,
 ) -> Result<(), TestCaseError> {
     {
-        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
-        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let systems: Vec<SetSystem> = POLICIES.iter().map(|&p| build(n, &lists, p)).collect();
         let acc0 = BitSet::from_iter(n, acc_elems.into_iter().filter(|&e| e < n));
         let refs = reference_bitsets(n, &lists);
 
@@ -143,7 +153,7 @@ fn check_mutation_kernels(
             // union into an accumulator
             let mut expect = acc0.clone();
             expect.union_with(&refs[i]);
-            for sys in [&sparse, &dense] {
+            for sys in &systems {
                 let mut got = acc0.clone();
                 got.union_with_ref(sys.set(i));
                 prop_assert_eq!(&got, &expect);
@@ -151,13 +161,13 @@ fn check_mutation_kernels(
             // difference out of an accumulator
             let mut expect = acc0.clone();
             expect.difference_with(&refs[i]);
-            for sys in [&sparse, &dense] {
+            for sys in &systems {
                 let mut got = acc0.clone();
                 got.difference_with_ref(sys.set(i));
                 prop_assert_eq!(&got, &expect);
             }
             // SetRef × BitSet-view kernels
-            for sys in [&sparse, &dense] {
+            for sys in &systems {
                 let s = sys.set(i);
                 prop_assert_eq!(
                     s.intersection_len(acc0.as_set_ref()),
@@ -188,10 +198,8 @@ fn check_mutation_kernels(
 /// exactly which tier it could not execute) rather than silently passing.
 fn check_tiered_kernels(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
     {
-        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
-        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let systems: Vec<SetSystem> = POLICIES.iter().map(|&p| build(n, &lists, p)).collect();
         let refs = reference_bitsets(n, &lists);
-        let systems = [&sparse, &dense];
 
         for tier in KernelTier::ALL {
             if !tier.is_supported() {
@@ -204,8 +212,8 @@ fn check_tiered_kernels(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCase
             }
             for i in 0..lists.len() {
                 for j in 0..lists.len() {
-                    for sa in systems {
-                        for sb in systems {
+                    for sa in &systems {
+                        for sb in &systems {
                             let (a, b) = (sa.set(i), sb.set(j));
                             prop_assert_eq!(
                                 a.intersection_len_tier(b, tier),
@@ -235,15 +243,16 @@ fn check_tiered_kernels(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCase
 
 fn check_projection_and_subsystem(n: usize, lists: Vec<Vec<usize>>) -> Result<(), TestCaseError> {
     {
-        let sparse = build(n, &lists, ReprPolicy::ForceSparse);
-        let dense = build(n, &lists, ReprPolicy::ForceDense);
+        let systems: Vec<SetSystem> = POLICIES.iter().map(|&p| build(n, &lists, p)).collect();
         let dom = BitSet::from_iter(n, (0..n).filter(|e| e % 3 != 1));
-        prop_assert_eq!(sparse.project(&dom), dense.project(&dom));
         let pick: Vec<usize> = (0..lists.len()).rev().collect();
-        prop_assert_eq!(
-            sparse.subsystem(pick.iter().copied()),
-            dense.subsystem(pick.iter().copied())
-        );
+        for sys in &systems[1..] {
+            prop_assert_eq!(systems[0].project(&dom), sys.project(&dom));
+            prop_assert_eq!(
+                systems[0].subsystem(pick.iter().copied()),
+                sys.subsystem(pick.iter().copied())
+            );
+        }
     }
     Ok(())
 }

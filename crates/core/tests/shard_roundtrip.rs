@@ -27,9 +27,11 @@ fn system_of(policy: ReprPolicy, n: usize, lists: &[Vec<usize>]) -> SetSystem {
     sys
 }
 
-const POLICIES: [ReprPolicy; 3] = [
+const POLICIES: [ReprPolicy; 5] = [
     ReprPolicy::ForceSparse,
     ReprPolicy::ForceDense,
+    ReprPolicy::ForceChunked,
+    ReprPolicy::ForceEliasFano,
     ReprPolicy::Auto,
 ];
 

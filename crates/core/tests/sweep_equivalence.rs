@@ -1,10 +1,20 @@
 //! Property tests: `BatchedSweep` gains must match the per-set
 //! `intersection_len` kernel bit-for-bit across every pairing of stored
-//! representation (sparse arena / dense arena) and residual representation
-//! (dense bitmap view / sparse list view), on arbitrary systems.
+//! representation (sparse / dense / chunked / Elias–Fano arenas) and
+//! residual representation (dense bitmap view, sparse list view, and the
+//! compressed views), on arbitrary systems.
 
 use proptest::prelude::*;
 use streamcover_core::{BatchedSweep, BitSet, KernelTier, ReprPolicy, SetStore};
+
+/// Every storage policy the sweep must be bit-equal under.
+const POLICIES: [ReprPolicy; 5] = [
+    ReprPolicy::ForceSparse,
+    ReprPolicy::ForceDense,
+    ReprPolicy::ForceChunked,
+    ReprPolicy::ForceEliasFano,
+    ReprPolicy::Auto,
+];
 
 /// Strategy: `(universe, element lists, residual elements)`.
 fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<usize>)> {
@@ -32,12 +42,18 @@ proptest! {
     fn sweep_matches_per_set_kernel_across_all_repr_pairings(inst in arb_instance()) {
         let (n, lists, resid) = inst;
         let residual = BitSet::from_iter(n, resid.iter().copied());
-        // Residual as a sparse list view, via a one-set ForceSparse store.
-        let mut rstore = SetStore::with_policy(n, ReprPolicy::ForceSparse);
-        rstore.push_elems(residual.iter());
-        let rsparse = rstore.get(0);
+        // Residual as a view in every forced representation, via one-set
+        // stores (index 4 is Auto — skipped; the dense view covers it).
+        let rstores: Vec<SetStore> = POLICIES[..4]
+            .iter()
+            .map(|&p| {
+                let mut st = SetStore::with_policy(n, p);
+                st.push_elems(residual.iter());
+                st
+            })
+            .collect();
 
-        for policy in [ReprPolicy::ForceSparse, ReprPolicy::ForceDense, ReprPolicy::Auto] {
+        for policy in POLICIES {
             let st = store_of(policy, n, &lists);
             let expect: Vec<usize> = (0..st.len())
                 .map(|i| st.get(i).intersection_len(residual.as_set_ref()))
@@ -47,9 +63,11 @@ proptest! {
             prop_assert_eq!(sweep.gains(&st, &residual), &expect[..]);
             // Dense residual as a SetRef view.
             prop_assert_eq!(sweep.gains_vs_ref(&st, residual.as_set_ref()), &expect[..]);
-            // Sparse residual view: dispatches to the pairwise kernels
-            // (SSE2 block merge on the sparse×sparse pairs).
-            prop_assert_eq!(sweep.gains_vs_ref(&st, rsparse), &expect[..]);
+            // Residual in every stored representation: dispatches to the
+            // pairwise kernels (the full 4×4 matrix over the runs).
+            for rs in &rstores {
+                prop_assert_eq!(sweep.gains_vs_ref(&st, rs.get(0)), &expect[..]);
+            }
             // Subset sweep over the reversed id order.
             let ids: Vec<usize> = (0..st.len()).rev().collect();
             let expect_rev: Vec<usize> = ids.iter().map(|&i| expect[i]).collect();
@@ -69,7 +87,7 @@ proptest! {
         rstore.push_elems(residual.iter());
         let rsparse = rstore.get(0);
 
-        for policy in [ReprPolicy::ForceSparse, ReprPolicy::ForceDense, ReprPolicy::Auto] {
+        for policy in POLICIES {
             let st = store_of(policy, n, &lists);
             let reference = BatchedSweep::with_tier(KernelTier::Scalar)
                 .gains(&st, &residual)

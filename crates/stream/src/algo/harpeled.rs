@@ -442,7 +442,11 @@ mod tests {
         // representation must therefore come in strictly below the old
         // always-a-member-list convention (|S'|·log n ≈ 9n per projection),
         // and the measured peak must stay inside the Theorem 2 envelope
-        // Õ(m·n^{1/α}/ε² + n/ε).
+        // Õ(m·n^{1/α}/ε² + n/ε). Since the compressed backends landed,
+        // ActualRepr charges *measured* encoded size — the store's argmin
+        // now also considers chunked/Elias–Fano encodings, which can only
+        // lower the actual peak, so this envelope rerun covers the real
+        // encodings end to end.
         let p = ScParams::explicit(2048, 8, 16);
         let mut rng = StdRng::seed_from_u64(7);
         let inst = streamcover_dist::sample_dsc_with_theta(&mut rng, p, true);

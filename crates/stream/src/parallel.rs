@@ -350,25 +350,11 @@ impl<'rt> ParallelPass<'rt> {
 
 /// `|s ∩ residual|` restricted to the word range `[wlo, whi)` of the
 /// residual slab — one universe block's contribution to a candidate's
-/// gain. Sparse views locate their block sub-slice with a
-/// `partition_point` pair (the elements are sorted); dense views AND the
-/// corresponding word sub-slices.
+/// gain. Delegates to the core window kernel, which clips every backend
+/// (sparse `partition_point` pair, dense word zip, chunked per-container
+/// windows, Elias–Fano monotone decode) without materializing.
 fn gain_in_word_block(s: SetRef<'_>, words: &[u64], wlo: usize, whi: usize) -> usize {
-    match s {
-        SetRef::Sparse { elems, .. } => {
-            let lo = elems.partition_point(|&e| ((e >> 6) as usize) < wlo);
-            let hi = elems.partition_point(|&e| ((e >> 6) as usize) < whi);
-            elems[lo..hi]
-                .iter()
-                .filter(|&&e| words[(e >> 6) as usize] >> (e & 63) & 1 == 1)
-                .count()
-        }
-        SetRef::Dense { words: sw, .. } => sw[wlo..whi.min(sw.len())]
-            .iter()
-            .zip(&words[wlo..whi])
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum(),
-    }
+    s.intersection_len_in_words(words, wlo, whi)
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use streamcover_core::{
         exact_max_coverage, exact_set_cover, greedy_cover_until, greedy_max_coverage,
         greedy_set_cover, BatchedSweep, BitSet, CelfHeap, CompactionMap, CoverError, ExactCover,
-        KernelTier, SetId, SetSystem, ShardPlan, ShardedStore, StoreShard,
+        KernelTier, ReprPolicy, SetId, SetRepr, SetSystem, ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
         blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
