@@ -15,6 +15,11 @@
 //!   `π_Disj` from `π_SC` (Lemma 3.4), `π_GHD` from `π_MC` (Lemma 4.5), and
 //!   the `p`-pass/`s`-space streaming → `O(p·s)`-bit protocol adapter from
 //!   Theorem 1's proof.
+//! * [`cluster`] — distributed shard-owner execution: a self-contained
+//!   wire format, channel/socket transports, the owner/coordinator round
+//!   protocol, and the [`DistCover`]/[`ProcessCluster`] drivers — every
+//!   frame metered through a [`Transcript`], so bytes-on-the-wire are
+//!   measured in the same units the lower bounds are stated in.
 //!
 //! ## Quickstart
 //!
@@ -31,11 +36,15 @@
 //! assert_eq!(transcript.total_bits(), 24 + 1); // A verbatim + answer bit
 //! ```
 
+pub mod cluster;
 pub mod problems;
 pub mod protocols;
 pub mod reductions;
 pub mod transcript;
 
+pub use cluster::{
+    ClusterError, DistCover, DistCoverRun, Frame, OwnedSet, ProcessCluster, Transport, WireError,
+};
 pub use problems::{
     alpha_estimate_ok, disj_answer, ghd_answer, ghd_output_ok, DisjProtocol, GhdProtocol,
     MaxCoverProtocol, SetCoverProtocol,
@@ -45,4 +54,6 @@ pub use protocols::{
     SketchedSetCover, ThresholdSetCover, TrivialDisj,
 };
 pub use reductions::{adapter_bound, DisjFromSetCover, GhdFromMaxCover, StreamingAsProtocol};
-pub use transcript::{decode_bitset, encode_bitset, encode_set, Message, Player, Transcript};
+pub use transcript::{
+    decode_bitset, decode_set, encode_bitset, encode_set, Message, Player, Transcript,
+};

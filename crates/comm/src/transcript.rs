@@ -147,21 +147,43 @@ impl Transcript {
     }
 }
 
-/// Encodes a stored set view as `⌈t/8⌉` payload bytes (the canonical dense
-/// encoding used by the concrete protocols), with its exact bit cost `t`.
-/// Works for either storage backend.
+/// Encodes a stored set view in its **actual representation** — the
+/// self-describing set body of the cluster wire format (tag, universe,
+/// dims, verbatim payload ranges) — with its bit cost `8·payload.len()`.
+///
+/// All four arena representations are handled: `Sparse` and `Dense` ship
+/// their element/word slabs, and the compressed `Chunked`/`EliasFano`
+/// representations ship their payload ranges verbatim (no decode), so a
+/// protocol that sends compressed sets is charged what the compressed
+/// encoding actually costs. [`decode_set`] inverts the encoding exactly,
+/// representation included.
+///
+/// For the canonical *dense* `t`-bit membership encoding (the cost model
+/// the Disj protocols' exact-cost assertions are written against), use
+/// [`encode_bitset`].
 pub fn encode_set(s: streamcover_core::SetRef<'_>) -> (Vec<u8>, u64) {
-    let t = s.universe();
+    let mut bytes = Vec::new();
+    crate::cluster::wire::encode_set_body(s, &mut bytes);
+    let bits = bytes.len() as u64 * 8;
+    (bytes, bits)
+}
+
+/// Decodes [`encode_set`]'s payload back into an owned set, representation
+/// preserved bit-for-bit (`OwnedSet::as_set_ref` compares equal to the
+/// encoded view, and `OwnedSet::push_into` re-arenas it verbatim).
+pub fn decode_set(bytes: &[u8]) -> Result<crate::cluster::OwnedSet, crate::cluster::WireError> {
+    crate::cluster::wire::decode_set_payload(bytes)
+}
+
+/// Encodes an owned bitset as `⌈t/8⌉` payload bytes (the canonical dense
+/// membership encoding), with its exact bit cost `t`.
+pub fn encode_bitset(s: &streamcover_core::BitSet) -> (Vec<u8>, u64) {
+    let t = s.capacity();
     let mut bytes = vec![0u8; t.div_ceil(8)];
     for e in s.iter() {
         bytes[e / 8] |= 1 << (e % 8);
     }
     (bytes, t as u64)
-}
-
-/// [`encode_set`] for an owned bitset.
-pub fn encode_bitset(s: &streamcover_core::BitSet) -> (Vec<u8>, u64) {
-    encode_set(s.as_set_ref())
 }
 
 /// Decodes [`encode_bitset`]'s payload back into a bitset over `[t]`.
@@ -235,5 +257,66 @@ mod tests {
     fn player_other() {
         assert_eq!(Player::Alice.other(), Player::Bob);
         assert_eq!(Player::Bob.other(), Player::Alice);
+    }
+
+    /// One decode-roundtrip test per representation: `encode_set` must
+    /// handle every arena repr (the compressed ones shipping payload
+    /// ranges verbatim) and `decode_set` must invert it exactly.
+    fn roundtrip_repr(policy: streamcover_core::ReprPolicy) {
+        let universe = 1 << 17;
+        let elems: Vec<u32> = (0..universe as u32)
+            .filter(|e| e % 97 == 3 || (e % 1009) < 5)
+            .collect();
+        let mut store = streamcover_core::SetStore::with_policy(universe, policy);
+        store.push_sorted(&elems);
+        let original = store.get(0);
+        let (bytes, bits) = encode_set(original);
+        assert_eq!(bits, bytes.len() as u64 * 8);
+        let decoded = decode_set(&bytes).expect("decode");
+        assert_eq!(decoded.as_set_ref(), original, "{policy:?}");
+        // Membership agrees element-for-element too.
+        assert!(decoded
+            .as_set_ref()
+            .iter()
+            .eq(elems.iter().map(|&e| e as usize)));
+    }
+
+    #[test]
+    fn encode_set_roundtrips_sparse() {
+        roundtrip_repr(streamcover_core::ReprPolicy::ForceSparse);
+    }
+
+    #[test]
+    fn encode_set_roundtrips_dense() {
+        roundtrip_repr(streamcover_core::ReprPolicy::ForceDense);
+    }
+
+    #[test]
+    fn encode_set_roundtrips_chunked() {
+        roundtrip_repr(streamcover_core::ReprPolicy::ForceChunked);
+    }
+
+    #[test]
+    fn encode_set_roundtrips_elias_fano() {
+        roundtrip_repr(streamcover_core::ReprPolicy::ForceEliasFano);
+    }
+
+    #[test]
+    fn compressed_encode_set_is_smaller_than_dense_bitmap() {
+        // A sparse-skewed set over a wide universe: the verbatim
+        // Elias–Fano payload beats the ⌈t/8⌉ dense bitmap by orders of
+        // magnitude — the whole point of repr-aware transcript costs.
+        let universe = 1 << 20;
+        let elems: Vec<u32> = (0..512u32).map(|i| i * 1831).collect();
+        let mut store = streamcover_core::SetStore::with_policy(
+            universe,
+            streamcover_core::ReprPolicy::ForceEliasFano,
+        );
+        store.push_sorted(&elems);
+        let (_, bits) = encode_set(store.get(0));
+        assert!(
+            bits < universe as u64 / 8,
+            "elias-fano payload {bits} bits should be far below the {universe}-bit bitmap"
+        );
     }
 }

@@ -91,7 +91,7 @@ pub use greedy::{
 };
 pub use io::{read_instance, write_instance, ParseError};
 pub use runtime::Runtime;
-pub use shard::{ShardPlan, ShardedStore, StoreShard};
+pub use shard::{split_ranges, ShardPlan, ShardedStore, StoreShard};
 pub use stats::{linear_fit, mean, power_law_exponent, quantile, std_dev, system_stats};
 pub use store::{BatchedSweep, CompactionMap, KernelTier, ReprPolicy, SetRef, SetRepr, SetStore};
 pub use system::{SetId, SetSystem};

@@ -262,6 +262,15 @@ impl ShardedStore {
         &self.shards[s]
     }
 
+    /// Consumes the sharded store, handing out the per-shard arenas whole —
+    /// the export seam for execution modes that give each shard away (a
+    /// distributed owner takes its arena as private state, no aliasing back
+    /// into the source). Under `BySetRange` the concatenation of the
+    /// returned stores in order is the original global id order.
+    pub fn into_stores(self) -> Vec<SetStore> {
+        self.shards
+    }
+
     /// The element block owned by shard `s` under `ByUniverseBlocks`.
     ///
     /// # Panics

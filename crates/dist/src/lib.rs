@@ -17,9 +17,10 @@
 //! * [`McParams`] / [`sample_dmc_with_theta`] — `D_MC` (Lemma 4.3): the
 //!   optimal 2-coverage lands on either side of `τ` according to `θ`.
 //! * [`random_partition`] — the `D^rnd_SC` random re-split of Lemma 3.7.
-//! * [`planted_cover`], [`uniform_random`], [`blog_watch`] — coverable
-//!   planted workloads, Bernoulli systems, and Zipf-flavoured blog/topic
-//!   catalogues for the algorithmic experiments.
+//! * [`planted_cover`], [`uniform_random`], [`blog_watch`],
+//!   [`podcast_catalog`] — coverable planted workloads, Bernoulli systems,
+//!   and Zipf-flavoured blog/topic and podcast/episode catalogues for the
+//!   algorithmic experiments.
 //! * [`turnstile_catalog`] — scripted insert/delete mixes
 //!   ([`TurnstileCatalog`]): Zipf-sized sets with configurable delete
 //!   fraction and recency churn, the live-catalog workload behind the
@@ -63,6 +64,7 @@ pub use maxcover::{sample_dmc, sample_dmc_with_theta, DmcInstance, McParams};
 pub use partition::{random_partition, RandomPartition};
 pub use setcover::{sample_dsc, sample_dsc_with_theta, DscInstance, ScParams};
 pub use workloads::{
-    blog_watch, planted_cover, stress_cover, stress_cover_shards, turnstile_catalog,
-    uniform_random, zipf_query_mix, CatalogOp, PlantedWorkload, TurnstileCatalog, ZipfQueryMix,
+    blog_watch, planted_cover, podcast_catalog, stress_cover, stress_cover_shards,
+    turnstile_catalog, uniform_random, zipf_query_mix, CatalogOp, PlantedWorkload,
+    TurnstileCatalog, ZipfQueryMix,
 };

@@ -433,6 +433,62 @@ pub fn turnstile_catalog<R: Rng + ?Sized>(
     }
 }
 
+/// A podcast catalogue modeled on The Spotify Podcast Dataset's shape:
+/// `shows` shows over a universe of `topics` episode-topics, with **both**
+/// heavy tails the real catalogue exhibits —
+///
+/// * **Zipf-distributed set sizes**: the show at popularity rank `r`
+///   (rank = set id) covers `max(1, max_size/(r+1)^size_s)` topics, so a
+///   head show is a hub spanning a quarter of the topic space while the
+///   median show covers a handful — the skew that exercises the sparse
+///   galloping path against dense hubs and unbalances `BySetRange` shards.
+/// * **Zipf topic popularity**: topics are drawn with weight `∝ 1/(i+1)`,
+///   so head topics appear in many shows (dense residual churn) while the
+///   tail is covered by few.
+///
+/// The full-scale instance the bench arm runs is
+/// `podcast_catalog(rng, 100_000, topics)` — ~10⁵ shows, as in the
+/// dataset.
+///
+/// # Panics
+/// Panics unless `topics ≥ 2`, `shows ≥ 1` and `size_s > 0`.
+pub fn podcast_catalog<R: Rng + ?Sized>(
+    rng: &mut R,
+    shows: usize,
+    topics: usize,
+    size_s: f64,
+) -> SetSystem {
+    assert!(topics >= 2, "need at least two topics");
+    assert!(shows >= 1, "need at least one show");
+    assert!(size_s > 0.0, "size exponent must be positive");
+
+    // Cumulative Zipf table over topic popularity (weight 1/(i+1)).
+    let mut cumulative = Vec::with_capacity(topics);
+    let mut total = 0.0f64;
+    for i in 0..topics {
+        total += 1.0 / (i + 1) as f64;
+        cumulative.push(total);
+    }
+
+    let max_size = (topics / 4).max(2);
+    let mut system = SetSystem::new(topics);
+    for rank in 0..shows {
+        let size = ((max_size as f64 / ((rank + 1) as f64).powf(size_s)).floor() as usize).max(1);
+        let mut set = BitSet::new(topics);
+        // Weighted sampling with duplicate rejection; bail out if the
+        // popular head saturates before `size` distinct topics land.
+        let mut attempts = 0;
+        while set.len() < size && attempts < 20 * size {
+            attempts += 1;
+            let x = rng.gen::<f64>() * total;
+            let topic = cumulative.partition_point(|&c| c < x).min(topics - 1);
+            set.insert(topic);
+        }
+        system.push(set);
+    }
+    system
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +592,53 @@ mod tests {
             head >= 4 * tail.max(1),
             "popular topics must dominate: head {head} vs tail {tail}"
         );
+    }
+
+    #[test]
+    fn podcast_catalog_shape_and_size_skew() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sys = podcast_catalog(&mut rng, 400, 128, 1.0);
+        assert_eq!(sys.universe(), 128);
+        assert_eq!(sys.len(), 400);
+        let max_size = 128 / 4;
+        for (i, s) in sys.iter() {
+            assert!(!s.is_empty(), "show {i} covers nothing");
+            assert!(s.len() <= max_size, "show {i} covers {} topics", s.len());
+        }
+        // Zipf sizes: the head show is a hub, the tail shows are singletons.
+        assert!(
+            sys.set(0).len() >= max_size / 2,
+            "head show covers only {} topics",
+            sys.set(0).len()
+        );
+        let tail_mean: f64 = (300..400).map(|i| sys.set(i).len() as f64).sum::<f64>() / 100.0;
+        assert!(
+            (sys.set(0).len() as f64) >= 8.0 * tail_mean,
+            "size tail is not heavy: head {} vs tail mean {tail_mean}",
+            sys.set(0).len()
+        );
+        // Rank-monotone sizes (up to the sampling-rejection slack).
+        assert!(sys.set(0).len() >= sys.set(399).len());
+    }
+
+    #[test]
+    fn podcast_catalog_topic_popularity_skew() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sys = podcast_catalog(&mut rng, 600, 64, 1.0);
+        let mut head = 0usize; // topic-0 appearances
+        let mut tail = 0usize; // topic-63 appearances
+        for (_, s) in sys.iter() {
+            head += usize::from(s.contains(0));
+            tail += usize::from(s.contains(63));
+        }
+        assert!(
+            head >= 4 * tail.max(1),
+            "popular topics must dominate: head {head} vs tail {tail}"
+        );
+        // Well-formedness for the cover drivers: greedy runs and, with the
+        // hub head shows present, the catalogue is coverable.
+        let cover = greedy_set_cover(&sys);
+        assert!(cover.is_feasible(), "600 Zipf shows left topics uncovered");
     }
 
     #[test]

@@ -6,9 +6,33 @@
 //!   uniform `(n−s)`-subsets and an independent `U ⊆ [n]`,
 //!   `P(|U \ ⋃S_i| < (|U|/2)·(s/2n)^k) < 2·exp(−(|U|/8)·(s/2n)^k)` when
 //!   `k = o(e^s)`. This is the engine behind Lemma 3.2 and Claim 3.3.
+//! * Communication lower bounds — [`disj_lower_bound_bits`] (the linear
+//!   randomized Disjointness bound) and [`dsc_lower_bound_bits`] (its
+//!   transfer to `D_SC` through Lemma 3.4's embedding): the floors the
+//!   distributed executor's measured bytes-on-the-wire are gated against.
 
 use rand::Rng;
 use streamcover_core::{random_subset, BitSet};
+
+/// The randomized communication lower bound for set disjointness on `t`
+/// elements: `R(Disj_t) ≥ t/4` bits (Kalyanasundaram–Schnitger '92,
+/// Razborov '92 — the linear bound the paper invokes as Fact 3.1's
+/// quantitative engine). Any two-party protocol that decides `Disj_t` with
+/// error ≤ 1/3 must exchange at least this many bits.
+pub fn disj_lower_bound_bits(t: usize) -> f64 {
+    t as f64 / 4.0
+}
+
+/// The communication floor for `D_SC(n, m, t)` instances via Lemma 3.4:
+/// a protocol whose answer distinguishes `opt ≤ 2` from `opt > 2α` on the
+/// hard distribution decides the embedded `Disj_t` instance, so its
+/// transcript must carry at least [`disj_lower_bound_bits`]`(t)` bits.
+/// This is the gate the distributed executor's measured
+/// `Transcript::total_bits()` is checked against (measured ≥ bound; the
+/// ratio is logged by the `substrate_bench` `dist` arm).
+pub fn dsc_lower_bound_bits(t: usize) -> f64 {
+    disj_lower_bound_bits(t)
+}
 
 /// Proposition 2.1: the probability bound `2·exp(−ε²·μ/2)`.
 pub fn chernoff_bound(eps: f64, mean: f64) -> f64 {
@@ -79,6 +103,14 @@ pub fn lemma22_experiment<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn comm_lower_bounds_scale_linearly() {
+        assert!((disj_lower_bound_bits(32) - 8.0).abs() < 1e-12);
+        assert!((dsc_lower_bound_bits(32) - disj_lower_bound_bits(32)).abs() < 1e-12);
+        assert!(dsc_lower_bound_bits(64) > dsc_lower_bound_bits(32));
+        assert_eq!(disj_lower_bound_bits(0), 0.0);
+    }
 
     #[test]
     fn chernoff_values() {

@@ -39,7 +39,8 @@ pub mod icost;
 pub mod odometer;
 
 pub use bounds::{
-    chernoff_bound, lemma22_experiment, lemma22_failure_bound, lemma22_threshold, lemma22_trial,
+    chernoff_bound, disj_lower_bound_bits, dsc_lower_bound_bits, lemma22_experiment,
+    lemma22_failure_bound, lemma22_threshold, lemma22_trial,
 };
 pub use divergence::{hellinger_sq, kl_divergence, pinsker_bound, total_variation, Pmf};
 pub use entropy::{

@@ -144,7 +144,7 @@ pub use maxcov::{ElementSampling, McOracle, SahaGetoorSwap, SieveStream};
 pub use meter::{Accounting, ChargeGuard, MeterFold, SpaceMeter};
 pub use parallel::ParallelPass;
 pub use report::{CoverRun, MaxCoverRun, MaxCoverStreamer, SetCoverStreamer};
-pub use runtime::{default_workers, ExecPolicy, Runtime};
+pub use runtime::{default_workers, DistBackend, DistPlan, ExecPolicy, Runtime};
 pub use service::{
     Answer, CompactionPolicy, CoverAnswer, CoverService, Mutation, Query, Request, Response,
     ServiceStats, StreamAnswer,

@@ -39,6 +39,53 @@ use streamcover_core::{ReprPolicy, ShardPlan};
 
 pub use streamcover_core::runtime::{default_workers, Runtime};
 
+/// Which message fabric a distributed cover run exchanges frames over.
+///
+/// Both backends speak the same versioned wire format and drive the same
+/// owner/coordinator protocol (`streamcover-comm`'s `cluster` family); the
+/// choice only changes *where* the bytes travel, never what is computed —
+/// solutions are byte-identical across backends and owner counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DistBackend {
+    /// Deterministic in-process channel pairs (the test fabric: owners are
+    /// threads, frames are `Vec<u8>` hand-offs, no syscalls).
+    InProcess,
+    /// Unix-domain socket pairs: frames cross a real kernel byte stream
+    /// (owners may be threads or spawned processes).
+    Socket,
+}
+
+/// The distribution seam on [`ExecPolicy`]: how many shard owners a
+/// distributed cover run fans out to and which [`DistBackend`] carries the
+/// frames. Plain configuration data — the driver that consumes it lives in
+/// `streamcover-comm::cluster` (the comm crate sits above this one, so the
+/// transcript-metered executor cannot live here without a cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DistPlan {
+    /// Number of shard owners (clamped to ≥ 1 by the builder).
+    pub owners: usize,
+    /// Message fabric between the coordinator and the owners.
+    pub backend: DistBackend,
+}
+
+impl DistPlan {
+    /// A plan with `owners` owners on the in-process channel fabric.
+    pub fn in_process(owners: usize) -> Self {
+        DistPlan {
+            owners: owners.max(1),
+            backend: DistBackend::InProcess,
+        }
+    }
+
+    /// A plan with `owners` owners on the Unix-domain socket fabric.
+    pub fn socket(owners: usize) -> Self {
+        DistPlan {
+            owners: owners.max(1),
+            backend: DistBackend::Socket,
+        }
+    }
+}
+
 /// Everything that configures *how* a streaming run executes, none of it
 /// changing *what* the run computes: solution, passes and peak bits are
 /// identical under every policy whose accounting fields agree.
@@ -95,6 +142,13 @@ pub struct ExecPolicy {
     /// then left untouched) — reproducible runs detached from caller rng
     /// state.
     pub seed: Option<u64>,
+    /// When set, cover computations may be executed by the distributed
+    /// shard-owner driver (`streamcover-comm::cluster::DistCover::from_policy`
+    /// reads this seam): `owners` message-passing shard owners over the
+    /// plan's [`DistBackend`]. `None` (the default) keeps everything in one
+    /// address space. Like every other knob here, the plan changes how the
+    /// run executes, never what it computes.
+    pub dist: Option<DistPlan>,
 }
 
 impl ExecPolicy {
@@ -112,6 +166,7 @@ impl ExecPolicy {
             pass_fold: MeterFold::Scoped,
             guess_fold: MeterFold::Concurrent,
             seed: None,
+            dist: None,
         }
     }
 
@@ -161,6 +216,16 @@ impl ExecPolicy {
     /// Pins the run to a private rng seeded with `seed`.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Routes cover computations through the distributed shard-owner driver
+    /// under `plan` (owner count clamped to ≥ 1).
+    pub fn dist(mut self, plan: DistPlan) -> Self {
+        self.dist = Some(DistPlan {
+            owners: plan.owners.max(1),
+            ..plan
+        });
         self
     }
 
@@ -221,6 +286,22 @@ mod tests {
         assert_eq!(p.pass_fold, MeterFold::Scoped);
         assert_eq!(p.guess_fold, MeterFold::Concurrent);
         assert_eq!(p.seed, None);
+    }
+
+    #[test]
+    fn dist_plan_builder_clamps_owners() {
+        assert_eq!(ExecPolicy::default().dist, None);
+        let p = ExecPolicy::sequential().dist(DistPlan::in_process(0));
+        assert_eq!(
+            p.dist,
+            Some(DistPlan {
+                owners: 1,
+                backend: DistBackend::InProcess
+            })
+        );
+        let p = ExecPolicy::sequential().dist(DistPlan::socket(4));
+        assert_eq!(p.dist, Some(DistPlan::socket(4)));
+        assert_eq!(DistPlan::socket(4).backend, DistBackend::Socket);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Shard-owner worker process for the distributed cover executor.
+//!
+//! Spawned by [`streamcover::comm::cluster::ProcessCluster`] with
+//! `argv = [socket_path, owner_index]`: connects to the coordinator's
+//! Unix-domain socket, identifies itself with a `Join` frame, receives its
+//! shard (`Hello` + verbatim `SetPayload` frames), then plays the owner
+//! side of the round protocol until `Finish`.
+//!
+//! Setting `STREAMCOVER_OWNER_FAULT_ROUND=<r>` makes the process exit
+//! abruptly at round `r` — the hook the fault-injection test uses to check
+//! that the coordinator surfaces a clean error instead of hanging.
+
+use std::process::ExitCode;
+
+use streamcover::comm::cluster::run_owner_process;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(socket_path), Some(owner)) = (args.next(), args.next()) else {
+        eprintln!("usage: cluster_owner <socket_path> <owner_index>");
+        return ExitCode::from(2);
+    };
+    let Ok(owner) = owner.parse::<u16>() else {
+        eprintln!("cluster_owner: owner index {owner:?} is not a u16");
+        return ExitCode::from(2);
+    };
+    let fault_at = std::env::var("STREAMCOVER_OWNER_FAULT_ROUND")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok());
+    match run_owner_process(socket_path.as_ref(), owner, fault_at) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cluster_owner[{owner}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! | [`core`] | bitsets, set systems, offline greedy/exact solvers |
 //! | [`dist`] | the hard distributions `D_Disj`, `D_SC`, `D^rnd_SC`, `D_GHD`, `D_MC` and realistic workloads |
 //! | [`stream`] | the streaming substrate (pass counting, bit metering, turnstile + sliding-window ingest) and the algorithms: Algorithm 1 with ablation knobs, threshold greedy, store-all, online-prune, and streaming max coverage |
-//! | [`comm`] | the two-party communication model, concrete protocols, and the executable reductions of Lemmas 3.4/4.5 + the Theorem 1 adapter |
+//! | [`comm`] | the two-party communication model, concrete protocols, the executable reductions of Lemmas 3.4/4.5 + the Theorem 1 adapter, and the distributed shard-owner executor (`cluster`) whose wire traffic is metered by the same transcripts |
 //! | [`info`] | entropy/MI estimators, the paper's concentration bounds, Facts A.1–A.4, information-cost estimation |
 //!
 //! ## Quickstart
@@ -51,8 +51,8 @@ pub use streamcover_stream as stream;
 /// The items most programs need, re-exported flat.
 pub mod prelude {
     pub use streamcover_comm::{
-        DisjFromSetCover, DisjProtocol, GhdFromMaxCover, SetCoverProtocol, StreamingAsProtocol,
-        Transcript,
+        ClusterError, DisjFromSetCover, DisjProtocol, DistCover, DistCoverRun, GhdFromMaxCover,
+        ProcessCluster, SetCoverProtocol, StreamingAsProtocol, Transcript,
     };
     pub use streamcover_core::{
         exact_max_coverage, exact_set_cover, greedy_cover_until, greedy_max_coverage,
@@ -60,11 +60,13 @@ pub mod prelude {
         KernelTier, ReprPolicy, SetId, SetRepr, SetSystem, ShardPlan, ShardedStore, StoreShard,
     };
     pub use streamcover_dist::{
-        blog_watch, planted_cover, sample_dmc, sample_dsc, stress_cover, stress_cover_shards,
-        turnstile_catalog, uniform_random, zipf_query_mix, CatalogOp, McParams, ScParams,
-        TurnstileCatalog, ZipfQueryMix,
+        blog_watch, planted_cover, podcast_catalog, sample_dmc, sample_dsc, stress_cover,
+        stress_cover_shards, turnstile_catalog, uniform_random, zipf_query_mix, CatalogOp,
+        McParams, ScParams, TurnstileCatalog, ZipfQueryMix,
     };
-    pub use streamcover_info::{estimate_disj_icost, mutual_information, Empirical};
+    pub use streamcover_info::{
+        dsc_lower_bound_bits, estimate_disj_icost, mutual_information, Empirical,
+    };
     pub use streamcover_stream::{
         Accounting, Answer, Arrival, CompactionPolicy, CoverAnswer, CoverRun, CoverService,
         ElementSampling, ExecPolicy, GuessDriver, HarPeledAssadi, MaxCoverRun, MaxCoverStreamer,
@@ -72,4 +74,5 @@ pub mod prelude {
         SahaGetoorSwap, ServiceStats, SetCoverStreamer, SetStream, SieveStream, SpaceMeter,
         StoreAll, StreamAnswer, ThresholdGreedy, TurnstileStream, Update,
     };
+    pub use streamcover_stream::{DistBackend, DistPlan};
 }
